@@ -1,0 +1,448 @@
+package fedomd
+
+// Benchmarks regenerating the cost profile of every paper table and figure,
+// plus the design-choice ablations DESIGN.md §4 calls out. Each Table/Figure
+// bench exercises the exact code path its experiment driver runs, at smoke
+// scale so `go test -bench=.` completes quickly; cmd/experiments regenerates
+// the full artefacts.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fedomd/internal/ad"
+	"fedomd/internal/core"
+	"fedomd/internal/dataset"
+	"fedomd/internal/fed"
+	"fedomd/internal/mat"
+	"fedomd/internal/moments"
+	"fedomd/internal/partition"
+	"fedomd/internal/sparse"
+)
+
+// benchGraph generates a small standard graph once per benchmark.
+func benchGraph(b *testing.B, name string, divisor int) *Graph {
+	b.Helper()
+	g, err := GenerateDataset(name, divisor, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchParties(b *testing.B, g *Graph, m int) []Party {
+	b.Helper()
+	parties, err := Partition(g, m, 1.0, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return parties
+}
+
+// fedOMDClients builds FedOMD clients over parties.
+func fedOMDClients(b *testing.B, parties []Party, hidden, hiddenLayers int, useOrtho, useCMD bool) []fed.Client {
+	b.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Hidden = hidden
+	cfg.HiddenLayers = hiddenLayers
+	cfg.UseOrtho = useOrtho
+	cfg.UseCMD = useCMD
+	var clients []fed.Client
+	for i, p := range parties {
+		if p.Graph.NumNodes() == 0 {
+			continue
+		}
+		c, err := core.NewClient(fmt.Sprintf("b%d", i), p.Graph, cfg, int64(i+3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	return clients
+}
+
+// BenchmarkTable2Datasets measures synthetic dataset generation — the input
+// to every experiment (paper Table 2).
+func BenchmarkTable2Datasets(b *testing.B) {
+	for _, name := range Datasets() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := GenerateDataset(name, 16, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3ClientRound measures one local training round per model —
+// the client-time column of paper Table 3.
+func BenchmarkTable3ClientRound(b *testing.B) {
+	g := benchGraph(b, dataset.Cora, 16)
+	parties := benchParties(b, g, 2)
+	exp, err := NewExperiments("smoke", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, model := range Models() {
+		b.Run(model, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				// Fresh clients so optimiser state does not accumulate.
+				res := func() error {
+					_, err := exp.RunModelPublic(model, parties[:1], int64(i), true)
+					return err
+				}
+				b.StartTimer()
+				if err := res(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable4FederatedRound measures one full federated round (broadcast
+// + parallel local training + moment exchange + aggregation) for FedOMD —
+// the unit of work behind every paper Table 4 cell.
+func BenchmarkTable4FederatedRound(b *testing.B) {
+	g := benchGraph(b, dataset.Cora, 16)
+	for _, m := range []int{3, 5, 9} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			parties := benchParties(b, g, m)
+			clients := fedOMDClients(b, parties, 16, 2, true, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fed.Run(fed.Config{Rounds: 1}, clients); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable5ManyParties measures FedOMD with the paper Table 5 party
+// counts on the Coauthor-CS stand-in.
+func BenchmarkTable5ManyParties(b *testing.B) {
+	g := benchGraph(b, dataset.CoauthorCS, 24)
+	for _, m := range []int{20, 50} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			parties := benchParties(b, g, m)
+			clients := fedOMDClients(b, parties, 16, 2, true, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fed.Run(fed.Config{Rounds: 1}, clients); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable6Ablation measures the cost of the paper Table 6 variants:
+// the orthogonality penalty and the CMD constraint each add measurable work.
+func BenchmarkTable6Ablation(b *testing.B) {
+	g := benchGraph(b, dataset.Cora, 16)
+	parties := benchParties(b, g, 3)
+	for _, v := range []struct {
+		name             string
+		useOrtho, useCMD bool
+	}{
+		{"OrthoOnly", true, false},
+		{"CMDOnly", false, true},
+		{"OrthoAndCMD", true, true},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			clients := fedOMDClients(b, parties, 16, 2, v.useOrtho, v.useCMD)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fed.Run(fed.Config{Rounds: 1}, clients); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable7Depth measures FedOMD's per-round cost as hidden depth
+// grows (paper Table 7).
+func BenchmarkTable7Depth(b *testing.B) {
+	g := benchGraph(b, dataset.Cora, 16)
+	parties := benchParties(b, g, 3)
+	for _, depth := range []int{2, 4, 6, 8, 10} {
+		b.Run(fmt.Sprintf("hidden=%d", depth), func(b *testing.B) {
+			clients := fedOMDClients(b, parties, 16, depth, true, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fed.Run(fed.Config{Rounds: 1}, clients); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure4Partition measures the Louvain cut and the non-i.i.d
+// statistics behind paper Figure 4.
+func BenchmarkFigure4Partition(b *testing.B) {
+	g := benchGraph(b, dataset.Cora, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parties, err := Partition(g, 5, 1.0, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		partition.LabelDistribution(parties, g.NumClasses)
+		NonIIDScore(parties, g.NumClasses)
+	}
+}
+
+// BenchmarkFigure5Convergence measures a multi-round FedOMD trajectory — the
+// unit behind the paper Figure 5 curves.
+func BenchmarkFigure5Convergence(b *testing.B) {
+	g := benchGraph(b, dataset.Cora, 16)
+	parties := benchParties(b, g, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clients := fedOMDClients(b, parties, 16, 2, true, true)
+		if _, err := fed.Run(fed.Config{Rounds: 10}, clients); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6AlphaBeta measures FedOMD rounds across the (α, β) grid of
+// paper Figure 6; cost is flat in the hyper-parameters, as the table shows.
+func BenchmarkFigure6AlphaBeta(b *testing.B) {
+	g := benchGraph(b, dataset.Cora, 16)
+	parties := benchParties(b, g, 3)
+	for _, beta := range []float64{0.1, 10} {
+		b.Run(fmt.Sprintf("beta=%g", beta), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Hidden = 16
+			cfg.Beta = beta
+			var clients []fed.Client
+			for i, p := range parties {
+				c, err := core.NewClient(fmt.Sprintf("c%d", i), p.Graph, cfg, int64(i+3))
+				if err != nil {
+					b.Fatal(err)
+				}
+				clients = append(clients, c)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fed.Run(fed.Config{Rounds: 1}, clients); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure7Resolution measures the Louvain cut across the resolution
+// sweep of paper Figure 7.
+func BenchmarkFigure7Resolution(b *testing.B) {
+	g := benchGraph(b, dataset.Cora, 8)
+	for _, res := range []float64{0.5, 1, 20, 50} {
+		b.Run(fmt.Sprintf("res=%g", res), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Partition(g, 3, res, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Design-choice ablation benches (DESIGN.md §4) ---
+
+// BenchmarkMatMul compares the parallel and serial dense kernels.
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := mat.RandGaussian(rng, 512, 256, 0, 1)
+	w := mat.RandGaussian(rng, 256, 128, 0, 1)
+	b.Run("Parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mat.MatMul(x, w)
+		}
+	})
+	b.Run("Serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mat.MatMulSerial(x, w)
+		}
+	})
+}
+
+// BenchmarkSpMMVsDense compares CSR propagation against materialising the
+// operator densely — the reason the GCN layers run on sparse.CSR.
+func BenchmarkSpMMVsDense(b *testing.B) {
+	g := benchGraph(b, dataset.Cora, 8)
+	s, err := sparse.GCNNormalize(g.Adj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	z := mat.RandGaussian(rng, g.NumNodes(), 32, 0, 1)
+	dense := s.ToDense()
+	b.Run("SpMM", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.MulDense(z)
+		}
+	})
+	b.Run("Dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mat.MatMul(dense, z)
+		}
+	})
+}
+
+// BenchmarkOrthoNewtonSchulz compares the three ways to keep an OrthoConv
+// weight orthogonal: the hard Newton–Schulz projection, the hard QR
+// retraction, and one soft-penalty gradient evaluation.
+func BenchmarkOrthoNewtonSchulz(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	w := mat.RandGaussian(rng, 64, 64, 0, 1)
+	b.Run("NewtonSchulz", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mat.NewtonSchulz(w, 30); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("QRRetraction", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mat.OrthonormalizeQR(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("SoftPenaltyGrad", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tp := ad.NewTape()
+			n := tp.Param(w)
+			loss := tp.OrthoPenalty(n)
+			if err := tp.Backward(loss); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCMDPlainVsSquared compares the eq. 11 norm form with the smooth
+// squared form the default configuration uses (DESIGN.md §1.1).
+func BenchmarkCMDPlainVsSquared(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	z := mat.RandUniform(rng, 1000, 64, 0, 1)
+	stats, err := moments.Compute(z, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, f func(tp *ad.Tape, n *ad.Node) (*ad.Node, error)) {
+		for i := 0; i < b.N; i++ {
+			tp := ad.NewTape()
+			n := tp.Param(z)
+			loss, err := f(tp, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := tp.Backward(loss); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Plain", func(b *testing.B) {
+		run(b, func(tp *ad.Tape, n *ad.Node) (*ad.Node, error) {
+			return moments.CMDLoss(tp, n, stats.Mean, stats.Central, 0, 1)
+		})
+	})
+	b.Run("Squared", func(b *testing.B) {
+		run(b, func(tp *ad.Tape, n *ad.Node) (*ad.Node, error) {
+			return moments.CMDLossSquared(tp, n, stats.Mean, stats.Central, 0, 1)
+		})
+	})
+}
+
+// BenchmarkDPOverhead measures the cost the differential-privacy wrapper
+// adds to one statistics upload.
+func BenchmarkDPOverhead(b *testing.B) {
+	g := benchGraph(b, dataset.Cora, 16)
+	cfg := core.DefaultConfig()
+	cfg.Hidden = 32
+	client, err := core.NewClient("dp", g, cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dp, err := fed.WithDP(client, fed.DPConfig{Epsilon: 1, Delta: 1e-5, Clip: 1}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Raw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := client.LocalMeans(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("DP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := dp.LocalMeans(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCMDOrders measures the CMD loss cost as the moment-series
+// truncation K grows (eq. 11; the paper uses K = 5).
+func BenchmarkCMDOrders(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	z := mat.RandUniform(rng, 1000, 64, 0, 1)
+	for _, k := range []int{2, 3, 5, 8} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			stats, err := moments.Compute(z, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tp := ad.NewTape()
+				n := tp.Param(z)
+				loss, err := moments.CMDLoss(tp, n, stats.Mean, stats.Central, 0, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := tp.Backward(loss); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFedRoundParallelVsSequential measures the concurrency win of
+// training parties in goroutines within a round.
+func BenchmarkFedRoundParallelVsSequential(b *testing.B) {
+	g := benchGraph(b, dataset.Cora, 8)
+	parties := benchParties(b, g, 8)
+	for _, seq := range []bool{false, true} {
+		name := "Parallel"
+		if seq {
+			name = "Sequential"
+		}
+		b.Run(name, func(b *testing.B) {
+			clients := fedOMDClients(b, parties, 32, 2, true, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fed.Run(fed.Config{Rounds: 1, Sequential: seq}, clients); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

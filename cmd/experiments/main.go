@@ -1,0 +1,75 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp table4 -scale quick -seed 1
+//	experiments -exp all   -scale quick
+//
+// Experiments: table2 table3 table4 table5 table6 table7 figure4 figure5
+// figure6 figure7 all. Scales: smoke (seconds), quick (minutes, default),
+// paper (full Table 2 dataset sizes; hours of CPU).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fedomd"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: table2..table7, figure4..figure7, or all")
+	scale := flag.String("scale", "quick", "run scale: smoke, quick or paper")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	runner, err := fedomd.NewExperiments(*scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	drivers := map[string]func() error{
+		"table2":  func() error { return runner.Table2(os.Stdout) },
+		"table3":  func() error { return runner.Table3(os.Stdout, "cora", 3) },
+		"table4":  func() error { return runner.Table4(os.Stdout, nil, nil) },
+		"table5":  func() error { return runner.Table5(os.Stdout, nil) },
+		"table6":  func() error { return runner.Table6(os.Stdout, nil, nil) },
+		"table7":  func() error { return runner.Table7(os.Stdout, nil, nil, nil) },
+		"figure4": func() error { return runner.Figure4(os.Stdout, "cora", 5) },
+		"figure5": func() error { return runner.Figure5(os.Stdout, "cora", 5, nil) },
+		"figure6": func() error { return runner.Figure6(os.Stdout, nil, nil, nil) },
+		"figure7": func() error { return runner.Figure7(os.Stdout, nil, nil) },
+	}
+	order := []string{"table2", "table3", "table4", "table5", "table6", "table7",
+		"figure4", "figure5", "figure6", "figure7"}
+
+	run := func(id string) error {
+		d, ok := drivers[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (want one of %v or all)", id, order)
+		}
+		start := time.Now()
+		if err := d(); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("[%s done in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, id := range order {
+			if err := run(id); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if err := run(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,106 @@
+// Epidemic-prediction scenario from the paper's introduction: regional
+// health authorities each observe a contact graph of patients whose symptom
+// features are region-specific (the same disease presents differently across
+// regions — the feature non-i.i.d phenomenon), and no authority may share
+// raw patient data.
+//
+// The example builds one synthetic contact graph per region with a shared
+// label semantics (diagnosis class) but region-shifted symptom features,
+// federates FedOMD across the regions, and compares against training each
+// region alone — showing that the CMD constraint recovers most of the
+// accuracy isolation loses, without moving any patient record.
+//
+// Run with:
+//
+//	go run ./examples/epidemic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedomd"
+)
+
+// regions in the study; each becomes one federated party.
+var regions = []string{"north", "coastal", "highland", "metro"}
+
+func main() {
+	const seed = 7
+
+	// One global "population" graph: contact communities inside regions,
+	// diagnoses as node classes, symptoms as sparse features. Using the
+	// generator's community machinery gives every region its own symptom
+	// profile per diagnosis — exactly the paper's coronavirus example.
+	g, err := fedomd.GenerateCustom(fedomd.DatasetConfig{
+		Name:                "contact-graph",
+		Nodes:               1200,
+		Edges:               4200,
+		Classes:             4, // healthy, mild, severe, critical
+		Features:            120,
+		CommunitiesPerClass: len(regions),
+		Homophily:           0.85, // infection clusters are homophilous
+		ActiveFeatures:      10,
+		SignalRatio:         0.8,
+	}, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("population graph:", g.Summary())
+
+	parties, err := fedomd.Partition(g, len(regions), 1.0, seed+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("regional non-iid score: %.3f\n", fedomd.NonIIDScore(parties, g.NumClasses))
+	for i, p := range parties {
+		fmt.Printf("  region %-9s %4d patients, %5d contacts, diagnoses %v\n",
+			regions[i%len(regions)], p.Graph.NumNodes(), p.Graph.NumEdges(), p.Graph.LabelHistogram())
+	}
+
+	opts := fedomd.RunOptions{Rounds: 120, Patience: 40}
+
+	// Isolated training: every authority keeps to itself (LocGCN).
+	iso, err := fedomd.TrainBaseline(fedomd.LocGCN, parties, opts, seed+2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Plain federated GCN: shares weights but ignores the regional feature
+	// shift.
+	fgcn, err := fedomd.TrainBaseline(fedomd.FedGCN, parties, opts, seed+2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// FedOMD: weights + center-moment constraints align the regional hidden
+	// representations into one i.i.d feature space.
+	cfg := fedomd.DefaultConfig()
+	cfg.Hidden = 32
+	omd, err := fedomd.TrainFedOMD(parties, cfg, opts, seed+2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ndiagnosis accuracy across all regions:")
+	fmt.Printf("  isolated per-region GCN : %5.1f%%  (no data pooling, no federation)\n", 100*iso.TestAtBestVal)
+	fmt.Printf("  federated GCN (FedAvg)  : %5.1f%%  (weights shared)\n", 100*fgcn.TestAtBestVal)
+	fmt.Printf("  FedOMD                  : %5.1f%%  (weights + CMD moment constraints)\n", 100*omd.TestAtBestVal)
+	fmt.Printf("\nno raw patient features left any region; FedOMD exchanged only "+
+		"%d-byte moment summaries per region per round.\n", summaryBytes(omd))
+}
+
+// summaryBytes estimates the per-round statistics upload of one region
+// (mean + 4 central-moment vectors per hidden layer).
+func summaryBytes(res *fedomd.Result) int {
+	if len(res.History) == 0 {
+		return 0
+	}
+	// Traffic beyond the weight exchange, averaged per round and region.
+	weights := res.FinalParams.Bytes()
+	perRound := int(res.TotalBytesUp)/len(res.History) - weights*len(regions)
+	if perRound < 0 {
+		return 0
+	}
+	return perRound / len(regions)
+}

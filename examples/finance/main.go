@@ -1,0 +1,76 @@
+// Money-laundering detection scenario from the paper's introduction: banks
+// each hold a transaction graph over their customers, suspicious accounts
+// form tight transaction communities, and regulation forbids sharing
+// customer data. The banks federate to learn one detector.
+//
+// The example sweeps the number of participating banks (M = 3, 5, 7, as in
+// Table 4's columns) and prints how FedOMD's accuracy degrades as the graph
+// fragments — the paper's "more parties ⇒ harder" trend — alongside the
+// FedMLP baseline that ignores transaction structure entirely.
+//
+// Run with:
+//
+//	go run ./examples/finance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedomd"
+)
+
+func main() {
+	const seed = 11
+
+	// A synthetic interbank transaction graph: classes are account types
+	// (retail, corporate, mule, shell), and laundering rings are dense
+	// homophilous communities.
+	g, err := fedomd.GenerateCustom(fedomd.DatasetConfig{
+		Name:                "transactions",
+		Nodes:               1600,
+		Edges:               9000,
+		Classes:             4,
+		Features:            96, // transaction statistics per account
+		CommunitiesPerClass: 5,
+		Homophily:           0.8,
+		ActiveFeatures:      12,
+		SignalRatio:         0.75,
+	}, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("transaction graph:", g.Summary())
+	fmt.Println()
+
+	opts := fedomd.RunOptions{Rounds: 120, Patience: 40}
+	fmt.Printf("%-8s %-12s %-12s %-12s\n", "banks", "FedOMD", "FedGCN", "FedMLP")
+	for _, m := range []int{3, 5, 7} {
+		parties, err := fedomd.Partition(g, m, 1.0, seed+int64(m))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		cfg := fedomd.DefaultConfig()
+		cfg.Hidden = 32
+		omd, err := fedomd.TrainFedOMD(parties, cfg, opts, seed+100)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gcn, err := fedomd.TrainBaseline(fedomd.FedGCN, parties, opts, seed+100)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mlp, err := fedomd.TrainBaseline(fedomd.FedMLP, parties, opts, seed+100)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("M=%-6d %-12s %-12s %-12s\n", m,
+			pct(omd.TestAtBestVal), pct(gcn.TestAtBestVal), pct(mlp.TestAtBestVal))
+	}
+	fmt.Println("\nstructure matters: graph models dominate FedMLP, and FedOMD's")
+	fmt.Println("moment constraints counteract the fragmentation of laundering rings")
+	fmt.Println("across banks as M grows.")
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,80 @@
+package fedomd
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadGraphFacade(t *testing.T) {
+	g, err := GenerateDataset("cora", 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cora.json")
+	if err := SaveGraph(g, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatal("graph changed across save/load")
+	}
+	if len(got.TrainMask) != len(g.TrainMask) {
+		t.Fatal("masks lost across save/load")
+	}
+}
+
+func TestTrainFedOMDPrivate(t *testing.T) {
+	g, err := GenerateDataset("cora", 24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties, err := Partition(g, 2, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Hidden = 16
+	// Generous budget: training must still work end to end.
+	res, err := TrainFedOMDPrivate(parties, cfg, DPConfig{Epsilon: 8, Delta: 1e-5, Clip: 5},
+		RunOptions{Rounds: 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 8 {
+		t.Fatalf("history %d rounds", len(res.History))
+	}
+	// Invalid budget must be rejected.
+	if _, err := TrainFedOMDPrivate(parties, cfg, DPConfig{}, RunOptions{Rounds: 1}, 4); err == nil {
+		t.Fatal("invalid DP config accepted")
+	}
+}
+
+func TestPrivateTrafficSameShape(t *testing.T) {
+	// DP perturbs values, not shapes: traffic accounting must match the
+	// non-private run exactly.
+	g, err := GenerateDataset("cora", 24, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties, err := Partition(g, 2, 1.0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Hidden = 16
+	plain, err := TrainFedOMD(parties, cfg, RunOptions{Rounds: 2, Sequential: true}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	private, err := TrainFedOMDPrivate(parties, cfg, DPConfig{Epsilon: 1, Delta: 1e-5, Clip: 1},
+		RunOptions{Rounds: 2, Sequential: true}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalBytesUp != private.TotalBytesUp {
+		t.Fatalf("traffic differs: %d vs %d", plain.TotalBytesUp, private.TotalBytesUp)
+	}
+}

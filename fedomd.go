@@ -1,0 +1,256 @@
+// Package fedomd is the public API of the FedOMD reproduction: graph
+// federated learning with center-moment constraints for node classification
+// (Tang et al., ICPP Workshops 2024).
+//
+// The package wires together the internal substrates — synthetic dataset
+// generation, Louvain partitioning into non-i.i.d parties, the orthogonal
+// GCN with CMD constraints, the seven baselines, and the federated runtime —
+// behind a small surface:
+//
+//	g, _ := fedomd.GenerateDataset("cora", 1, seed)
+//	parties, _ := fedomd.Partition(g, 3, 1.0, seed)
+//	res, _ := fedomd.TrainFedOMD(parties, fedomd.DefaultConfig(), fedomd.RunOptions{Rounds: 200}, seed)
+//	fmt.Println(res.TestAtBestVal)
+//
+// For regenerating the paper's tables and figures, see NewExperiments and
+// cmd/experiments.
+package fedomd
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+
+	"fedomd/internal/core"
+	"fedomd/internal/dataset"
+	"fedomd/internal/experiments"
+	"fedomd/internal/fed"
+	"fedomd/internal/graph"
+	"fedomd/internal/partition"
+)
+
+// Re-exported core types. See the internal packages for full documentation.
+type (
+	// Graph is an undirected attributed graph with train/val/test masks.
+	Graph = graph.Graph
+	// Party is one client's local subgraph plus its original node ids.
+	Party = partition.Party
+	// Config holds FedOMD's hyper-parameters (eq. 12's α and β, depth, …).
+	Config = core.Config
+	// Client is a federated participant; FedOMD and all baselines satisfy it.
+	Client = fed.Client
+	// Result summarises a federated run (history, best accuracy, traffic).
+	Result = fed.Result
+	// RoundStats is one communication round's record.
+	RoundStats = fed.RoundStats
+	// DatasetConfig parameterises the synthetic dataset generator.
+	DatasetConfig = dataset.Config
+)
+
+// Model names accepted by TrainBaseline, in the paper's table order.
+const (
+	FedMLP   = experiments.ModelFedMLP
+	SCAFFOLD = experiments.ModelSCAFFOLD
+	FedProx  = experiments.ModelFedProx
+	LocGCN   = experiments.ModelLocGCN
+	FedGCN   = experiments.ModelFedGCN
+	FedLIT   = experiments.ModelFedLIT
+	FedSage  = experiments.ModelFedSage
+	FedOMD   = experiments.ModelFedOMD
+)
+
+// Models lists every trainable model name.
+func Models() []string { return experiments.ModelNames() }
+
+// Datasets lists the five paper dataset presets.
+func Datasets() []string { return dataset.Names() }
+
+// DefaultConfig returns the paper's FedOMD hyper-parameters (§5.1):
+// α = 0.0005, β = 10, 2 hidden layers of width 64, CMD order 5.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// GenerateDataset builds the named synthetic dataset (see Datasets) scaled
+// down by divisor (1 = the paper's Table 2 size) and applies the paper's
+// 1%/20%/20% stratified train/val/test split.
+func GenerateDataset(name string, divisor int, seed int64) (*Graph, error) {
+	cfg, err := dataset.Preset(name)
+	if err != nil {
+		return nil, err
+	}
+	return GenerateCustom(dataset.Scaled(cfg, divisor), seed)
+}
+
+// GenerateCustom builds a dataset from an explicit generator configuration
+// and applies the standard split.
+func GenerateCustom(cfg DatasetConfig, seed int64) (*Graph, error) {
+	g, err := dataset.Generate(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Split(rand.New(rand.NewSource(seed+1)), 0.01, 0.2, 0.2); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SaveGraph writes a graph (with masks) to path as sparse JSON.
+func SaveGraph(g *Graph, path string) error { return g.SaveFile(path) }
+
+// LoadGraph reads a graph written by SaveGraph.
+func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
+
+// Partition cuts a global graph into m non-i.i.d parties with the Louvain
+// algorithm at the given resolution (the paper's "Louvain-cut", §5.1).
+func Partition(g *Graph, m int, resolution float64, seed int64) ([]Party, error) {
+	return partition.LouvainParties(g, m, resolution, rand.New(rand.NewSource(seed)))
+}
+
+// PartitionRandom splits nodes uniformly at random into m parties — the
+// near-i.i.d control setting.
+func PartitionRandom(g *Graph, m int, seed int64) ([]Party, error) {
+	return partition.RandomParties(g, m, rand.New(rand.NewSource(seed)))
+}
+
+// PartitionBalanced grows m size-balanced, locally connected parties by
+// multi-source BFS — between PartitionRandom and Partition (Louvain) on the
+// non-i.i.d spectrum.
+func PartitionBalanced(g *Graph, m int, seed int64) ([]Party, error) {
+	return partition.BalancedParties(g, m, rand.New(rand.NewSource(seed)))
+}
+
+// NonIIDScore quantifies how heterogeneous a partition's label
+// distributions are (0 = i.i.d; toward 1 = heavily skewed) — the phenomenon
+// of Figure 4.
+func NonIIDScore(parties []Party, numClasses int) float64 {
+	return partition.NonIIDScore(parties, numClasses)
+}
+
+// RunOptions controls federated training.
+type RunOptions struct {
+	// Rounds is the number of communication rounds (default 200).
+	Rounds int
+	// Patience enables early stopping on validation accuracy (0 = off).
+	Patience int
+	// Sequential disables concurrent client training.
+	Sequential bool
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.Rounds == 0 {
+		o.Rounds = 200
+	}
+	return o
+}
+
+// TrainFedOMD builds one FedOMD client per party and runs federated
+// training under Algorithm 1 (FedAvg + the 2-round moment exchange).
+func TrainFedOMD(parties []Party, cfg Config, opts RunOptions, seed int64) (*Result, error) {
+	opts = opts.withDefaults()
+	var clients []fed.Client
+	idx := 0
+	for _, p := range parties {
+		if p.Graph.NumNodes() == 0 {
+			continue
+		}
+		c, err := core.NewClient(fmt.Sprintf("party-%d", idx), p.Graph, cfg, seed+int64(idx)+1)
+		if err != nil {
+			return nil, err
+		}
+		clients = append(clients, c)
+		idx++
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("fedomd: no non-empty parties")
+	}
+	return fed.Run(fed.Config{Rounds: opts.Rounds, Patience: opts.Patience, Sequential: opts.Sequential}, clients)
+}
+
+// DPConfig re-exports the Gaussian-mechanism configuration for private
+// statistic uploads (see fed.DPConfig).
+type DPConfig = fed.DPConfig
+
+// TrainFedOMDPrivate is TrainFedOMD with every party's statistic uploads
+// clipped and noised under (ε, δ)-differential privacy. Weight uploads are
+// unchanged (secure aggregation is orthogonal to this mechanism).
+func TrainFedOMDPrivate(parties []Party, cfg Config, dp DPConfig, opts RunOptions, seed int64) (*Result, error) {
+	opts = opts.withDefaults()
+	var clients []fed.Client
+	idx := 0
+	for _, p := range parties {
+		if p.Graph.NumNodes() == 0 {
+			continue
+		}
+		c, err := core.NewClient(fmt.Sprintf("party-%d", idx), p.Graph, cfg, seed+int64(idx)+1)
+		if err != nil {
+			return nil, err
+		}
+		private, err := fed.WithDP(c, dp, rand.New(rand.NewSource(seed+1000+int64(idx))))
+		if err != nil {
+			return nil, err
+		}
+		clients = append(clients, private)
+		idx++
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("fedomd: no non-empty parties")
+	}
+	return fed.Run(fed.Config{Rounds: opts.Rounds, Patience: opts.Patience, Sequential: opts.Sequential}, clients)
+}
+
+// TrainBaseline trains one of the named comparison models (see Models) over
+// the parties. LocGCN trains without any federation, as in the paper.
+func TrainBaseline(model string, parties []Party, opts RunOptions, seed int64) (*Result, error) {
+	opts = opts.withDefaults()
+	runner := experiments.NewRunner(experiments.Scale{
+		Name:           "api",
+		DatasetDivisor: 1,
+		Rounds:         opts.Rounds,
+		Patience:       opts.Patience,
+		Seeds:          1,
+		Hidden:         64,
+		LocalEpochs:    1,
+	}, seed)
+	return runner.RunModelPublic(model, parties, seed, opts.Sequential)
+}
+
+// ServeParty builds a FedOMD client over one party's local subgraph and
+// serves it to the coordinator at addr over the gob RPC protocol, returning
+// when the coordinator shuts the federation down. Raw features never leave
+// the process: only weights and moment statistics cross the wire.
+func ServeParty(addr, name string, party Party, cfg Config, seed int64) error {
+	c, err := core.NewClient(name, party.Graph, cfg, seed)
+	if err != nil {
+		return err
+	}
+	return fed.ServeClient(addr, c)
+}
+
+// CoordinateFedOMD accepts n parties on ln and drives the federated protocol
+// (FedAvg + the 2-round moment exchange) over the network.
+func CoordinateFedOMD(ln net.Listener, n int, opts RunOptions) (*Result, error) {
+	opts = opts.withDefaults()
+	return fed.RunDistributed(fed.Config{
+		Rounds:     opts.Rounds,
+		Patience:   opts.Patience,
+		Sequential: opts.Sequential,
+	}, ln, n)
+}
+
+// Experiments drives the regeneration of every paper table and figure.
+type Experiments = experiments.Runner
+
+// NewExperiments returns an experiment runner. scale is "quick" (minutes,
+// shrunken datasets), "paper" (full Table 2 sizes, hours of CPU), or
+// "smoke" (seconds, for CI).
+func NewExperiments(scale string, seed int64) (*Experiments, error) {
+	switch scale {
+	case "quick":
+		return experiments.NewRunner(experiments.QuickScale(), seed), nil
+	case "paper":
+		return experiments.NewRunner(experiments.PaperScale(), seed), nil
+	case "smoke":
+		return experiments.NewRunner(experiments.SmokeScale(), seed), nil
+	default:
+		return nil, fmt.Errorf("fedomd: unknown scale %q (want quick, paper or smoke)", scale)
+	}
+}

@@ -1,0 +1,110 @@
+package fedomd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g, err := GenerateDataset("cora", 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.TrainMask) == 0 || len(g.TestMask) == 0 {
+		t.Fatal("split not applied")
+	}
+	parties, err := Partition(g, 3, 1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NonIIDScore(parties, g.NumClasses) <= 0 {
+		t.Fatal("Louvain partition should be non-iid")
+	}
+	cfg := DefaultConfig()
+	cfg.Hidden = 16
+	res, err := TrainFedOMD(parties, cfg, RunOptions{Rounds: 10}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 10 {
+		t.Fatalf("history %d rounds", len(res.History))
+	}
+	if res.TestAtBestVal <= 0 {
+		t.Fatal("no accuracy recorded")
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	g, err := GenerateDataset("citeseer", 24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties, err := Partition(g, 2, 1.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []string{FedGCN, LocGCN} {
+		res, err := TrainBaseline(model, parties, RunOptions{Rounds: 8}, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if res.TestAtBestVal < 0 || res.TestAtBestVal > 1 {
+			t.Fatalf("%s: accuracy out of range", model)
+		}
+	}
+	if _, err := TrainBaseline("nope", parties, RunOptions{Rounds: 1}, 6); err == nil {
+		t.Fatal("unknown baseline accepted")
+	}
+}
+
+func TestModelsAndDatasets(t *testing.T) {
+	if len(Models()) != 8 {
+		t.Fatal("model registry incomplete")
+	}
+	if len(Datasets()) != 5 {
+		t.Fatal("dataset registry incomplete")
+	}
+}
+
+func TestNewExperimentsScales(t *testing.T) {
+	for _, s := range []string{"quick", "paper", "smoke"} {
+		if _, err := NewExperiments(s, 1); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	if _, err := NewExperiments("warp", 1); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestExperimentsFacadeRendersTable(t *testing.T) {
+	exp, err := NewExperiments("smoke", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := exp.Table2(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "cora") {
+		t.Fatal("table 2 missing datasets")
+	}
+}
+
+func TestGenerateCustom(t *testing.T) {
+	cfg := DatasetConfig{Name: "mini", Nodes: 120, Edges: 300, Classes: 3, Features: 30,
+		CommunitiesPerClass: 2, Homophily: 0.8, ActiveFeatures: 5, SignalRatio: 0.8}
+	g, err := GenerateCustom(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 120 {
+		t.Fatal("custom generation wrong size")
+	}
+}
+
+func TestEmptyPartiesRejected(t *testing.T) {
+	if _, err := TrainFedOMD(nil, DefaultConfig(), RunOptions{Rounds: 1}, 1); err == nil {
+		t.Fatal("no parties accepted")
+	}
+}

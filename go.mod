@@ -1,0 +1,3 @@
+module fedomd
+
+go 1.22

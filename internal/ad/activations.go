@@ -1,0 +1,70 @@
+package ad
+
+import (
+	"math"
+
+	"fedomd/internal/mat"
+)
+
+// Sigmoid records c = 1/(1+e^{−a}) element-wise.
+// Gradient: c·(1−c) ⊙ upstream.
+func (t *Tape) Sigmoid(a *Node) *Node {
+	val := mat.Apply(a.Value, func(x float64) float64 {
+		if x >= 0 {
+			return 1 / (1 + math.Exp(-x))
+		}
+		// Equivalent form that avoids overflow for very negative x.
+		e := math.Exp(x)
+		return e / (1 + e)
+	})
+	out := &Node{Value: val}
+	out.backward = func() {
+		g := mat.New(val.Rows(), val.Cols())
+		vd, gd, og := val.Data(), g.Data(), out.Grad.Data()
+		for i, s := range vd {
+			gd[i] = og[i] * s * (1 - s)
+		}
+		a.accumGrad(g)
+	}
+	return t.add(out)
+}
+
+// Tanh records c = tanh(a) element-wise.
+// Gradient: (1−c²) ⊙ upstream.
+func (t *Tape) Tanh(a *Node) *Node {
+	val := mat.Apply(a.Value, math.Tanh)
+	out := &Node{Value: val}
+	out.backward = func() {
+		g := mat.New(val.Rows(), val.Cols())
+		vd, gd, og := val.Data(), g.Data(), out.Grad.Data()
+		for i, s := range vd {
+			gd[i] = og[i] * (1 - s*s)
+		}
+		a.accumGrad(g)
+	}
+	return t.add(out)
+}
+
+// LeakyReLU records c = max(a, slope·a) for 0 ≤ slope < 1.
+func (t *Tape) LeakyReLU(a *Node, slope float64) *Node {
+	val := mat.Apply(a.Value, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return slope * x
+	})
+	out := &Node{Value: val}
+	out.backward = func() {
+		g := mat.New(val.Rows(), val.Cols())
+		ad, gd, og := a.Value.Data(), g.Data(), out.Grad.Data()
+		for i, x := range ad {
+			if x > 0 {
+				gd[i] = og[i]
+			} else {
+				gd[i] = og[i] * slope
+			}
+		}
+		a.accumGrad(g)
+	}
+	return t.add(out)
+}

@@ -1,0 +1,58 @@
+package ad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedomd/internal/mat"
+)
+
+func TestGradSigmoidTanh(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := mat.RandGaussian(rng, 4, 3, 0, 2)
+	checkGrad(t, "sigmoid", []*mat.Dense{a}, func(tp *Tape, ps []*Node) *Node {
+		return tp.SumSquares(tp.Sigmoid(ps[0]))
+	})
+	checkGrad(t, "tanh", []*mat.Dense{a}, func(tp *Tape, ps []*Node) *Node {
+		return tp.SumSquares(tp.Tanh(ps[0]))
+	})
+}
+
+func TestGradLeakyReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := mat.Apply(mat.RandGaussian(rng, 4, 4, 0, 1), func(x float64) float64 {
+		if math.Abs(x) < 0.1 {
+			return x + 0.2 // keep away from the kink
+		}
+		return x
+	})
+	checkGrad(t, "leakyrelu", []*mat.Dense{a}, func(tp *Tape, ps []*Node) *Node {
+		return tp.SumSquares(tp.LeakyReLU(ps[0], 0.2))
+	})
+}
+
+func TestSigmoidStability(t *testing.T) {
+	x, _ := mat.NewFromRows([][]float64{{-1000, 0, 1000}})
+	tp := NewTape()
+	s := tp.Sigmoid(tp.Const(x))
+	if s.Value.At(0, 0) != 0 || s.Value.At(0, 2) != 1 {
+		t.Fatalf("extreme sigmoid values wrong: %v", s.Value)
+	}
+	if math.Abs(s.Value.At(0, 1)-0.5) > 1e-15 {
+		t.Fatalf("sigmoid(0) = %v", s.Value.At(0, 1))
+	}
+	if math.IsNaN(s.Value.At(0, 0)) {
+		t.Fatal("sigmoid overflowed")
+	}
+}
+
+func TestTanhRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x := mat.RandGaussian(rng, 10, 10, 0, 5)
+	tp := NewTape()
+	y := tp.Tanh(tp.Const(x))
+	if mat.Max(y.Value) > 1 || mat.Min(y.Value) < -1 {
+		t.Fatal("tanh out of range")
+	}
+}

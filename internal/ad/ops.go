@@ -1,0 +1,330 @@
+package ad
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fedomd/internal/mat"
+	"fedomd/internal/sparse"
+)
+
+// MatMul records c = a·b.
+// Gradients: ∂L/∂a = ∂L/∂c · bᵀ, ∂L/∂b = aᵀ · ∂L/∂c.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	out := &Node{Value: mat.MatMul(a.Value, b.Value)}
+	out.backward = func() {
+		a.accumGrad(mat.MatMulT2(out.Grad, b.Value))
+		b.accumGrad(mat.MatMulT1(a.Value, out.Grad))
+	}
+	return t.add(out)
+}
+
+// SpMM records c = S·x for a constant sparse operator S (the graph
+// propagation matrix). Gradient: ∂L/∂x = Sᵀ·∂L/∂c.
+func (t *Tape) SpMM(s *sparse.CSR, x *Node) *Node {
+	out := &Node{Value: s.MulDense(x.Value)}
+	out.backward = func() {
+		x.accumGrad(s.TMulDense(out.Grad))
+	}
+	return t.add(out)
+}
+
+// Add records c = a + b element-wise.
+func (t *Tape) Add(a, b *Node) *Node {
+	out := &Node{Value: mat.Add(a.Value, b.Value)}
+	out.backward = func() {
+		a.accumGrad(out.Grad)
+		b.accumGrad(out.Grad)
+	}
+	return t.add(out)
+}
+
+// Sub records c = a − b element-wise.
+func (t *Tape) Sub(a, b *Node) *Node {
+	out := &Node{Value: mat.Sub(a.Value, b.Value)}
+	out.backward = func() {
+		a.accumGrad(out.Grad)
+		b.accumGrad(mat.Scale(-1, out.Grad))
+	}
+	return t.add(out)
+}
+
+// Mul records the Hadamard product c = a ⊙ b.
+func (t *Tape) Mul(a, b *Node) *Node {
+	out := &Node{Value: mat.MulElem(a.Value, b.Value)}
+	out.backward = func() {
+		a.accumGrad(mat.MulElem(out.Grad, b.Value))
+		b.accumGrad(mat.MulElem(out.Grad, a.Value))
+	}
+	return t.add(out)
+}
+
+// Scale records c = s·a for a constant scalar s.
+func (t *Tape) Scale(s float64, a *Node) *Node {
+	out := &Node{Value: mat.Scale(s, a.Value)}
+	out.backward = func() {
+		a.accumGrad(mat.Scale(s, out.Grad))
+	}
+	return t.add(out)
+}
+
+// AddRowVec records c = a + v with v a 1×cols bias broadcast over rows.
+// Gradient to v is the column-wise sum of the upstream gradient.
+func (t *Tape) AddRowVec(a, v *Node) *Node {
+	out := &Node{Value: mat.AddRowVec(a.Value, v.Value)}
+	out.backward = func() {
+		a.accumGrad(out.Grad)
+		v.accumGrad(mat.SumRows(out.Grad))
+	}
+	return t.add(out)
+}
+
+// SubRowVec records c = a − v with v a 1×cols row vector broadcast over rows.
+func (t *Tape) SubRowVec(a, v *Node) *Node {
+	out := &Node{Value: mat.SubRowVec(a.Value, v.Value)}
+	out.backward = func() {
+		a.accumGrad(out.Grad)
+		v.accumGrad(mat.Scale(-1, mat.SumRows(out.Grad)))
+	}
+	return t.add(out)
+}
+
+// ReLU records c = max(a, 0).
+func (t *Tape) ReLU(a *Node) *Node {
+	out := &Node{Value: mat.Apply(a.Value, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})}
+	out.backward = func() {
+		g := mat.New(a.Value.Rows(), a.Value.Cols())
+		av := a.Value.Data()
+		gd := g.Data()
+		og := out.Grad.Data()
+		for i, x := range av {
+			if x > 0 {
+				gd[i] = og[i]
+			}
+		}
+		a.accumGrad(g)
+	}
+	return t.add(out)
+}
+
+// Dropout records inverted dropout with drop probability p, drawing the mask
+// from rng. With train=false (or p=0) it is the identity.
+func (t *Tape) Dropout(a *Node, p float64, rng *rand.Rand, train bool) *Node {
+	if !train || p == 0 {
+		return a
+	}
+	keep := 1 - p
+	mask := mat.New(a.Value.Rows(), a.Value.Cols())
+	md := mask.Data()
+	for i := range md {
+		if rng.Float64() < keep {
+			md[i] = 1 / keep
+		}
+	}
+	out := &Node{Value: mat.MulElem(a.Value, mask)}
+	out.backward = func() {
+		a.accumGrad(mat.MulElem(out.Grad, mask))
+	}
+	return t.add(out)
+}
+
+// MeanRows records the 1×cols column-wise mean of a.
+func (t *Tape) MeanRows(a *Node) *Node {
+	out := &Node{Value: mat.MeanRows(a.Value)}
+	out.backward = func() {
+		n := a.Value.Rows()
+		if n == 0 {
+			return
+		}
+		g := mat.New(n, a.Value.Cols())
+		inv := 1 / float64(n)
+		for i := 0; i < n; i++ {
+			row := g.Row(i)
+			for j := range row {
+				row[j] = out.Grad.At(0, j) * inv
+			}
+		}
+		a.accumGrad(g)
+	}
+	return t.add(out)
+}
+
+// PowElem records c = a^p element-wise for a non-negative integer power p.
+// Gradient: p·a^(p−1) ⊙ upstream.
+func (t *Tape) PowElem(a *Node, p int) *Node {
+	if p < 0 {
+		panic(fmt.Sprintf("ad: PowElem power must be >= 0, got %d", p))
+	}
+	out := &Node{Value: mat.PowElem(a.Value, p)}
+	out.backward = func() {
+		if p == 0 {
+			return
+		}
+		deriv := mat.Scale(float64(p), mat.PowElem(a.Value, p-1))
+		a.accumGrad(mat.MulElem(out.Grad, deriv))
+	}
+	return t.add(out)
+}
+
+// SelectRows records c = a[idx, :] (row gather). Gradient scatters back.
+func (t *Tape) SelectRows(a *Node, idx []int) *Node {
+	out := &Node{Value: a.Value.SelectRows(idx)}
+	out.backward = func() {
+		g := mat.New(a.Value.Rows(), a.Value.Cols())
+		for i, r := range idx {
+			dst := g.Row(r)
+			src := out.Grad.Row(i)
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+		a.accumGrad(g)
+	}
+	return t.add(out)
+}
+
+// L2Norm records the scalar ‖a‖₂ over all elements (Frobenius norm for
+// matrices). At a = 0 the subgradient 0 is used.
+func (t *Tape) L2Norm(a *Node) *Node {
+	norm := mat.FrobNorm(a.Value)
+	v := mat.New(1, 1)
+	v.Set(0, 0, norm)
+	out := &Node{Value: v}
+	out.backward = func() {
+		if norm == 0 {
+			return
+		}
+		a.accumGrad(mat.Scale(out.Grad.At(0, 0)/norm, a.Value))
+	}
+	return t.add(out)
+}
+
+// SumSquares records the scalar Σ a_ij² = ‖a‖²_F.
+func (t *Tape) SumSquares(a *Node) *Node {
+	v := mat.New(1, 1)
+	v.Set(0, 0, mat.FrobNormSq(a.Value))
+	out := &Node{Value: v}
+	out.backward = func() {
+		a.accumGrad(mat.Scale(2*out.Grad.At(0, 0), a.Value))
+	}
+	return t.add(out)
+}
+
+// AddScalar records c = a + b for 1×1 nodes (loss composition).
+func (t *Tape) AddScalar(a, b *Node) *Node { return t.Add(a, b) }
+
+// OrthoPenalty records the orthogonality reconstruction loss of eq. 6,
+//
+//	f(W) = ‖W·Wᵀ − I‖_F,
+//
+// with gradient ∂f/∂W = 2·(WWᵀ−I)·W / f (zero subgradient at f = 0).
+func (t *Tape) OrthoPenalty(w *Node) *Node {
+	g := mat.MatMulT2(w.Value, w.Value)
+	for i := 0; i < g.Rows(); i++ {
+		g.Set(i, i, g.At(i, i)-1)
+	}
+	f := mat.FrobNorm(g)
+	v := mat.New(1, 1)
+	v.Set(0, 0, f)
+	out := &Node{Value: v}
+	out.backward = func() {
+		if f == 0 {
+			return
+		}
+		grad := mat.Scale(2*out.Grad.At(0, 0)/f, mat.MatMul(g, w.Value))
+		w.accumGrad(grad)
+	}
+	return t.add(out)
+}
+
+// SoftmaxCrossEntropy records the mean cross-entropy between softmax(logits)
+// and integer labels over the rows listed in maskIdx. Rows outside maskIdx
+// contribute neither loss nor gradient — this implements the semi-supervised
+// node-classification objective where only a small training mask is labelled.
+//
+// The op fuses log-softmax and NLL for numerical stability; its gradient on
+// a masked row is (softmax(row) − onehot(label)) / |maskIdx|.
+func (t *Tape) SoftmaxCrossEntropy(logits *Node, labels []int, maskIdx []int) *Node {
+	n, c := logits.Value.Dims()
+	if len(labels) != n {
+		panic(fmt.Sprintf("ad: SoftmaxCrossEntropy got %d labels for %d rows", len(labels), n))
+	}
+	if len(maskIdx) == 0 {
+		panic("ad: SoftmaxCrossEntropy with empty mask")
+	}
+	probs := mat.New(len(maskIdx), c)
+	var loss float64
+	for mi, r := range maskIdx {
+		row := logits.Value.Row(r)
+		maxv := math.Inf(-1)
+		for _, x := range row {
+			if x > maxv {
+				maxv = x
+			}
+		}
+		var sum float64
+		prow := probs.Row(mi)
+		for j, x := range row {
+			e := math.Exp(x - maxv)
+			prow[j] = e
+			sum += e
+		}
+		for j := range prow {
+			prow[j] /= sum
+		}
+		y := labels[r]
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("ad: label %d out of range [0,%d) at row %d", y, c, r))
+		}
+		loss -= math.Log(math.Max(prow[y], 1e-300))
+	}
+	loss /= float64(len(maskIdx))
+	v := mat.New(1, 1)
+	v.Set(0, 0, loss)
+	out := &Node{Value: v}
+	out.backward = func() {
+		scale := out.Grad.At(0, 0) / float64(len(maskIdx))
+		g := mat.New(n, c)
+		for mi, r := range maskIdx {
+			prow := probs.Row(mi)
+			grow := g.Row(r)
+			for j, p := range prow {
+				grow[j] = p * scale
+			}
+			grow[labels[r]] -= scale
+		}
+		logits.accumGrad(g)
+	}
+	return t.add(out)
+}
+
+// Softmax computes row-wise softmax of m outside the tape (inference only).
+func Softmax(m *mat.Dense) *mat.Dense {
+	out := mat.New(m.Rows(), m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		row := m.Row(i)
+		orow := out.Row(i)
+		maxv := math.Inf(-1)
+		for _, x := range row {
+			if x > maxv {
+				maxv = x
+			}
+		}
+		var sum float64
+		for j, x := range row {
+			e := math.Exp(x - maxv)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"fedomd/internal/mat"
+)
+
+func TestPlainCMDVariantTrains(t *testing.T) {
+	g := tinyGraph(t, 21)
+	cfg := quickConfig()
+	cfg.SquaredCMD = false // the literal eq. 11 form
+	cfg.Beta = 0.1         // plain norms need a far smaller weight (DESIGN.md §1.1)
+	c, err := NewClient("plain", g, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means, _, err := c.LocalMeans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := make([]*mat.Dense, len(means))
+	for i, m := range means {
+		shifted[i] = mat.Apply(m, func(x float64) float64 { return x + 0.2 })
+	}
+	moms, _, err := c.CentralAroundGlobal(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetGlobalStats(shifted, moms)
+	if _, err := c.TrainLocal(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.LastLosses().CMD <= 0 {
+		t.Fatalf("plain CMD inactive: %+v", c.LastLosses())
+	}
+}
+
+func TestSpectralBoundToggle(t *testing.T) {
+	g := tinyGraph(t, 22)
+	c, err := NewClient("sb", g, quickConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blow up an OrthoConv weight; with the bound on, the forward pass must
+	// stay finite because the effective weight is divided by its spectral
+	// norm.
+	w := c.Model().Params().Get("w_ortho1")
+	w.ScaleInPlace(1e6)
+	if _, err := c.TrainLocal(0); err != nil {
+		t.Fatal(err)
+	}
+	if l := c.LastLosses().CE; l != l || l > 1e6 { // NaN or explosion
+		t.Fatalf("spectral bound failed to contain forward pass: CE=%v", l)
+	}
+	// With the bound off the same weight makes activations astronomically
+	// large (finite but huge logits → saturated loss).
+	c2, err := NewClient("nb", g, quickConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Model().SetSpectralBound(false)
+	c2.Model().Params().Get("w_ortho1").ScaleInPlace(1e6)
+	if _, err := c2.TrainLocal(0); err != nil {
+		t.Fatal(err)
+	}
+	if c2.LastLosses().CE < c.LastLosses().CE {
+		t.Fatalf("unbounded forward unexpectedly better behaved: %v vs %v",
+			c2.LastLosses().CE, c.LastLosses().CE)
+	}
+}
+
+func TestAdaptiveRangeObserved(t *testing.T) {
+	g := tinyGraph(t, 23)
+	c, err := NewClient("ar", g, quickConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.obsMax != 0 {
+		t.Fatal("observed max should start at zero")
+	}
+	if _, _, err := c.LocalMeans(); err != nil {
+		t.Fatal(err)
+	}
+	if c.obsMax <= 0 {
+		t.Fatal("LocalMeans did not record the activation range")
+	}
+}

@@ -1,0 +1,238 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedomd/internal/partition"
+)
+
+func TestPresetStatisticsMatchTable2(t *testing.T) {
+	// The generator must hit the paper's Table 2 statistics: exact node,
+	// class and feature counts, edges within 5% (edge sampling can fall a
+	// little short because duplicates are rejected).
+	wants := map[string][4]int{ // nodes, edges, classes, features
+		Cora:     {2708, 5429, 7, 1433},
+		Citeseer: {3312, 4732, 6, 3703},
+	}
+	for name, want := range wants {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Generate(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := g.Summary()
+		if s.Nodes != want[0] || s.Classes != want[2] || s.Features != want[3] {
+			t.Fatalf("%s: stats %v want %v", name, s, want)
+		}
+		if math.Abs(float64(s.Edges-want[1]))/float64(want[1]) > 0.05 {
+			t.Fatalf("%s: edges %d want within 5%% of %d", name, s.Edges, want[1])
+		}
+	}
+}
+
+func TestPresetUnknown(t *testing.T) {
+	if _, err := Preset("imagenet"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestAllPresetsValidate(t *testing.T) {
+	for _, name := range Names() {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := Config{Name: "x", Nodes: 100, Edges: 200, Classes: 4, Features: 40,
+		CommunitiesPerClass: 2, Homophily: 0.8, ActiveFeatures: 5, SignalRatio: 0.7}
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(Config) Config{
+		func(c Config) Config { c.Nodes = 0; return c },
+		func(c Config) Config { c.Classes = 0; return c },
+		func(c Config) Config { c.Classes = c.Nodes + 1; return c },
+		func(c Config) Config { c.Features = 2; return c },
+		func(c Config) Config { c.Edges = -1; return c },
+		func(c Config) Config { c.CommunitiesPerClass = 0; return c },
+		func(c Config) Config { c.Homophily = 1.5; return c },
+		func(c Config) Config { c.ActiveFeatures = 0; return c },
+		func(c Config) Config { c.ActiveFeatures = c.Features + 1; return c },
+		func(c Config) Config { c.SignalRatio = -0.1; return c },
+	}
+	for i, mut := range bad {
+		if err := mut(base).Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func smallCfg() Config {
+	return Config{Name: "small", Nodes: 300, Edges: 900, Classes: 3, Features: 60,
+		CommunitiesPerClass: 2, Homophily: 0.85, ActiveFeatures: 6, SignalRatio: 0.85}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallCfg(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(smallCfg(), 7)
+	if !a.Features.Equal(b.Features) {
+		t.Fatal("features differ under same seed")
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("edges differ under same seed")
+	}
+	c, _ := Generate(smallCfg(), 8)
+	if a.Features.Equal(c.Features) {
+		t.Fatal("different seeds produced identical features")
+	}
+}
+
+func TestGeneratedHomophily(t *testing.T) {
+	g, err := Generate(smallCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Homophily 0.85 with community-internal edges sharing class: measured
+	// edge homophily should be clearly above the random baseline 1/3.
+	if h := g.EdgeHomophily(); h < 0.6 {
+		t.Fatalf("edge homophily %v too low for Homophily=0.85", h)
+	}
+	low := smallCfg()
+	low.Homophily = 0.05
+	g2, _ := Generate(low, 3)
+	if g2.EdgeHomophily() >= g.EdgeHomophily() {
+		t.Fatal("lowering Homophily did not lower measured homophily")
+	}
+}
+
+func TestFeaturesRowNormalisedAndClassCorrelated(t *testing.T) {
+	g, err := Generate(smallCfg(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		var sum float64
+		for _, v := range g.Features.Row(i) {
+			if v < 0 {
+				t.Fatal("negative feature")
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d not L1-normalised: %v", i, sum)
+		}
+	}
+	// Class signature blocks: class c's mass should concentrate in its block.
+	byClass := g.FeatureMeanByClass()
+	block := g.NumFeatures() / g.NumClasses
+	for c := 0; c < g.NumClasses; c++ {
+		var inBlock, total float64
+		for j := 0; j < g.NumFeatures(); j++ {
+			v := byClass.At(c, j)
+			total += v
+			if j >= c*block && j < (c+1)*block {
+				inBlock += v
+			}
+		}
+		if inBlock/total < 0.5 {
+			t.Fatalf("class %d signature weak: %.2f of mass in block", c, inBlock/total)
+		}
+	}
+}
+
+func TestLouvainPartitionIsNonIID(t *testing.T) {
+	// The generated community structure must produce non-i.i.d parties when
+	// cut by Louvain — the premise of the whole paper (Figure 4).
+	g, err := Generate(smallCfg(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	louvain, err := partition.LouvainParties(g, 3, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := partition.RandomParties(g, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := partition.NonIIDScore(louvain, g.NumClasses)
+	rs := partition.NonIIDScore(random, g.NumClasses)
+	if ls <= rs {
+		t.Fatalf("Louvain parties (%.3f) not more non-iid than random (%.3f)", ls, rs)
+	}
+	if ls < 0.2 {
+		t.Fatalf("Louvain non-iid score %.3f too weak", ls)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	cfg, _ := Preset(Cora)
+	s := Scaled(cfg, 4)
+	if s.Nodes != 2708/4 || s.Features != 1433/4 {
+		t.Fatalf("Scaled dims wrong: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if same := Scaled(cfg, 1); same.Nodes != cfg.Nodes {
+		t.Fatal("divisor 1 changed config")
+	}
+	// Extreme divisor must still validate.
+	ex := Scaled(cfg, 1000)
+	if err := ex.Validate(); err != nil {
+		t.Fatalf("extreme scaling invalid: %v", err)
+	}
+}
+
+func TestGenerateScaledPresetsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg, _ := Preset(Cora)
+		g, err := Generate(Scaled(cfg, 16), seed)
+		if err != nil {
+			return false
+		}
+		// Basic invariants: all labels in range, no self loops (graph.New
+		// enforces), node count preserved.
+		if g.NumNodes() != Scaled(cfg, 16).Nodes {
+			return false
+		}
+		for _, y := range g.Labels {
+			if y < 0 || y >= g.NumClasses {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEveryClassPopulated(t *testing.T) {
+	g, err := Generate(smallCfg(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := g.LabelHistogram()
+	for c, n := range h {
+		if n == 0 {
+			t.Fatalf("class %d empty: %v", c, h)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"fedomd/internal/mat"
+)
+
+// newFeatureMatrix samples the sparse bag-of-words-style binary feature
+// matrix. Each class owns a contiguous signature block of the feature space;
+// each community uses a shifted sub-window of its class block, giving
+// parties distinct feature distributions even when they share classes.
+// Rows are L1-normalised, matching the standard preprocessing of the
+// citation benchmarks.
+func newFeatureMatrix(cfg Config, labels, community []int, rng *rand.Rand) *mat.Dense {
+	feats := mat.New(cfg.Nodes, cfg.Features)
+	blockSize := cfg.Features / cfg.Classes
+	for i := 0; i < cfg.Nodes; i++ {
+		y := labels[i]
+		blockStart := y * blockSize
+		// Community shift: up to a quarter of the block, cyclic inside it.
+		commInClass := community[i] % cfg.CommunitiesPerClass
+		shift := 0
+		if cfg.CommunitiesPerClass > 1 {
+			shift = commInClass * blockSize / (4 * cfg.CommunitiesPerClass)
+		}
+		row := feats.Row(i)
+		active := 0
+		for tries := 0; active < cfg.ActiveFeatures && tries < cfg.ActiveFeatures*6; tries++ {
+			var j int
+			if rng.Float64() < cfg.SignalRatio {
+				j = blockStart + (shift+rng.Intn(max(blockSize, 1)))%max(blockSize, 1)
+			} else {
+				j = rng.Intn(cfg.Features)
+			}
+			if row[j] == 0 {
+				row[j] = 1
+				active++
+			}
+		}
+		if active == 0 {
+			row[blockStart%cfg.Features] = 1
+			active = 1
+		}
+		inv := 1 / float64(active)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return feats
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

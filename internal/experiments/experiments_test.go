@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"fedomd/internal/dataset"
+)
+
+func smokeRunner() *Runner { return NewRunner(SmokeScale(), 1) }
+
+func TestModelNamesComplete(t *testing.T) {
+	names := ModelNames()
+	if len(names) != 8 {
+		t.Fatalf("expected 8 models, got %d", len(names))
+	}
+	if names[len(names)-1] != ModelFedOMD {
+		t.Fatal("FedOMD should be the last row, as in the paper")
+	}
+}
+
+func TestBuildClientsUnknownModel(t *testing.T) {
+	r := smokeRunner()
+	g, err := r.loadGraph(dataset.Cora, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties, err := r.parties(g, 2, 1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.buildClients("NotAModel", parties, 3, buildOpts{}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestEveryModelRunsOneCell(t *testing.T) {
+	r := smokeRunner()
+	for _, model := range ModelNames() {
+		cell, err := r.cell(model, dataset.Cora, 2, 1.0, buildOpts{})
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if len(cell.Runs) != r.Scale.Seeds {
+			t.Fatalf("%s: %d runs want %d", model, len(cell.Runs), r.Scale.Seeds)
+		}
+		if cell.Mean() < 0 || cell.Mean() > 1 {
+			t.Fatalf("%s: accuracy %v out of range", model, cell.Mean())
+		}
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	var b strings.Builder
+	if err := smokeRunner().Table2(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range dataset.Names() {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table 2 missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestTable3Renders(t *testing.T) {
+	var b strings.Builder
+	if err := smokeRunner().Table3(&b, dataset.Cora, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, model := range ModelNames() {
+		if !strings.Contains(out, model) {
+			t.Fatalf("Table 3 missing %s:\n%s", model, out)
+		}
+	}
+	if !strings.Contains(out, "UploadBytes") {
+		t.Fatal("Table 3 missing communication column")
+	}
+}
+
+func TestTable4SmokeSubset(t *testing.T) {
+	var b strings.Builder
+	r := smokeRunner()
+	if err := r.Table4(&b, []string{dataset.Cora}, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "FedOMD") || !strings.Contains(out, "M=2") {
+		t.Fatalf("Table 4 malformed:\n%s", out)
+	}
+}
+
+func TestTable6AblationSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := smokeRunner().Table6(&b, []string{dataset.Cora}, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, v := range []string{"Ortho only", "CMD only", "Ortho+CMD"} {
+		if !strings.Contains(out, v) {
+			t.Fatalf("Table 6 missing %q:\n%s", v, out)
+		}
+	}
+}
+
+func TestTable7DepthSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := smokeRunner().Table7(&b, []string{dataset.Cora}, []int{2}, []int{2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "FedOMD 4-hidden") || !strings.Contains(out, "FedGCN 2-GCNConv") {
+		t.Fatalf("Table 7 malformed:\n%s", out)
+	}
+}
+
+func TestFigure4Smoke(t *testing.T) {
+	var b strings.Builder
+	if err := smokeRunner().Figure4(&b, dataset.Cora, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "party 0") || !strings.Contains(out, "non-iid score") {
+		t.Fatalf("Figure 4 malformed:\n%s", out)
+	}
+}
+
+func TestFigure5Smoke(t *testing.T) {
+	var b strings.Builder
+	if err := smokeRunner().Figure5(&b, dataset.Cora, 2, []string{ModelFedOMD, ModelFedGCN}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "r0") || !strings.Contains(out, "FedOMD") {
+		t.Fatalf("Figure 5 malformed:\n%s", out)
+	}
+}
+
+func TestFigure6Smoke(t *testing.T) {
+	var b strings.Builder
+	if err := smokeRunner().Figure6(&b, []string{dataset.Cora}, []float64{5e-4}, []float64{10}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "alpha") {
+		t.Fatalf("Figure 6 malformed:\n%s", b.String())
+	}
+}
+
+func TestFigure7Smoke(t *testing.T) {
+	var b strings.Builder
+	if err := smokeRunner().Figure7(&b, []string{dataset.Cora}, []float64{1, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), dataset.Cora) {
+		t.Fatalf("Figure 7 malformed:\n%s", b.String())
+	}
+}
+
+func TestScalesValid(t *testing.T) {
+	for _, s := range []Scale{QuickScale(), SmokeScale(), PaperScale()} {
+		if s.Rounds <= 0 || s.Seeds <= 0 || s.Hidden <= 0 || s.DatasetDivisor <= 0 {
+			t.Fatalf("invalid scale %+v", s)
+		}
+	}
+	if PaperScale().DatasetDivisor != 1 {
+		t.Fatal("paper scale must be unscaled")
+	}
+}
+
+func TestDefaultResolutionMatchesPaper(t *testing.T) {
+	if defaultResolution(dataset.Computer) != 20 || defaultResolution(dataset.Photo) != 20 {
+		t.Fatal("co-purchase datasets should use resolution 20 (§5.1)")
+	}
+	if defaultResolution(dataset.Cora) != 1.0 {
+		t.Fatal("citation datasets should use the default resolution")
+	}
+}

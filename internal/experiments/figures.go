@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"fedomd/internal/dataset"
+	"fedomd/internal/gaussian"
+	"fedomd/internal/metrics"
+	"fedomd/internal/partition"
+)
+
+// Figure4 regenerates the non-i.i.d visualisation data: the per-party label
+// histogram of the Louvain cut (the circle areas of the paper's bubble
+// plot), plus the aggregate non-i.i.d score.
+func (r *Runner) Figure4(w io.Writer, ds string, m int) error {
+	progress(w, "== Figure 4: per-party label distribution (%s, M=%d, scale=%s) ==", ds, m, r.Scale.Name)
+	g, err := r.loadGraph(ds, r.BaseSeed)
+	if err != nil {
+		return err
+	}
+	parties, err := r.parties(g, m, defaultResolution(ds), r.BaseSeed+7)
+	if err != nil {
+		return err
+	}
+	dist := partition.LabelDistribution(parties, g.NumClasses)
+	header := []string{"Party \\ Class"}
+	for c := 0; c < g.NumClasses; c++ {
+		header = append(header, fmt.Sprintf("C%d", c))
+	}
+	tbl := metrics.NewTable(header...)
+	for p, counts := range dist {
+		row := []string{fmt.Sprintf("party %d", p)}
+		for _, n := range counts {
+			row = append(row, fmt.Sprint(n))
+		}
+		tbl.AddRow(row...)
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "non-iid score (mean TV distance to global): %.3f\n", partition.NonIIDScore(parties, g.NumClasses))
+	fmt.Fprintf(w, "cross-party edge loss: %.3f\n", partition.CrossPartyEdgeLoss(g, parties))
+
+	// Feature non-i.i.d evidence (the figure's second claim): fit a Gaussian
+	// to each party's features (§4.3, eq. 4) and evaluate the mean
+	// log-density of every party's features under every model. A dominant
+	// diagonal means each party's feature distribution is its own.
+	fmt.Fprintln(w, "\nmean feature log-density, rows = data party, cols = model party:")
+	models := make([]*gaussian.Gaussian, len(parties))
+	for p, party := range parties {
+		gm, err := gaussian.Fit(party.Graph.Features, 1e-6)
+		if err != nil {
+			return err
+		}
+		models[p] = gm
+	}
+	header = []string{"data \\ model"}
+	for p := range parties {
+		header = append(header, fmt.Sprintf("G%d", p))
+	}
+	dens := metrics.NewTable(header...)
+	for p, party := range parties {
+		row := []string{fmt.Sprintf("party %d", p)}
+		for q := range parties {
+			ld, err := models[q].LogDensity(party.Graph.Features)
+			if err != nil {
+				return err
+			}
+			var sum float64
+			for _, v := range ld {
+				sum += v
+			}
+			row = append(row, fmt.Sprintf("%.1f", sum/float64(len(ld))))
+		}
+		dens.AddRow(row...)
+	}
+	return dens.Render(w)
+}
+
+// Figure5 regenerates the convergence curves: average test accuracy per
+// communication round for every model on Cora with M = 5. Early stopping is
+// disabled so the curves share an x-axis.
+func (r *Runner) Figure5(w io.Writer, ds string, m int, models []string) error {
+	if ds == "" {
+		ds = dataset.Cora
+	}
+	if m == 0 {
+		m = 5
+	}
+	if len(models) == 0 {
+		models = ModelNames()
+	}
+	progress(w, "== Figure 5: convergence on %s with M=%d (scale=%s) ==", ds, m, r.Scale.Name)
+	g, err := r.loadGraph(ds, r.BaseSeed)
+	if err != nil {
+		return err
+	}
+	parties, err := r.parties(g, m, defaultResolution(ds), r.BaseSeed+7)
+	if err != nil {
+		return err
+	}
+	saved := r.Scale.Patience
+	r.Scale.Patience = 0 // full-length curves
+	defer func() { r.Scale.Patience = saved }()
+
+	// Sample ~10 evenly spaced rounds for the printed series.
+	step := maxInt(1, r.Scale.Rounds/10)
+	header := []string{"Model"}
+	for round := 0; round < r.Scale.Rounds; round += step {
+		header = append(header, fmt.Sprintf("r%d", round))
+	}
+	tbl := metrics.NewTable(header...)
+	for _, model := range models {
+		res, err := r.runModel(model, parties, r.BaseSeed+13, buildOpts{})
+		if err != nil {
+			return fmt.Errorf("figure5 %s: %w", model, err)
+		}
+		row := []string{model}
+		for round := 0; round < r.Scale.Rounds; round += step {
+			if round < len(res.History) {
+				row = append(row, fmt.Sprintf("%.3f", res.History[round].TestAcc))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.Render(w)
+}
+
+// Figure6 regenerates the (α, β) sensitivity grid for FedOMD with M = 3.
+func (r *Runner) Figure6(w io.Writer, datasets []string, alphas, betas []float64) error {
+	if len(datasets) == 0 {
+		datasets = []string{dataset.Cora, dataset.Computer}
+	}
+	if len(alphas) == 0 {
+		alphas = []float64{5e-5, 5e-4, 5e-3, 5e-2}
+	}
+	if len(betas) == 0 {
+		betas = []float64{0.1, 1, 10, 100}
+	}
+	for _, ds := range datasets {
+		progress(w, "== Figure 6: (alpha, beta) sensitivity on %s, M=3 (scale=%s) ==", ds, r.Scale.Name)
+		header := []string{"alpha \\ beta"}
+		for _, b := range betas {
+			header = append(header, trimFloat(b))
+		}
+		tbl := metrics.NewTable(header...)
+		for _, a := range alphas {
+			row := []string{trimFloat(a)}
+			for _, b := range betas {
+				av, bv := a, b
+				cell, err := r.cell(ModelFedOMD, ds, 3, defaultResolution(ds), buildOpts{alpha: &av, beta: &bv})
+				if err != nil {
+					return fmt.Errorf("figure6 %s a=%v b=%v: %w", ds, a, b, err)
+				}
+				row = append(row, fmt.Sprintf("%.2f", 100*cell.Mean()))
+			}
+			tbl.AddRow(row...)
+		}
+		if err := tbl.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Figure7 regenerates the Louvain-resolution sweep: FedOMD accuracy with
+// M = 3 at varying resolution on the four datasets.
+func (r *Runner) Figure7(w io.Writer, datasets []string, resolutions []float64) error {
+	if len(datasets) == 0 {
+		datasets = []string{dataset.Cora, dataset.Citeseer, dataset.Computer, dataset.Photo}
+	}
+	if len(resolutions) == 0 {
+		resolutions = []float64{0.5, 1, 5, 10, 20, 50}
+	}
+	progress(w, "== Figure 7: Louvain resolution sweep, M=3 (scale=%s) ==", r.Scale.Name)
+	header := []string{"Dataset"}
+	for _, res := range resolutions {
+		header = append(header, trimFloat(res))
+	}
+	tbl := metrics.NewTable(header...)
+	for _, ds := range datasets {
+		row := []string{ds}
+		for _, res := range resolutions {
+			cell, err := r.cell(ModelFedOMD, ds, 3, res, buildOpts{})
+			if err != nil {
+				return fmt.Errorf("figure7 %s res=%v: %w", ds, res, err)
+			}
+			row = append(row, fmt.Sprintf("%.2f", 100*cell.Mean()))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.Render(w)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return strings.TrimSuffix(s, ".0")
+}

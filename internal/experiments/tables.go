@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fedomd/internal/dataset"
+	"fedomd/internal/fed"
+	"fedomd/internal/metrics"
+	"fedomd/internal/nn"
+)
+
+// Table2 regenerates the dataset-statistics table: for each preset, the
+// generated graph's node/edge/class/feature counts at the current scale.
+func (r *Runner) Table2(w io.Writer) error {
+	progress(w, "== Table 2: dataset statistics (scale=%s) ==", r.Scale.Name)
+	tbl := metrics.NewTable("Dataset", "#Nodes", "#Edges", "#Classes", "#Features", "Homophily")
+	for _, name := range dataset.Names() {
+		g, err := r.loadGraph(name, r.BaseSeed)
+		if err != nil {
+			return err
+		}
+		s := g.Summary()
+		tbl.AddRow(name,
+			fmt.Sprint(s.Nodes), fmt.Sprint(s.Edges),
+			fmt.Sprint(s.Classes), fmt.Sprint(s.Features),
+			fmt.Sprintf("%.3f", s.Homophily))
+	}
+	return tbl.Render(w)
+}
+
+// Table3 measures the empirical counterpart of the complexity table: per
+// model, the wall-clock client time for one local round, the server
+// aggregation time over M parties, the inference (eval) time, and the bytes
+// a client uploads per round (weights plus, for FedOMD, the moment
+// statistics whose negligible size §4.4 claims).
+func (r *Runner) Table3(w io.Writer, ds string, m int) error {
+	progress(w, "== Table 3: measured time & communication (dataset=%s, M=%d, scale=%s) ==", ds, m, r.Scale.Name)
+	g, err := r.loadGraph(ds, r.BaseSeed)
+	if err != nil {
+		return err
+	}
+	parties, err := r.parties(g, m, defaultResolution(ds), r.BaseSeed+7)
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable("Model", "ClientTime/round", "ServerTime/round", "InferenceTime", "UploadBytes/round")
+	for _, model := range ModelNames() {
+		clients, _, err := r.buildClients(model, parties, r.BaseSeed+13, buildOpts{})
+		if err != nil {
+			return err
+		}
+		// Client time: one local training round on the first party.
+		t0 := time.Now()
+		if _, err := clients[0].TrainLocal(0); err != nil {
+			return err
+		}
+		clientTime := time.Since(t0)
+
+		// Server time: one FedAvg aggregation over all parties.
+		sets := make([]*nn.Params, len(clients))
+		weights := make([]float64, len(clients))
+		for i, c := range clients {
+			sets[i] = c.Params()
+			weights[i] = 1
+		}
+		t0 = time.Now()
+		if _, err := nn.Average(sets, weights); err != nil {
+			return err
+		}
+		serverTime := time.Since(t0)
+
+		// Inference time: one evaluation pass.
+		t0 = time.Now()
+		clients[0].EvalTest()
+		inferTime := time.Since(t0)
+
+		upload := clients[0].Params().Bytes()
+		if model == ModelFedOMD {
+			if mc, ok := clients[0].(fed.MomentClient); ok {
+				means, _, err := mc.LocalMeans()
+				if err != nil {
+					return err
+				}
+				for _, mean := range means {
+					// mean + 4 central-moment vectors per layer.
+					upload += 8 * mean.Cols() * 5
+				}
+			}
+		}
+		tbl.AddRow(model,
+			clientTime.Round(time.Microsecond).String(),
+			serverTime.Round(time.Microsecond).String(),
+			inferTime.Round(time.Microsecond).String(),
+			fmt.Sprint(upload))
+	}
+	return tbl.Render(w)
+}
+
+// Table4 regenerates the headline comparison: accuracy (mean ± std over
+// seeds) of all eight models on the four datasets with M ∈ parties.
+func (r *Runner) Table4(w io.Writer, datasets []string, parties []int) error {
+	if len(datasets) == 0 {
+		datasets = []string{dataset.Cora, dataset.Citeseer, dataset.Computer, dataset.Photo}
+	}
+	if len(parties) == 0 {
+		parties = []int{3, 5, 7, 9}
+	}
+	for _, ds := range datasets {
+		progress(w, "== Table 4: %s (scale=%s) ==", ds, r.Scale.Name)
+		header := []string{"Model"}
+		for _, m := range parties {
+			header = append(header, fmt.Sprintf("M=%d", m))
+		}
+		tbl := metrics.NewTable(header...)
+		for _, model := range ModelNames() {
+			row := []string{model}
+			for _, m := range parties {
+				cell, err := r.cell(model, ds, m, defaultResolution(ds), buildOpts{})
+				if err != nil {
+					return fmt.Errorf("table4 %s/%s/M=%d: %w", ds, model, m, err)
+				}
+				row = append(row, cell.String())
+			}
+			tbl.AddRow(row...)
+		}
+		if err := tbl.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Table5 regenerates the many-party experiment: Coauthor-CS with
+// M ∈ {20, 50}.
+func (r *Runner) Table5(w io.Writer, parties []int) error {
+	if len(parties) == 0 {
+		parties = []int{20, 50}
+	}
+	progress(w, "== Table 5: %s with many parties (scale=%s) ==", dataset.CoauthorCS, r.Scale.Name)
+	header := []string{"Model"}
+	for _, m := range parties {
+		header = append(header, fmt.Sprintf("M=%d", m))
+	}
+	tbl := metrics.NewTable(header...)
+	for _, model := range ModelNames() {
+		row := []string{model}
+		for _, m := range parties {
+			cell, err := r.cell(model, dataset.CoauthorCS, m, defaultResolution(dataset.CoauthorCS), buildOpts{})
+			if err != nil {
+				return fmt.Errorf("table5 %s/M=%d: %w", model, m, err)
+			}
+			row = append(row, cell.String())
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.Render(w)
+}
+
+// Table6 regenerates the ablation: FedOMD with {Ortho, CMD} switched on/off
+// on Cora and Citeseer.
+func (r *Runner) Table6(w io.Writer, datasets []string, parties []int) error {
+	if len(datasets) == 0 {
+		datasets = []string{dataset.Cora, dataset.Citeseer}
+	}
+	if len(parties) == 0 {
+		parties = []int{3, 5, 7, 9}
+	}
+	tru, fls := true, false
+	variants := []struct {
+		label            string
+		useOrtho, useCMD *bool
+	}{
+		{"Ortho only", &tru, &fls},
+		{"CMD only", &fls, &tru},
+		{"Ortho+CMD", &tru, &tru},
+	}
+	for _, ds := range datasets {
+		progress(w, "== Table 6: ablation on %s (scale=%s) ==", ds, r.Scale.Name)
+		header := []string{"Variant"}
+		for _, m := range parties {
+			header = append(header, fmt.Sprintf("M=%d", m))
+		}
+		tbl := metrics.NewTable(header...)
+		for _, v := range variants {
+			row := []string{v.label}
+			for _, m := range parties {
+				cell, err := r.cell(ModelFedOMD, ds, m, defaultResolution(ds),
+					buildOpts{useOrtho: v.useOrtho, useCMD: v.useCMD})
+				if err != nil {
+					return fmt.Errorf("table6 %s/%s/M=%d: %w", ds, v.label, m, err)
+				}
+				row = append(row, cell.String())
+			}
+			tbl.AddRow(row...)
+		}
+		if err := tbl.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Table7 regenerates the depth study: FedOMD with {2,4,6,8,10} hidden layers
+// on Computer and Photo, against the 2-layer FedGCN reference.
+func (r *Runner) Table7(w io.Writer, datasets []string, parties []int, depths []int) error {
+	if len(datasets) == 0 {
+		datasets = []string{dataset.Computer, dataset.Photo}
+	}
+	if len(parties) == 0 {
+		parties = []int{3, 5, 7, 9}
+	}
+	if len(depths) == 0 {
+		depths = []int{2, 4, 6, 8, 10}
+	}
+	for _, ds := range datasets {
+		progress(w, "== Table 7: depth study on %s (scale=%s) ==", ds, r.Scale.Name)
+		header := []string{"Model/Layers"}
+		for _, m := range parties {
+			header = append(header, fmt.Sprintf("M=%d", m))
+		}
+		tbl := metrics.NewTable(header...)
+		for _, depth := range depths {
+			row := []string{fmt.Sprintf("FedOMD %d-hidden", depth)}
+			for _, m := range parties {
+				cell, err := r.cell(ModelFedOMD, ds, m, defaultResolution(ds), buildOpts{hiddenLayers: depth})
+				if err != nil {
+					return fmt.Errorf("table7 %s/depth=%d/M=%d: %w", ds, depth, m, err)
+				}
+				row = append(row, cell.String())
+			}
+			tbl.AddRow(row...)
+		}
+		row := []string{"FedGCN 2-GCNConv"}
+		for _, m := range parties {
+			cell, err := r.cell(ModelFedGCN, ds, m, defaultResolution(ds), buildOpts{})
+			if err != nil {
+				return fmt.Errorf("table7 %s/fedgcn/M=%d: %w", ds, m, err)
+			}
+			row = append(row, cell.String())
+		}
+		tbl.AddRow(row...)
+		if err := tbl.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

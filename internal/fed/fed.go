@@ -1,0 +1,469 @@
+// Package fed implements the federated-learning simulation runtime: the
+// synchronous FedAvg server of paper §3, concurrent local training of the M
+// parties (each client trains in its own goroutine within a round), the
+// 2-round mean/moment exchange of Algorithm 1, optional auxiliary-state
+// aggregation (SCAFFOLD control variates), byte-level communication
+// accounting, and early stopping with patience.
+package fed
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"fedomd/internal/mat"
+	"fedomd/internal/moments"
+	"fedomd/internal/nn"
+)
+
+// Client is one federated participant. Implementations own their local graph
+// data and model and must be safe to drive from a single goroutine at a time
+// (the server never calls a client concurrently with itself).
+type Client interface {
+	// Name identifies the client in logs and errors.
+	Name() string
+	// NumSamples is the FedAvg aggregation weight (local training-node count).
+	NumSamples() int
+	// Params exposes the live local parameter set; the server reads it after
+	// local training to aggregate.
+	Params() *nn.Params
+	// SetParams overwrites the local model with the global weights.
+	SetParams(global *nn.Params) error
+	// TrainLocal runs the negotiated local epochs for one round and returns
+	// the final local training loss.
+	TrainLocal(round int) (float64, error)
+	// EvalVal and EvalTest return (correct, total) on the local masks.
+	EvalVal() (int, int)
+	EvalTest() (int, int)
+}
+
+// MomentClient is implemented by clients that participate in FedOMD's
+// 2-round statistics exchange (Algorithm 1 lines 3-18). Layer indices run
+// over the hidden representations Z^1..Z^{L-1}.
+type MomentClient interface {
+	Client
+	// LocalMeans returns the per-layer hidden-feature means and the local
+	// sample count (Algorithm 1 lines 3-8).
+	LocalMeans() (means []*mat.Dense, n int, err error)
+	// CentralAroundGlobal returns, per layer, the central moments of orders
+	// 2..K computed around the received global means (lines 12-15).
+	CentralAroundGlobal(globalMeans []*mat.Dense) (moms [][]*mat.Dense, n int, err error)
+	// SetGlobalStats delivers the aggregated global statistics the client
+	// uses in its CMD loss during TrainLocal (lines 16-18).
+	SetGlobalStats(means []*mat.Dense, central [][]*mat.Dense)
+}
+
+// AuxClient is implemented by clients exchanging auxiliary state beyond model
+// weights; the server aggregates uploads by simple averaging and broadcasts
+// the aggregate (SCAFFOLD's control variates use this).
+type AuxClient interface {
+	Client
+	UploadAux() *nn.Params
+	DownloadAux(global *nn.Params) error
+}
+
+// Config controls a federated run.
+type Config struct {
+	// Rounds is the maximum number of communication rounds (the paper's
+	// "epoch" with communication interval 1).
+	Rounds int
+	// Patience stops training after this many rounds without a validation
+	// improvement; 0 disables early stopping.
+	Patience int
+	// Sequential disables concurrent client training (ablation knob).
+	Sequential bool
+	// EvalEvery controls how often validation/test accuracy is measured;
+	// 1 (default when 0) evaluates every round.
+	EvalEvery int
+	// ClientFraction selects ⌈fraction·M⌉ clients uniformly at random each
+	// round to train and aggregate (standard FL partial participation).
+	// 0 means full participation; values outside (0, 1] are rejected.
+	ClientFraction float64
+	// SampleSeed makes the per-round client sampling deterministic.
+	SampleSeed int64
+}
+
+// RoundStats is one row of the training history (Figure 5 data).
+type RoundStats struct {
+	Round     int
+	TrainLoss float64
+	ValAcc    float64
+	TestAcc   float64
+	BytesUp   int64
+	BytesDown int64
+}
+
+// Result summarises a run.
+type Result struct {
+	History []RoundStats
+	// BestValAcc is the best validation accuracy seen and TestAtBestVal the
+	// test accuracy at that round — the reported metric.
+	BestValAcc    float64
+	TestAtBestVal float64
+	BestRound     int
+	// FinalParams is the last aggregated global model.
+	FinalParams                  *nn.Params
+	TotalBytesUp, TotalBytesDown int64
+}
+
+// Run executes synchronous federated training over the clients. All clients
+// must be non-nil; if every client implements MomentClient the FedOMD
+// statistics exchange runs each round before local training.
+func Run(cfg Config, clients []Client) (*Result, error) {
+	if len(clients) == 0 {
+		return nil, errors.New("fed: no clients")
+	}
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("fed: Rounds must be positive, got %d", cfg.Rounds)
+	}
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 1
+	}
+	if cfg.ClientFraction < 0 || cfg.ClientFraction > 1 {
+		return nil, fmt.Errorf("fed: ClientFraction must be in (0, 1], got %v", cfg.ClientFraction)
+	}
+	allMoment := true
+	for _, c := range clients {
+		if c == nil {
+			return nil, errors.New("fed: nil client")
+		}
+		if _, ok := c.(MomentClient); !ok {
+			allMoment = false
+		}
+	}
+
+	weights := make([]float64, len(clients))
+	for i, c := range clients {
+		w := c.NumSamples()
+		if w <= 0 {
+			w = 1 // parties with no training nodes still average in weakly
+		}
+		weights[i] = float64(w)
+	}
+
+	global := clients[0].Params().Clone()
+	res := &Result{BestRound: -1}
+	badRounds := 0
+	sampler := rand.New(rand.NewSource(cfg.SampleSeed))
+
+	for round := 0; round < cfg.Rounds; round++ {
+		stats := RoundStats{Round: round}
+
+		// Partial participation: the round's active cohort.
+		active := clients
+		activeWeights := weights
+		if cfg.ClientFraction > 0 && cfg.ClientFraction < 1 {
+			k := int(cfg.ClientFraction*float64(len(clients)) + 0.999999)
+			if k < 1 {
+				k = 1
+			}
+			perm := sampler.Perm(len(clients))[:k]
+			sort.Ints(perm)
+			active = make([]Client, k)
+			activeWeights = make([]float64, k)
+			for i, idx := range perm {
+				active[i] = clients[idx]
+				activeWeights[i] = weights[idx]
+			}
+		}
+
+		// Broadcast global weights (Phase 1/3 of §3).
+		for _, c := range clients {
+			if err := c.SetParams(global); err != nil {
+				return nil, fmt.Errorf("fed: broadcast to %s: %w", c.Name(), err)
+			}
+			stats.BytesDown += int64(global.Bytes())
+		}
+
+		// Evaluate the freshly broadcast global model.
+		if round%evalEvery == 0 || round == cfg.Rounds-1 {
+			stats.ValAcc, stats.TestAcc = evaluate(clients, cfg.Sequential)
+			if stats.ValAcc > res.BestValAcc || res.BestRound < 0 {
+				res.BestValAcc = stats.ValAcc
+				res.TestAtBestVal = stats.TestAcc
+				res.BestRound = round
+				badRounds = 0
+			} else {
+				badRounds++
+			}
+		}
+
+		// FedOMD statistics exchange (Algorithm 1 lines 3-18), over the
+		// round's active cohort.
+		if allMoment {
+			up, down, err := momentExchange(active)
+			if err != nil {
+				return nil, err
+			}
+			stats.BytesUp += up
+			stats.BytesDown += down
+		}
+
+		// Local training, concurrently across active parties.
+		losses := make([]float64, len(active))
+		if err := forEachClient(active, cfg.Sequential, func(i int, c Client) error {
+			loss, err := c.TrainLocal(round)
+			if err != nil {
+				return fmt.Errorf("fed: client %s round %d: %w", c.Name(), round, err)
+			}
+			losses[i] = loss
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		var lossSum, wSum float64
+		for i, l := range losses {
+			lossSum += activeWeights[i] * l
+			wSum += activeWeights[i]
+		}
+		stats.TrainLoss = lossSum / wSum
+
+		// Auxiliary state aggregation (e.g. SCAFFOLD control variates).
+		if err := auxExchange(active, &stats); err != nil {
+			return nil, err
+		}
+
+		// Upload and FedAvg (eq. 2 / Algorithm 1 lines 26-29).
+		sets := make([]*nn.Params, len(active))
+		for i, c := range active {
+			sets[i] = c.Params()
+			stats.BytesUp += int64(sets[i].Bytes())
+		}
+		agg, err := nn.Average(sets, activeWeights)
+		if err != nil {
+			return nil, fmt.Errorf("fed: aggregation: %w", err)
+		}
+		global = agg
+
+		res.History = append(res.History, stats)
+		res.TotalBytesUp += stats.BytesUp
+		res.TotalBytesDown += stats.BytesDown
+		if cfg.Patience > 0 && badRounds >= cfg.Patience {
+			break
+		}
+	}
+	res.FinalParams = global
+	return res, nil
+}
+
+// RunLocalOnly trains every client in isolation (the LocGCN baseline): no
+// weight exchange, accuracy is the sample-weighted average of the local
+// models, mirroring the paper's "averages the accuracy across various
+// parties".
+func RunLocalOnly(cfg Config, clients []Client) (*Result, error) {
+	if len(clients) == 0 {
+		return nil, errors.New("fed: no clients")
+	}
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("fed: Rounds must be positive, got %d", cfg.Rounds)
+	}
+	res := &Result{BestRound: -1}
+	badRounds := 0
+	for round := 0; round < cfg.Rounds; round++ {
+		stats := RoundStats{Round: round}
+		losses := make([]float64, len(clients))
+		if err := forEachClient(clients, cfg.Sequential, func(i int, c Client) error {
+			loss, err := c.TrainLocal(round)
+			if err != nil {
+				return fmt.Errorf("fed: local client %s round %d: %w", c.Name(), round, err)
+			}
+			losses[i] = loss
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		for _, l := range losses {
+			stats.TrainLoss += l
+		}
+		stats.TrainLoss /= float64(len(clients))
+		stats.ValAcc, stats.TestAcc = evaluate(clients, cfg.Sequential)
+		if stats.ValAcc > res.BestValAcc || res.BestRound < 0 {
+			res.BestValAcc = stats.ValAcc
+			res.TestAtBestVal = stats.TestAcc
+			res.BestRound = round
+			badRounds = 0
+		} else {
+			badRounds++
+		}
+		res.History = append(res.History, stats)
+		if cfg.Patience > 0 && badRounds >= cfg.Patience {
+			break
+		}
+	}
+	res.FinalParams = clients[0].Params().Clone()
+	return res, nil
+}
+
+// momentExchange runs Algorithm 1's two upload/download rounds and installs
+// the global statistics on every client. It returns the bytes moved.
+func momentExchange(clients []Client) (up, down int64, err error) {
+	m := len(clients)
+	allMeans := make([][]*mat.Dense, m) // [client][layer]
+	counts := make([]int, m)
+	for i, c := range clients {
+		mc := c.(MomentClient)
+		means, n, err := mc.LocalMeans()
+		if err != nil {
+			return up, down, fmt.Errorf("fed: means from %s: %w", c.Name(), err)
+		}
+		allMeans[i] = means
+		counts[i] = n
+		up += bytesOfVecs(means) + 8
+	}
+	layers := len(allMeans[0])
+	for i := range allMeans {
+		if len(allMeans[i]) != layers {
+			return up, down, fmt.Errorf("fed: client %s reports %d layers, want %d", clients[i].Name(), len(allMeans[i]), layers)
+		}
+	}
+	globalMeans := make([]*mat.Dense, layers)
+	for l := 0; l < layers; l++ {
+		layerMeans := make([]*mat.Dense, m)
+		for i := range allMeans {
+			layerMeans[i] = allMeans[i][l]
+		}
+		gm, err := moments.AggregateMeans(layerMeans, counts)
+		if err != nil {
+			return up, down, fmt.Errorf("fed: aggregating layer %d means: %w", l, err)
+		}
+		globalMeans[l] = gm
+	}
+	// Download global means, upload moments centred on them.
+	allMoms := make([][][]*mat.Dense, m) // [client][layer][order]
+	for i, c := range clients {
+		mc := c.(MomentClient)
+		down += bytesOfVecs(globalMeans)
+		moms, n, err := mc.CentralAroundGlobal(globalMeans)
+		if err != nil {
+			return up, down, fmt.Errorf("fed: moments from %s: %w", c.Name(), err)
+		}
+		allMoms[i] = moms
+		counts[i] = n
+		for _, layer := range moms {
+			up += bytesOfVecs(layer)
+		}
+		up += 8
+	}
+	globalCentral := make([][]*mat.Dense, layers)
+	for l := 0; l < layers; l++ {
+		perClient := make([][]*mat.Dense, m)
+		for i := range allMoms {
+			if len(allMoms[i]) != layers {
+				return up, down, fmt.Errorf("fed: client %s moment layers %d, want %d", clients[i].Name(), len(allMoms[i]), layers)
+			}
+			perClient[i] = allMoms[i][l]
+		}
+		gc, err := moments.AggregateCentral(perClient, counts)
+		if err != nil {
+			return up, down, fmt.Errorf("fed: aggregating layer %d moments: %w", l, err)
+		}
+		globalCentral[l] = gc
+	}
+	for _, c := range clients {
+		c.(MomentClient).SetGlobalStats(globalMeans, globalCentral)
+		for _, layer := range globalCentral {
+			down += bytesOfVecs(layer)
+		}
+	}
+	return up, down, nil
+}
+
+// auxExchange averages any auxiliary uploads and redistributes them.
+func auxExchange(clients []Client, stats *RoundStats) error {
+	var auxSets []*nn.Params
+	var auxClients []AuxClient
+	for _, c := range clients {
+		if ac, ok := c.(AuxClient); ok {
+			aux := ac.UploadAux()
+			if aux == nil {
+				continue
+			}
+			auxSets = append(auxSets, aux)
+			auxClients = append(auxClients, ac)
+			stats.BytesUp += int64(aux.Bytes())
+		}
+	}
+	if len(auxSets) == 0 {
+		return nil
+	}
+	ones := make([]float64, len(auxSets))
+	for i := range ones {
+		ones[i] = 1
+	}
+	globalAux, err := nn.Average(auxSets, ones)
+	if err != nil {
+		return fmt.Errorf("fed: aux aggregation: %w", err)
+	}
+	for _, ac := range auxClients {
+		if err := ac.DownloadAux(globalAux); err != nil {
+			return fmt.Errorf("fed: aux download to %s: %w", ac.Name(), err)
+		}
+		stats.BytesDown += int64(globalAux.Bytes())
+	}
+	return nil
+}
+
+// evaluate returns the sample-weighted global validation and test accuracy.
+func evaluate(clients []Client, sequential bool) (valAcc, testAcc float64) {
+	type counts struct{ vc, vt, tc, tt int }
+	results := make([]counts, len(clients))
+	_ = forEachClient(clients, sequential, func(i int, c Client) error {
+		vc, vt := c.EvalVal()
+		tc, tt := c.EvalTest()
+		results[i] = counts{vc, vt, tc, tt}
+		return nil
+	})
+	var vc, vt, tc, tt int
+	for _, r := range results {
+		vc += r.vc
+		vt += r.vt
+		tc += r.tc
+		tt += r.tt
+	}
+	if vt > 0 {
+		valAcc = float64(vc) / float64(vt)
+	}
+	if tt > 0 {
+		testAcc = float64(tc) / float64(tt)
+	}
+	return valAcc, testAcc
+}
+
+// forEachClient runs f over clients, concurrently unless sequential, with at
+// most GOMAXPROCS workers. The first error wins.
+func forEachClient(clients []Client, sequential bool, f func(int, Client) error) error {
+	if sequential || len(clients) == 1 {
+		for i, c := range clients {
+			if err := f(i, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	errs := make([]error, len(clients))
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c Client) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = f(i, c)
+		}(i, c)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func bytesOfVecs(vs []*mat.Dense) int64 {
+	var total int64
+	for _, v := range vs {
+		total += int64(8 * v.Rows() * v.Cols())
+	}
+	return total
+}

@@ -1,0 +1,100 @@
+package fed
+
+import (
+	"testing"
+
+	"fedomd/internal/mat"
+	"fedomd/internal/moments"
+	"fedomd/internal/nn"
+)
+
+func TestEvalEverySkipsRounds(t *testing.T) {
+	a := newFakeClient("a", 1, 0)
+	res, err := Run(Config{Rounds: 6, EvalEvery: 3}, []Client{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rounds 0 and 3 evaluated; rounds 1, 2, 4 skipped; final round 5 forced.
+	evaluated := 0
+	for _, h := range res.History {
+		if h.ValAcc > 0 {
+			evaluated++
+		}
+	}
+	if evaluated != 3 {
+		t.Fatalf("evaluated %d rounds, want 3 (0, 3, and final)", evaluated)
+	}
+}
+
+func TestIdenticalClientsFixedPoint(t *testing.T) {
+	// If every client trains to the same weights, FedAvg must return exactly
+	// those weights regardless of sample weighting.
+	a := newFakeClient("a", 9, 0)
+	a.trainVal = 3.5
+	b := newFakeClient("b", 1, 0)
+	b.trainVal = 3.5
+	res, err := Run(Config{Rounds: 2}, []Client{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.FinalParams.Get("w").At(0, 0); got != 3.5 {
+		t.Fatalf("fixed point violated: %v", got)
+	}
+}
+
+func TestMomentExchangeLayerMismatchError(t *testing.T) {
+	d1, _ := mat.NewFromRows([][]float64{{1}, {2}})
+	a := &momentFake{fakeClient: newFakeClient("a", 1, 0), data: d1}
+	b := &twoLayerMomentFake{momentFake{fakeClient: newFakeClient("b", 1, 0), data: d1}}
+	if _, err := Run(Config{Rounds: 1}, []Client{a, b}); err == nil {
+		t.Fatal("layer count mismatch accepted")
+	}
+}
+
+// twoLayerMomentFake reports two layers where momentFake reports one.
+type twoLayerMomentFake struct{ momentFake }
+
+func (m *twoLayerMomentFake) LocalMeans() ([]*mat.Dense, int, error) {
+	mean := mat.MeanRows(m.data)
+	return []*mat.Dense{mean, mean}, m.data.Rows(), nil
+}
+
+func (m *twoLayerMomentFake) CentralAroundGlobal(g []*mat.Dense) ([][]*mat.Dense, int, error) {
+	c := moments.CentralAround(m.data, g[0], 5)
+	return [][]*mat.Dense{c, c}, m.data.Rows(), nil
+}
+
+func TestResultTrafficConsistency(t *testing.T) {
+	a := newFakeClient("a", 1, 0)
+	b := newFakeClient("b", 2, 0)
+	res, err := Run(Config{Rounds: 4}, []Client{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up, down int64
+	for _, h := range res.History {
+		up += h.BytesUp
+		down += h.BytesDown
+	}
+	if up != res.TotalBytesUp || down != res.TotalBytesDown {
+		t.Fatal("per-round traffic does not sum to totals")
+	}
+	// Weight traffic per round: 2 clients × 8 bytes each way.
+	if res.History[0].BytesDown != 16 || res.History[0].BytesUp != 16 {
+		t.Fatalf("weight traffic wrong: %+v", res.History[0])
+	}
+}
+
+func TestAverageIdempotentProperty(t *testing.T) {
+	p := nn.NewParams()
+	w := mat.New(2, 2)
+	w.Set(0, 1, 4)
+	p.Add("w", w)
+	avg, err := nn.Average([]*nn.Params{p.Clone(), p.Clone(), p.Clone()}, []float64{1, 5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := avg.L2Distance(p); d > 1e-12 {
+		t.Fatalf("average of identical sets moved by %v", d)
+	}
+}

@@ -1,0 +1,107 @@
+package fed
+
+// privacy.go adds an optional differential-privacy layer to FedOMD's
+// statistics exchange — the natural hardening of the paper's privacy
+// motivation: even moment vectors leak something about local features, so a
+// party can clip and noise every uploaded vector with the Gaussian
+// mechanism before it leaves the process. Weights are untouched (secure
+// aggregation of weights is orthogonal and out of scope).
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fedomd/internal/mat"
+)
+
+// DPConfig parameterises the Gaussian mechanism for statistic uploads.
+type DPConfig struct {
+	// Epsilon and Delta are the per-round (ε, δ) privacy budget of one
+	// upload. Composition across rounds is the caller's concern.
+	Epsilon, Delta float64
+	// Clip is the L2 bound each uploaded vector is scaled into before
+	// noising; it is also the mechanism's sensitivity.
+	Clip float64
+}
+
+// Validate reports the first problem with the configuration.
+func (c DPConfig) Validate() error {
+	switch {
+	case c.Epsilon <= 0:
+		return fmt.Errorf("fed: DP epsilon must be positive, got %v", c.Epsilon)
+	case c.Delta <= 0 || c.Delta >= 1:
+		return fmt.Errorf("fed: DP delta must be in (0,1), got %v", c.Delta)
+	case c.Clip <= 0:
+		return fmt.Errorf("fed: DP clip bound must be positive, got %v", c.Clip)
+	}
+	return nil
+}
+
+// NoiseSigma returns the Gaussian-mechanism standard deviation
+// σ = Clip·√(2·ln(1.25/δ))/ε (Dwork & Roth, Theorem A.1).
+func (c DPConfig) NoiseSigma() float64 {
+	return c.Clip * math.Sqrt(2*math.Log(1.25/c.Delta)) / c.Epsilon
+}
+
+// dpMomentClient wraps a MomentClient, privatising every uploaded vector.
+type dpMomentClient struct {
+	MomentClient
+	cfg   DPConfig
+	sigma float64
+	rng   *rand.Rand
+}
+
+// WithDP wraps a moment-reporting client so its uploaded means and central
+// moments are L2-clipped to cfg.Clip and perturbed with Gaussian noise of
+// scale cfg.NoiseSigma(). Downloads (global statistics) pass through
+// unchanged.
+func WithDP(c MomentClient, cfg DPConfig, rng *rand.Rand) (MomentClient, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &dpMomentClient{MomentClient: c, cfg: cfg, sigma: cfg.NoiseSigma(), rng: rng}, nil
+}
+
+// privatize clips v into the L2 ball of radius Clip and adds N(0, σ²) noise
+// element-wise, returning a fresh vector.
+func (d *dpMomentClient) privatize(v *mat.Dense) *mat.Dense {
+	out := v.Clone()
+	if norm := mat.FrobNorm(out); norm > d.cfg.Clip {
+		out.ScaleInPlace(d.cfg.Clip / norm)
+	}
+	data := out.Data()
+	for i := range data {
+		data[i] += d.sigma * d.rng.NormFloat64()
+	}
+	return out
+}
+
+// LocalMeans implements MomentClient with privatised uploads.
+func (d *dpMomentClient) LocalMeans() ([]*mat.Dense, int, error) {
+	means, n, err := d.MomentClient.LocalMeans()
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]*mat.Dense, len(means))
+	for i, m := range means {
+		out[i] = d.privatize(m)
+	}
+	return out, n, nil
+}
+
+// CentralAroundGlobal implements MomentClient with privatised uploads.
+func (d *dpMomentClient) CentralAroundGlobal(globalMeans []*mat.Dense) ([][]*mat.Dense, int, error) {
+	moms, n, err := d.MomentClient.CentralAroundGlobal(globalMeans)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([][]*mat.Dense, len(moms))
+	for l, layer := range moms {
+		out[l] = make([]*mat.Dense, len(layer))
+		for k, v := range layer {
+			out[l][k] = d.privatize(v)
+		}
+	}
+	return out, n, nil
+}

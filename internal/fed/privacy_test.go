@@ -1,0 +1,122 @@
+package fed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedomd/internal/mat"
+)
+
+func TestDPConfigValidate(t *testing.T) {
+	good := DPConfig{Epsilon: 1, Delta: 1e-5, Clip: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []DPConfig{
+		{Epsilon: 0, Delta: 1e-5, Clip: 1},
+		{Epsilon: 1, Delta: 0, Clip: 1},
+		{Epsilon: 1, Delta: 1, Clip: 1},
+		{Epsilon: 1, Delta: 1e-5, Clip: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	if _, err := WithDP(nil, bad[0], nil); err == nil {
+		t.Fatal("WithDP accepted invalid config")
+	}
+}
+
+func TestNoiseSigmaFormula(t *testing.T) {
+	c := DPConfig{Epsilon: 2, Delta: 1e-5, Clip: 3}
+	want := 3 * math.Sqrt(2*math.Log(1.25/1e-5)) / 2
+	if got := c.NoiseSigma(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sigma = %v want %v", got, want)
+	}
+	// Tighter epsilon ⇒ more noise.
+	tight := DPConfig{Epsilon: 0.5, Delta: 1e-5, Clip: 3}
+	if tight.NoiseSigma() <= c.NoiseSigma() {
+		t.Fatal("sigma not monotone in epsilon")
+	}
+}
+
+func TestDPUploadsAreClippedAndNoised(t *testing.T) {
+	big, _ := mat.NewFromRows([][]float64{{100, 100, 100, 100}})
+	inner := &momentFake{fakeClient: newFakeClient("a", 1, 0), data: big}
+	cfg := DPConfig{Epsilon: 1, Delta: 1e-5, Clip: 1}
+	dp, err := WithDP(inner, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	means, n, err := dp.LocalMeans()
+	if err != nil || n != 1 {
+		t.Fatalf("LocalMeans: %v n=%d", err, n)
+	}
+	// Raw mean has norm 200; after clipping to 1 plus noise of ~sigma per
+	// coordinate, the result must be nowhere near the raw value.
+	if norm := mat.FrobNorm(means[0]); norm > 1+8*cfg.NoiseSigma() {
+		t.Fatalf("upload norm %v not clipped", norm)
+	}
+	raw, _, _ := inner.LocalMeans()
+	if means[0].EqualApprox(raw[0], 1e-9) {
+		t.Fatal("upload not noised")
+	}
+	// Moments path too.
+	moms, _, err := dp.CentralAroundGlobal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawMoms, _, _ := inner.CentralAroundGlobal(raw)
+	if moms[0][0].EqualApprox(rawMoms[0][0], 1e-9) {
+		t.Fatal("moment upload not noised")
+	}
+}
+
+func TestDPNoiseAveragesOut(t *testing.T) {
+	// Unbiasedness of the mechanism on an in-ball vector: the mean of many
+	// privatised uploads converges to the true vector.
+	v, _ := mat.NewFromRows([][]float64{{0.3, -0.2}})
+	inner := &momentFake{fakeClient: newFakeClient("a", 1, 0), data: v}
+	dp, err := WithDP(inner, DPConfig{Epsilon: 1, Delta: 1e-3, Clip: 1}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := mat.New(1, 2)
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		means, _, err := dp.LocalMeans()
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.AddInPlace(means[0])
+	}
+	acc.ScaleInPlace(1.0 / trials)
+	truth := mat.MeanRows(v)
+	if !acc.EqualApprox(truth, 0.5) {
+		t.Fatalf("privatised mean of means %v far from %v", acc, truth)
+	}
+}
+
+func TestDPClientRunsInFederation(t *testing.T) {
+	d1, _ := mat.NewFromRows([][]float64{{0}, {2}})
+	d2, _ := mat.NewFromRows([][]float64{{10}, {12}})
+	a := &momentFake{fakeClient: newFakeClient("a", 2, 0), data: d1}
+	b := &momentFake{fakeClient: newFakeClient("b", 2, 0), data: d2}
+	dpa, err := WithDP(a, DPConfig{Epsilon: 1, Delta: 1e-5, Clip: 5}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpb, err := WithDP(b, DPConfig{Epsilon: 1, Delta: 1e-5, Clip: 5}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Config{Rounds: 2}, []Client{dpa, dpb}); err != nil {
+		t.Fatal(err)
+	}
+	// Both inner clients must have received (noisy) global stats.
+	if a.gotMeans == nil || b.gotMeans == nil {
+		t.Fatal("DP wrapper broke the exchange")
+	}
+}

@@ -1,0 +1,88 @@
+package fed
+
+import (
+	"testing"
+)
+
+func TestClientFractionValidation(t *testing.T) {
+	a := newFakeClient("a", 1, 0)
+	if _, err := Run(Config{Rounds: 1, ClientFraction: -0.5}, []Client{a}); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+	if _, err := Run(Config{Rounds: 1, ClientFraction: 1.5}, []Client{a}); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+}
+
+func TestClientFractionTrainsSubset(t *testing.T) {
+	clients := make([]Client, 4)
+	fakes := make([]*fakeClient, 4)
+	for i := range clients {
+		fakes[i] = newFakeClient(string(rune('a'+i)), 1, 0)
+		clients[i] = fakes[i]
+	}
+	const rounds = 20
+	if _, err := Run(Config{Rounds: rounds, ClientFraction: 0.5, SampleSeed: 7}, clients); err != nil {
+		t.Fatal(err)
+	}
+	var total int32
+	for _, f := range fakes {
+		total += f.trainCalls
+		// Every client should participate sometimes but not every round.
+		if f.trainCalls == 0 {
+			t.Fatalf("client %s never sampled over %d rounds", f.name, rounds)
+		}
+		if f.trainCalls == rounds {
+			t.Fatalf("client %s sampled every round at fraction 0.5", f.name)
+		}
+	}
+	if total != rounds*2 {
+		t.Fatalf("total training calls = %d want %d", total, rounds*2)
+	}
+}
+
+func TestClientFractionAggregatesOnlyActive(t *testing.T) {
+	// With fraction 0.5 over 2 clients, exactly one trains per round; the
+	// round's aggregate equals that client's weights.
+	a := newFakeClient("a", 1, 0)
+	a.trainVal = 2
+	b := newFakeClient("b", 1, 0)
+	b.trainVal = 8
+	res, err := Run(Config{Rounds: 1, ClientFraction: 0.5, SampleSeed: 1}, []Client{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.FinalParams.Get("w").At(0, 0)
+	if got != 2 && got != 8 {
+		t.Fatalf("aggregate %v is not a single client's value", got)
+	}
+}
+
+func TestClientFractionDeterministicUnderSeed(t *testing.T) {
+	run := func() float64 {
+		a := newFakeClient("a", 1, 0)
+		a.trainVal = 2
+		b := newFakeClient("b", 1, 0)
+		b.trainVal = 8
+		res, err := Run(Config{Rounds: 5, ClientFraction: 0.5, SampleSeed: 42}, []Client{a, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalParams.Get("w").At(0, 0)
+	}
+	if run() != run() {
+		t.Fatal("sampling not deterministic under SampleSeed")
+	}
+}
+
+func TestFullParticipationDefault(t *testing.T) {
+	fakes := []*fakeClient{newFakeClient("a", 1, 0), newFakeClient("b", 1, 0)}
+	if _, err := Run(Config{Rounds: 3}, []Client{fakes[0], fakes[1]}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fakes {
+		if f.trainCalls != 3 {
+			t.Fatalf("client %s trained %d/3 rounds at full participation", f.name, f.trainCalls)
+		}
+	}
+}

@@ -1,0 +1,406 @@
+package fed
+
+// transport.go implements a distributed deployment of the same federated
+// protocol Run drives in-process: the server listens on a net.Listener, each
+// party connects from its own process (or goroutine) and serves its local
+// client over a length-delimited gob RPC stream, and the coordinator drives
+// the connections through proxy Clients so Run's round logic — FedAvg,
+// moment exchange, aux state, accounting — is reused verbatim.
+//
+// One request is in flight per connection at a time, matching Run's
+// guarantee that a client is never called concurrently with itself.
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"fedomd/internal/mat"
+	"fedomd/internal/nn"
+)
+
+// wireDense is the gob form of a dense matrix.
+type wireDense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func toWire(m *mat.Dense) wireDense {
+	if m == nil {
+		return wireDense{}
+	}
+	return wireDense{Rows: m.Rows(), Cols: m.Cols(), Data: append([]float64(nil), m.Data()...)}
+}
+
+func fromWire(w wireDense) *mat.Dense {
+	if w.Rows == 0 && w.Cols == 0 {
+		return mat.New(0, 0)
+	}
+	return mat.NewFromData(w.Rows, w.Cols, append([]float64(nil), w.Data...))
+}
+
+// wireParams is the gob form of a parameter set.
+type wireParams struct {
+	Names []string
+	Mats  []wireDense
+}
+
+func paramsToWire(p *nn.Params) *wireParams {
+	if p == nil {
+		return nil
+	}
+	w := &wireParams{Names: p.Names()}
+	for i := 0; i < p.Len(); i++ {
+		w.Mats = append(w.Mats, toWire(p.At(i)))
+	}
+	return w
+}
+
+func paramsFromWire(w *wireParams) *nn.Params {
+	if w == nil {
+		return nil
+	}
+	p := nn.NewParams()
+	for i, name := range w.Names {
+		p.Add(name, fromWire(w.Mats[i]))
+	}
+	return p
+}
+
+func vecsToWire(vs []*mat.Dense) []wireDense {
+	out := make([]wireDense, len(vs))
+	for i, v := range vs {
+		out[i] = toWire(v)
+	}
+	return out
+}
+
+func vecsFromWire(ws []wireDense) []*mat.Dense {
+	out := make([]*mat.Dense, len(ws))
+	for i, w := range ws {
+		out[i] = fromWire(w)
+	}
+	return out
+}
+
+// rpc operation codes.
+const (
+	opSetParams      = "SetParams"
+	opTrainLocal     = "TrainLocal"
+	opEvalVal        = "EvalVal"
+	opEvalTest       = "EvalTest"
+	opGetParams      = "GetParams"
+	opLocalMeans     = "LocalMeans"
+	opCentralMoments = "CentralMoments"
+	opSetGlobalStats = "SetGlobalStats"
+	opUploadAux      = "UploadAux"
+	opDownloadAux    = "DownloadAux"
+	opShutdown       = "Shutdown"
+)
+
+// hello is the first message a party sends after connecting.
+type hello struct {
+	Name       string
+	NumSamples int
+	Moment     bool // implements MomentClient
+	Aux        bool // implements AuxClient
+}
+
+// rpcRequest is a coordinator→party message.
+type rpcRequest struct {
+	Op      string
+	Round   int
+	Params  *wireParams
+	Means   []wireDense
+	Central [][]wireDense
+}
+
+// rpcResponse is a party→coordinator reply.
+type rpcResponse struct {
+	Err            string
+	Loss           float64
+	Correct, Total int
+	Params         *wireParams
+	Means          []wireDense
+	Central        [][]wireDense
+	N              int
+}
+
+// ServeClient connects to the coordinator at addr and serves the local
+// client until the coordinator sends Shutdown or the connection closes.
+// It returns nil on a clean shutdown.
+func ServeClient(addr string, c Client) error {
+	conn, err := net.DialTimeout("tcp", addr, 30*time.Second)
+	if err != nil {
+		return fmt.Errorf("fed: dial coordinator: %w", err)
+	}
+	defer conn.Close()
+	return ServeClientConn(conn, c)
+}
+
+// ServeClientConn serves the client over an established connection (exported
+// so tests and in-process demos can use net.Pipe or loopback listeners).
+func ServeClientConn(conn net.Conn, c Client) error {
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	mc, isMoment := c.(MomentClient)
+	ac, isAux := c.(AuxClient)
+	if err := enc.Encode(hello{Name: c.Name(), NumSamples: c.NumSamples(), Moment: isMoment, Aux: isAux}); err != nil {
+		return fmt.Errorf("fed: handshake: %w", err)
+	}
+	for {
+		var req rpcRequest
+		if err := dec.Decode(&req); err != nil {
+			return fmt.Errorf("fed: reading request: %w", err)
+		}
+		var resp rpcResponse
+		switch req.Op {
+		case opShutdown:
+			return enc.Encode(rpcResponse{})
+		case opSetParams:
+			if err := c.SetParams(paramsFromWire(req.Params)); err != nil {
+				resp.Err = err.Error()
+			}
+		case opTrainLocal:
+			loss, err := c.TrainLocal(req.Round)
+			resp.Loss = loss
+			if err != nil {
+				resp.Err = err.Error()
+			}
+		case opEvalVal:
+			resp.Correct, resp.Total = c.EvalVal()
+		case opEvalTest:
+			resp.Correct, resp.Total = c.EvalTest()
+		case opGetParams:
+			resp.Params = paramsToWire(c.Params())
+		case opLocalMeans:
+			if !isMoment {
+				resp.Err = "fed: client does not implement MomentClient"
+				break
+			}
+			means, n, err := mc.LocalMeans()
+			if err != nil {
+				resp.Err = err.Error()
+				break
+			}
+			resp.Means = vecsToWire(means)
+			resp.N = n
+		case opCentralMoments:
+			if !isMoment {
+				resp.Err = "fed: client does not implement MomentClient"
+				break
+			}
+			moms, n, err := mc.CentralAroundGlobal(vecsFromWire(req.Means))
+			if err != nil {
+				resp.Err = err.Error()
+				break
+			}
+			resp.Central = make([][]wireDense, len(moms))
+			for l, layer := range moms {
+				resp.Central[l] = vecsToWire(layer)
+			}
+			resp.N = n
+		case opSetGlobalStats:
+			if !isMoment {
+				resp.Err = "fed: client does not implement MomentClient"
+				break
+			}
+			central := make([][]*mat.Dense, len(req.Central))
+			for l, layer := range req.Central {
+				central[l] = vecsFromWire(layer)
+			}
+			mc.SetGlobalStats(vecsFromWire(req.Means), central)
+		case opUploadAux:
+			if !isAux {
+				resp.Err = "fed: client does not implement AuxClient"
+				break
+			}
+			resp.Params = paramsToWire(ac.UploadAux())
+		case opDownloadAux:
+			if !isAux {
+				resp.Err = "fed: client does not implement AuxClient"
+				break
+			}
+			if err := ac.DownloadAux(paramsFromWire(req.Params)); err != nil {
+				resp.Err = err.Error()
+			}
+		default:
+			resp.Err = fmt.Sprintf("fed: unknown op %q", req.Op)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return fmt.Errorf("fed: writing response: %w", err)
+		}
+	}
+}
+
+// remoteClient proxies a connected party as a Client.
+type remoteClient struct {
+	name    string
+	samples int
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	conn    net.Conn
+}
+
+func (r *remoteClient) call(req rpcRequest) (rpcResponse, error) {
+	if err := r.enc.Encode(req); err != nil {
+		return rpcResponse{}, fmt.Errorf("fed: rpc %s to %s: %w", req.Op, r.name, err)
+	}
+	var resp rpcResponse
+	if err := r.dec.Decode(&resp); err != nil {
+		return rpcResponse{}, fmt.Errorf("fed: rpc %s reply from %s: %w", req.Op, r.name, err)
+	}
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+func (r *remoteClient) Name() string    { return r.name }
+func (r *remoteClient) NumSamples() int { return r.samples }
+
+func (r *remoteClient) Params() *nn.Params {
+	resp, err := r.call(rpcRequest{Op: opGetParams})
+	if err != nil {
+		// Params() cannot report errors; an empty set will fail loudly in
+		// aggregation with a shape mismatch.
+		return nn.NewParams()
+	}
+	return paramsFromWire(resp.Params)
+}
+
+func (r *remoteClient) SetParams(global *nn.Params) error {
+	_, err := r.call(rpcRequest{Op: opSetParams, Params: paramsToWire(global)})
+	return err
+}
+
+func (r *remoteClient) TrainLocal(round int) (float64, error) {
+	resp, err := r.call(rpcRequest{Op: opTrainLocal, Round: round})
+	return resp.Loss, err
+}
+
+func (r *remoteClient) EvalVal() (int, int) {
+	resp, err := r.call(rpcRequest{Op: opEvalVal})
+	if err != nil {
+		return 0, 0
+	}
+	return resp.Correct, resp.Total
+}
+
+func (r *remoteClient) EvalTest() (int, int) {
+	resp, err := r.call(rpcRequest{Op: opEvalTest})
+	if err != nil {
+		return 0, 0
+	}
+	return resp.Correct, resp.Total
+}
+
+func (r *remoteClient) shutdown() {
+	_, _ = r.call(rpcRequest{Op: opShutdown})
+	_ = r.conn.Close()
+}
+
+// remoteMomentClient adds the MomentClient surface.
+type remoteMomentClient struct{ remoteClient }
+
+func (r *remoteMomentClient) LocalMeans() ([]*mat.Dense, int, error) {
+	resp, err := r.call(rpcRequest{Op: opLocalMeans})
+	if err != nil {
+		return nil, 0, err
+	}
+	return vecsFromWire(resp.Means), resp.N, nil
+}
+
+func (r *remoteMomentClient) CentralAroundGlobal(globalMeans []*mat.Dense) ([][]*mat.Dense, int, error) {
+	resp, err := r.call(rpcRequest{Op: opCentralMoments, Means: vecsToWire(globalMeans)})
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([][]*mat.Dense, len(resp.Central))
+	for l, layer := range resp.Central {
+		out[l] = vecsFromWire(layer)
+	}
+	return out, resp.N, nil
+}
+
+func (r *remoteMomentClient) SetGlobalStats(means []*mat.Dense, central [][]*mat.Dense) {
+	wire := make([][]wireDense, len(central))
+	for l, layer := range central {
+		wire[l] = vecsToWire(layer)
+	}
+	_, _ = r.call(rpcRequest{Op: opSetGlobalStats, Means: vecsToWire(means), Central: wire})
+}
+
+// remoteAuxClient adds the AuxClient surface.
+type remoteAuxClient struct{ remoteClient }
+
+func (r *remoteAuxClient) UploadAux() *nn.Params {
+	resp, err := r.call(rpcRequest{Op: opUploadAux})
+	if err != nil {
+		return nil
+	}
+	return paramsFromWire(resp.Params)
+}
+
+func (r *remoteAuxClient) DownloadAux(global *nn.Params) error {
+	_, err := r.call(rpcRequest{Op: opDownloadAux, Params: paramsToWire(global)})
+	return err
+}
+
+// AcceptClients waits for n parties to connect and complete their handshake,
+// returning proxy Clients in connection order.
+func AcceptClients(ln net.Listener, n int) ([]Client, error) {
+	clients := make([]Client, 0, n)
+	for len(clients) < n {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("fed: accept: %w", err)
+		}
+		enc := gob.NewEncoder(conn)
+		dec := gob.NewDecoder(conn)
+		var h hello
+		if err := dec.Decode(&h); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("fed: handshake: %w", err)
+		}
+		base := remoteClient{name: h.Name, samples: h.NumSamples, enc: enc, dec: dec, conn: conn}
+		switch {
+		case h.Moment:
+			clients = append(clients, &remoteMomentClient{base})
+		case h.Aux:
+			clients = append(clients, &remoteAuxClient{base})
+		default:
+			rc := base
+			clients = append(clients, &rc)
+		}
+	}
+	return clients, nil
+}
+
+// RunDistributed accepts n parties on ln and drives the full federated
+// protocol over the network, reusing Run's round logic. Parties are shut
+// down cleanly when the run finishes.
+func RunDistributed(cfg Config, ln net.Listener, n int) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fed: RunDistributed needs a positive party count, got %d", n)
+	}
+	clients, err := AcceptClients(ln, n)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, c := range clients {
+			switch rc := c.(type) {
+			case *remoteClient:
+				rc.shutdown()
+			case *remoteMomentClient:
+				rc.shutdown()
+			case *remoteAuxClient:
+				rc.shutdown()
+			}
+		}
+	}()
+	return Run(cfg, clients)
+}

@@ -1,0 +1,145 @@
+package fed
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"fedomd/internal/mat"
+	"fedomd/internal/moments"
+	"fedomd/internal/nn"
+)
+
+// startServer runs RunDistributed over a loopback listener and serves the
+// given clients from goroutines.
+func startServer(t *testing.T, cfg Config, locals []Client) (*Result, error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var wg sync.WaitGroup
+	serveErrs := make([]error, len(locals))
+	for i, c := range locals {
+		wg.Add(1)
+		go func(i int, c Client) {
+			defer wg.Done()
+			serveErrs[i] = ServeClient(ln.Addr().String(), c)
+		}(i, c)
+	}
+	res, err := RunDistributed(cfg, ln, len(locals))
+	wg.Wait()
+	for i, se := range serveErrs {
+		if se != nil {
+			t.Errorf("party %d serve error: %v", i, se)
+		}
+	}
+	return res, err
+}
+
+func TestDistributedMatchesInProcess(t *testing.T) {
+	mk := func() []Client {
+		a := newFakeClient("a", 3, 0)
+		a.trainVal = 1
+		b := newFakeClient("b", 1, 0)
+		b.trainVal = 5
+		return []Client{a, b}
+	}
+	local, err := Run(Config{Rounds: 3, Sequential: true}, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := startServer(t, Config{Rounds: 3, Sequential: true}, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dist.FinalParams.Get("w").At(0, 0), local.FinalParams.Get("w").At(0, 0); got != want {
+		t.Fatalf("distributed aggregate %v, in-process %v", got, want)
+	}
+	if dist.History[2].TestAcc != local.History[2].TestAcc {
+		t.Fatal("distributed accuracy trajectory diverged")
+	}
+}
+
+func TestDistributedMomentExchange(t *testing.T) {
+	d1, _ := mat.NewFromRows([][]float64{{0}, {2}})
+	d2, _ := mat.NewFromRows([][]float64{{10}, {12}, {14}, {16}})
+	a := &momentFake{fakeClient: newFakeClient("a", 2, 0), data: d1}
+	b := &momentFake{fakeClient: newFakeClient("b", 4, 0), data: d2}
+	if _, err := startServer(t, Config{Rounds: 1}, []Client{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	// Global stats must have crossed the wire and match the pooled
+	// reference.
+	pooled, _ := mat.NewFromRows([][]float64{{0}, {2}, {10}, {12}, {14}, {16}})
+	wantMean := mat.MeanRows(pooled)
+	wantCentral := moments.CentralAround(pooled, wantMean, 5)
+	if a.gotMeans == nil || !a.gotMeans[0].EqualApprox(wantMean, 1e-12) {
+		t.Fatalf("global mean over the wire = %v want %v", a.gotMeans, wantMean)
+	}
+	for k := range wantCentral {
+		if !b.gotCentral[0][k].EqualApprox(wantCentral[k], 1e-9) {
+			t.Fatalf("order-%d moment mismatch over the wire", k+2)
+		}
+	}
+}
+
+func TestDistributedAuxExchange(t *testing.T) {
+	a := &auxFake{fakeClient: newFakeClient("a", 1, 0), auxVal: 2}
+	b := &auxFake{fakeClient: newFakeClient("b", 1, 0), auxVal: 6}
+	if _, err := startServer(t, Config{Rounds: 1}, []Client{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if a.downloaded != 4 || b.downloaded != 4 {
+		t.Fatalf("aux aggregate over the wire = %v/%v want 4", a.downloaded, b.downloaded)
+	}
+}
+
+func TestDistributedPropagatesClientError(t *testing.T) {
+	a := newFakeClient("a", 1, 0)
+	a.trainErr = errTest
+	_, err := startServer(t, Config{Rounds: 1}, []Client{a})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("training error not propagated: %v", err)
+	}
+}
+
+var errTest = errBoom{}
+
+type errBoom struct{}
+
+func (errBoom) Error() string { return "boom" }
+
+func TestWireRoundTrips(t *testing.T) {
+	m, _ := mat.NewFromRows([][]float64{{1, 2}, {3, 4}})
+	if !fromWire(toWire(m)).Equal(m) {
+		t.Fatal("dense wire round trip failed")
+	}
+	if fromWire(toWire(nil)).Rows() != 0 {
+		t.Fatal("nil dense round trip failed")
+	}
+	p := nn.NewParams()
+	p.Add("w0", m)
+	p.Add("b0", mat.New(1, 2))
+	q := paramsFromWire(paramsToWire(p))
+	if q.Len() != 2 || !q.Get("w0").Equal(m) {
+		t.Fatal("params wire round trip failed")
+	}
+	if paramsFromWire(nil) != nil {
+		t.Fatal("nil params round trip failed")
+	}
+}
+
+func TestRunDistributedValidation(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := RunDistributed(Config{Rounds: 1}, ln, 0); err == nil {
+		t.Fatal("0 parties accepted")
+	}
+}

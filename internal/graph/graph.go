@@ -1,0 +1,283 @@
+// Package graph defines the attributed-graph value type used throughout the
+// repository: a symmetric adjacency in CSR form, a dense node-feature matrix,
+// integer node labels, and semi-supervised train/validation/test masks.
+// It provides subgraph induction (how parties get their local graphs),
+// stratified splitting at the paper's 1%/20%/20% label rate, and the
+// statistics used for the non-i.i.d visualisation of Figure 4.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fedomd/internal/mat"
+	"fedomd/internal/sparse"
+)
+
+// Graph is an undirected attributed graph. Adj stores each undirected edge in
+// both directions; Features is n×f; Labels has one class id per node.
+type Graph struct {
+	Adj        *sparse.CSR
+	Features   *mat.Dense
+	Labels     []int
+	NumClasses int
+
+	// TrainMask, ValMask and TestMask hold node indices (not booleans).
+	// They may be empty before Split is applied.
+	TrainMask, ValMask, TestMask []int
+}
+
+// New validates and assembles a graph. edges are undirected pairs; both
+// directions are inserted. Self loops are rejected (the GCN normalisation
+// adds its own).
+func New(features *mat.Dense, labels []int, numClasses int, edges [][2]int) (*Graph, error) {
+	n := features.Rows()
+	if len(labels) != n {
+		return nil, fmt.Errorf("graph: %d labels for %d nodes", len(labels), n)
+	}
+	for i, y := range labels {
+		if y < 0 || y >= numClasses {
+			return nil, fmt.Errorf("graph: node %d label %d out of range [0,%d)", i, y, numClasses)
+		}
+	}
+	entries := make([]sparse.Coord, 0, 2*len(edges))
+	for _, e := range edges {
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("graph: self loop at node %d", e[0])
+		}
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			return nil, fmt.Errorf("graph: edge %v out of range for %d nodes", e, n)
+		}
+		entries = append(entries,
+			sparse.Coord{Row: e[0], Col: e[1], Val: 1},
+			sparse.Coord{Row: e[1], Col: e[0], Val: 1},
+		)
+	}
+	adj, err := sparse.NewCSR(n, n, entries)
+	if err != nil {
+		return nil, err
+	}
+	// Clamp duplicate edges to weight 1 so NumEdges stays meaningful.
+	clamped := make([]sparse.Coord, 0, adj.NNZ())
+	for i := 0; i < n; i++ {
+		adj.RowEntries(i, func(col int, _ float64) {
+			clamped = append(clamped, sparse.Coord{Row: i, Col: col, Val: 1})
+		})
+	}
+	adj, err = sparse.NewCSR(n, n, clamped)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{Adj: adj, Features: features, Labels: labels, NumClasses: numClasses}, nil
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.Features.Rows() }
+
+// NumEdges returns the undirected edge count.
+func (g *Graph) NumEdges() int { return g.Adj.NNZ() / 2 }
+
+// NumFeatures returns the feature dimensionality.
+func (g *Graph) NumFeatures() int { return g.Features.Cols() }
+
+// Degree returns the degree of node i.
+func (g *Graph) Degree(i int) int { return g.Adj.RowNNZ(i) }
+
+// Edges returns each undirected edge once, as (u, v) with u < v.
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for i := 0; i < g.NumNodes(); i++ {
+		g.Adj.RowEntries(i, func(j int, _ float64) {
+			if i < j {
+				out = append(out, [2]int{i, j})
+			}
+		})
+	}
+	return out
+}
+
+// Neighbors returns the neighbour ids of node i.
+func (g *Graph) Neighbors(i int) []int {
+	out := make([]int, 0, g.Adj.RowNNZ(i))
+	g.Adj.RowEntries(i, func(j int, _ float64) { out = append(out, j) })
+	return out
+}
+
+// Subgraph induces the subgraph on the given node ids (in the given order)
+// and returns it together with the mapping from new index to original id.
+// Masks are re-derived: an original-mask node survives iff it is included.
+func (g *Graph) Subgraph(nodes []int) (*Graph, []int, error) {
+	remap := make(map[int]int, len(nodes))
+	for newID, old := range nodes {
+		if old < 0 || old >= g.NumNodes() {
+			return nil, nil, fmt.Errorf("graph: subgraph node %d out of range", old)
+		}
+		if _, dup := remap[old]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate node %d in subgraph", old)
+		}
+		remap[old] = newID
+	}
+	feats := g.Features.SelectRows(nodes)
+	labels := make([]int, len(nodes))
+	for newID, old := range nodes {
+		labels[newID] = g.Labels[old]
+	}
+	var edges [][2]int
+	for newID, old := range nodes {
+		g.Adj.RowEntries(old, func(j int, _ float64) {
+			if nj, ok := remap[j]; ok && newID < nj {
+				edges = append(edges, [2]int{newID, nj})
+			}
+		})
+	}
+	sub, err := New(feats, labels, g.NumClasses, edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub.TrainMask = remapMask(g.TrainMask, remap)
+	sub.ValMask = remapMask(g.ValMask, remap)
+	sub.TestMask = remapMask(g.TestMask, remap)
+	ids := append([]int(nil), nodes...)
+	return sub, ids, nil
+}
+
+func remapMask(mask []int, remap map[int]int) []int {
+	var out []int
+	for _, old := range mask {
+		if n, ok := remap[old]; ok {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Split assigns stratified train/val/test masks with the given fractions of
+// nodes (the paper uses 1%/20%/20%). Stratification is per class so every
+// class is represented in the training mask whenever it has enough nodes; at
+// least one training node per class is forced when the class is non-empty.
+func (g *Graph) Split(rng *rand.Rand, trainFrac, valFrac, testFrac float64) error {
+	if trainFrac < 0 || valFrac < 0 || testFrac < 0 || trainFrac+valFrac+testFrac > 1+1e-9 {
+		return fmt.Errorf("graph: invalid split fractions %v/%v/%v", trainFrac, valFrac, testFrac)
+	}
+	byClass := make([][]int, g.NumClasses)
+	for i, y := range g.Labels {
+		byClass[y] = append(byClass[y], i)
+	}
+	g.TrainMask, g.ValMask, g.TestMask = nil, nil, nil
+	for _, nodes := range byClass {
+		if len(nodes) == 0 {
+			continue
+		}
+		perm := rng.Perm(len(nodes))
+		nTrain := int(float64(len(nodes)) * trainFrac)
+		if nTrain == 0 {
+			nTrain = 1
+		}
+		nVal := int(float64(len(nodes)) * valFrac)
+		nTest := int(float64(len(nodes)) * testFrac)
+		if nTrain+nVal+nTest > len(nodes) {
+			over := nTrain + nVal + nTest - len(nodes)
+			if nTest >= over {
+				nTest -= over
+			} else {
+				over -= nTest
+				nTest = 0
+				if nVal >= over {
+					nVal -= over
+				} else {
+					nVal = 0
+				}
+			}
+		}
+		for k, pi := range perm {
+			id := nodes[pi]
+			switch {
+			case k < nTrain:
+				g.TrainMask = append(g.TrainMask, id)
+			case k < nTrain+nVal:
+				g.ValMask = append(g.ValMask, id)
+			case k < nTrain+nVal+nTest:
+				g.TestMask = append(g.TestMask, id)
+			}
+		}
+	}
+	sort.Ints(g.TrainMask)
+	sort.Ints(g.ValMask)
+	sort.Ints(g.TestMask)
+	return nil
+}
+
+// LabelHistogram counts nodes per class (the per-party circles of Figure 4).
+func (g *Graph) LabelHistogram() []int {
+	h := make([]int, g.NumClasses)
+	for _, y := range g.Labels {
+		h[y]++
+	}
+	return h
+}
+
+// EdgeHomophily returns the fraction of edges whose endpoints share a label,
+// a standard non-i.i.d / structure diagnostic.
+func (g *Graph) EdgeHomophily() float64 {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return 0
+	}
+	same := 0
+	for _, e := range edges {
+		if g.Labels[e[0]] == g.Labels[e[1]] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(edges))
+}
+
+// FeatureMeanByClass returns a numClasses×f matrix of class-conditional
+// feature means, used to quantify feature non-i.i.d-ness across parties.
+func (g *Graph) FeatureMeanByClass() *mat.Dense {
+	out := mat.New(g.NumClasses, g.NumFeatures())
+	counts := make([]int, g.NumClasses)
+	for i, y := range g.Labels {
+		row := g.Features.Row(i)
+		orow := out.Row(y)
+		for j, v := range row {
+			orow[j] += v
+		}
+		counts[y]++
+	}
+	for y, c := range counts {
+		if c == 0 {
+			continue
+		}
+		row := out.Row(y)
+		inv := 1 / float64(c)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return out
+}
+
+// Stats is a human-readable summary matching the columns of paper Table 2.
+type Stats struct {
+	Nodes, Edges, Classes, Features int
+	Homophily                       float64
+}
+
+// Summary computes Stats for g.
+func (g *Graph) Summary() Stats {
+	return Stats{
+		Nodes:     g.NumNodes(),
+		Edges:     g.NumEdges(),
+		Classes:   g.NumClasses,
+		Features:  g.NumFeatures(),
+		Homophily: g.EdgeHomophily(),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d edges=%d classes=%d features=%d homophily=%.3f",
+		s.Nodes, s.Edges, s.Classes, s.Features, s.Homophily)
+}

@@ -1,0 +1,275 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedomd/internal/mat"
+)
+
+// triangle plus a pendant: 0-1, 1-2, 2-0, 2-3.
+func smallGraph(t *testing.T) *Graph {
+	t.Helper()
+	feats, _ := mat.NewFromRows([][]float64{{1, 0}, {0, 1}, {1, 1}, {0, 0}})
+	g, err := New(feats, []int{0, 0, 1, 1}, 2, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewBasics(t *testing.T) {
+	g := smallGraph(t)
+	if g.NumNodes() != 4 || g.NumEdges() != 4 || g.NumFeatures() != 2 {
+		t.Fatalf("counts wrong: %v", g.Summary())
+	}
+	if g.Degree(2) != 3 || g.Degree(3) != 1 {
+		t.Fatalf("degrees wrong: %d %d", g.Degree(2), g.Degree(3))
+	}
+	nbrs := g.Neighbors(2)
+	if len(nbrs) != 3 {
+		t.Fatalf("neighbors of 2 = %v", nbrs)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	feats := mat.New(3, 1)
+	if _, err := New(feats, []int{0, 0}, 1, nil); err == nil {
+		t.Fatal("label/node count mismatch accepted")
+	}
+	if _, err := New(feats, []int{0, 0, 5}, 2, nil); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if _, err := New(feats, []int{0, 0, 0}, 1, [][2]int{{1, 1}}); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	if _, err := New(feats, []int{0, 0, 0}, 1, [][2]int{{0, 9}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestDuplicateEdgesClamped(t *testing.T) {
+	feats := mat.New(2, 1)
+	g, err := New(feats, []int{0, 0}, 1, [][2]int{{0, 1}, {0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("duplicate edges counted: %d", g.NumEdges())
+	}
+	if g.Adj.At(0, 1) != 1 {
+		t.Fatalf("edge weight = %v want 1", g.Adj.At(0, 1))
+	}
+}
+
+func TestEdgesEachOnce(t *testing.T) {
+	g := smallGraph(t)
+	edges := g.Edges()
+	if len(edges) != 4 {
+		t.Fatalf("Edges() = %v", edges)
+	}
+	for _, e := range edges {
+		if e[0] >= e[1] {
+			t.Fatalf("edge not canonical: %v", e)
+		}
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := smallGraph(t)
+	g.TrainMask = []int{0, 2}
+	g.TestMask = []int{3}
+	sub, ids, err := g.Subgraph([]int{2, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != 3 {
+		t.Fatal("subgraph node count")
+	}
+	// Edges kept: 2-3 and 2-0 → in new ids (0,1) and (0,2).
+	if sub.NumEdges() != 2 {
+		t.Fatalf("subgraph edges = %d want 2", sub.NumEdges())
+	}
+	if sub.Adj.At(0, 1) != 1 || sub.Adj.At(0, 2) != 1 || sub.Adj.At(1, 2) != 0 {
+		t.Fatal("subgraph adjacency wrong")
+	}
+	if sub.Labels[0] != 1 || sub.Labels[2] != 0 {
+		t.Fatal("subgraph labels wrong")
+	}
+	if sub.Features.At(0, 0) != 1 || sub.Features.At(0, 1) != 1 {
+		t.Fatal("subgraph features wrong")
+	}
+	if len(ids) != 3 || ids[0] != 2 {
+		t.Fatal("id mapping wrong")
+	}
+	// Mask remap: train nodes 0,2 → new ids 2,0; test node 3 → new id 1.
+	if len(sub.TrainMask) != 2 || sub.TrainMask[0] != 0 || sub.TrainMask[1] != 2 {
+		t.Fatalf("train mask remap = %v", sub.TrainMask)
+	}
+	if len(sub.TestMask) != 1 || sub.TestMask[0] != 1 {
+		t.Fatalf("test mask remap = %v", sub.TestMask)
+	}
+}
+
+func TestSubgraphErrors(t *testing.T) {
+	g := smallGraph(t)
+	if _, _, err := g.Subgraph([]int{0, 0}); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, _, err := g.Subgraph([]int{99}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestSplitStratified(t *testing.T) {
+	// 3 classes with 100 nodes each.
+	n := 300
+	feats := mat.New(n, 1)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % 3
+	}
+	g, err := New(feats, labels, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := g.Split(rng, 0.01, 0.2, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	// 1% of 100 per class = 1 train node per class.
+	if len(g.TrainMask) != 3 {
+		t.Fatalf("train mask size = %d want 3", len(g.TrainMask))
+	}
+	if len(g.ValMask) != 60 || len(g.TestMask) != 60 {
+		t.Fatalf("val/test sizes = %d/%d want 60/60", len(g.ValMask), len(g.TestMask))
+	}
+	// Per-class coverage in train.
+	seen := map[int]bool{}
+	for _, i := range g.TrainMask {
+		seen[g.Labels[i]] = true
+	}
+	if len(seen) != 3 {
+		t.Fatal("train mask not stratified")
+	}
+	// Disjointness.
+	all := map[int]int{}
+	for _, i := range g.TrainMask {
+		all[i]++
+	}
+	for _, i := range g.ValMask {
+		all[i]++
+	}
+	for _, i := range g.TestMask {
+		all[i]++
+	}
+	for id, c := range all {
+		if c > 1 {
+			t.Fatalf("node %d in %d masks", id, c)
+		}
+	}
+}
+
+func TestSplitForcesMinimumTrainNode(t *testing.T) {
+	// A class with 5 nodes at 1% would round to 0 train nodes; Split must
+	// still pick one.
+	feats := mat.New(10, 1)
+	labels := []int{0, 0, 0, 0, 0, 1, 1, 1, 1, 1}
+	g, _ := New(feats, labels, 2, nil)
+	if err := g.Split(rand.New(rand.NewSource(2)), 0.01, 0.2, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, i := range g.TrainMask {
+		seen[g.Labels[i]] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("classes missing from train mask: %v", g.TrainMask)
+	}
+}
+
+func TestSplitRejectsBadFractions(t *testing.T) {
+	g := smallGraph(t)
+	if err := g.Split(rand.New(rand.NewSource(3)), 0.6, 0.5, 0.2); err == nil {
+		t.Fatal("fractions summing over 1 accepted")
+	}
+	if err := g.Split(rand.New(rand.NewSource(3)), -0.1, 0.2, 0.2); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+}
+
+func TestLabelHistogramAndHomophily(t *testing.T) {
+	g := smallGraph(t)
+	h := g.LabelHistogram()
+	if h[0] != 2 || h[1] != 2 {
+		t.Fatalf("histogram = %v", h)
+	}
+	// Edges: 0-1 same (0,0), 1-2 diff, 2-0 diff, 2-3 same (1,1) → 0.5.
+	if got := g.EdgeHomophily(); got != 0.5 {
+		t.Fatalf("homophily = %v want 0.5", got)
+	}
+}
+
+func TestFeatureMeanByClass(t *testing.T) {
+	g := smallGraph(t)
+	m := g.FeatureMeanByClass()
+	// Class 0: nodes 0,1 → mean (0.5, 0.5). Class 1: nodes 2,3 → (0.5, 0.5).
+	if m.At(0, 0) != 0.5 || m.At(1, 1) != 0.5 {
+		t.Fatalf("class means wrong: %v", m)
+	}
+}
+
+func TestSubgraphPreservesAdjacencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(20)
+		feats := mat.RandGaussian(rng, n, 3, 0, 1)
+		labels := make([]int, n)
+		var edges [][2]int
+		for i := range labels {
+			labels[i] = rng.Intn(3)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.2 {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		g, err := New(feats, labels, 3, edges)
+		if err != nil {
+			return false
+		}
+		// Pick a random subset.
+		perm := rng.Perm(n)
+		k := 2 + rng.Intn(n-2)
+		nodes := perm[:k]
+		sub, ids, err := g.Subgraph(nodes)
+		if err != nil {
+			return false
+		}
+		// Every subgraph edge must exist in the original under the id map,
+		// and vice versa for pairs inside the subset.
+		for _, e := range sub.Edges() {
+			if g.Adj.At(ids[e[0]], ids[e[1]]) != 1 {
+				return false
+			}
+		}
+		inSub := map[int]int{}
+		for newID, old := range ids {
+			inSub[old] = newID
+		}
+		for _, e := range g.Edges() {
+			a, aok := inSub[e[0]]
+			b, bok := inSub[e[1]]
+			if aok && bok && sub.Adj.At(a, b) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

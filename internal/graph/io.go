@@ -1,0 +1,121 @@
+package graph
+
+// io.go provides JSON serialisation so generated datasets, partitions and
+// party subgraphs can be saved, inspected and reloaded — the equivalent of
+// the .pt / .npz artefacts the paper's tooling would emit.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"fedomd/internal/mat"
+)
+
+// jsonGraph is the serialised form: features are stored sparsely (most
+// generated features are zero), edges once per undirected pair.
+type jsonGraph struct {
+	Nodes     int         `json:"nodes"`
+	Features  int         `json:"features"`
+	Classes   int         `json:"classes"`
+	Labels    []int       `json:"labels"`
+	Edges     [][2]int    `json:"edges"`
+	FeatRows  [][]int     `json:"feat_rows"` // non-zero column indices per node
+	FeatVals  [][]float64 `json:"feat_vals"`
+	TrainMask []int       `json:"train_mask,omitempty"`
+	ValMask   []int       `json:"val_mask,omitempty"`
+	TestMask  []int       `json:"test_mask,omitempty"`
+}
+
+// WriteJSON serialises g to w.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	jg := jsonGraph{
+		Nodes:     g.NumNodes(),
+		Features:  g.NumFeatures(),
+		Classes:   g.NumClasses,
+		Labels:    g.Labels,
+		Edges:     g.Edges(),
+		TrainMask: g.TrainMask,
+		ValMask:   g.ValMask,
+		TestMask:  g.TestMask,
+	}
+	jg.FeatRows = make([][]int, g.NumNodes())
+	jg.FeatVals = make([][]float64, g.NumNodes())
+	for i := 0; i < g.NumNodes(); i++ {
+		row := g.Features.Row(i)
+		for j, v := range row {
+			if v != 0 {
+				jg.FeatRows[i] = append(jg.FeatRows[i], j)
+				jg.FeatVals[i] = append(jg.FeatVals[i], v)
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(&jg); err != nil {
+		return fmt.Errorf("graph: encoding: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadJSON deserialises a graph written by WriteJSON.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&jg); err != nil {
+		return nil, fmt.Errorf("graph: decoding: %w", err)
+	}
+	if len(jg.FeatRows) != jg.Nodes || len(jg.FeatVals) != jg.Nodes {
+		return nil, fmt.Errorf("graph: feature rows %d/%d for %d nodes", len(jg.FeatRows), len(jg.FeatVals), jg.Nodes)
+	}
+	feats := mat.New(jg.Nodes, jg.Features)
+	for i := range jg.FeatRows {
+		if len(jg.FeatRows[i]) != len(jg.FeatVals[i]) {
+			return nil, fmt.Errorf("graph: node %d has %d indices but %d values", i, len(jg.FeatRows[i]), len(jg.FeatVals[i]))
+		}
+		for k, j := range jg.FeatRows[i] {
+			if j < 0 || j >= jg.Features {
+				return nil, fmt.Errorf("graph: node %d feature index %d out of range", i, j)
+			}
+			feats.Set(i, j, jg.FeatVals[i][k])
+		}
+	}
+	g, err := New(feats, jg.Labels, jg.Classes, jg.Edges)
+	if err != nil {
+		return nil, err
+	}
+	g.TrainMask = jg.TrainMask
+	g.ValMask = jg.ValMask
+	g.TestMask = jg.TestMask
+	for _, mask := range [][]int{g.TrainMask, g.ValMask, g.TestMask} {
+		for _, id := range mask {
+			if id < 0 || id >= g.NumNodes() {
+				return nil, fmt.Errorf("graph: mask node %d out of range", id)
+			}
+		}
+	}
+	return g, nil
+}
+
+// SaveFile writes g to path as JSON.
+func (g *Graph) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a graph from a JSON file written by SaveFile.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

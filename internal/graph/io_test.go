@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fedomd/internal/mat"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := smallGraph(t)
+	if err := g.Split(rand.New(rand.NewSource(1)), 0.25, 0.25, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Features.Equal(g.Features) {
+		t.Fatal("features changed in round trip")
+	}
+	if got.NumEdges() != g.NumEdges() || got.NumClasses != g.NumClasses {
+		t.Fatal("structure changed in round trip")
+	}
+	for i, y := range g.Labels {
+		if got.Labels[i] != y {
+			t.Fatal("labels changed")
+		}
+	}
+	if len(got.TrainMask) != len(g.TrainMask) {
+		t.Fatal("masks lost")
+	}
+	if !got.Adj.ToDense().Equal(g.Adj.ToDense()) {
+		t.Fatal("adjacency changed")
+	}
+}
+
+func TestJSONSparseFeaturesCompact(t *testing.T) {
+	// A mostly-zero feature matrix must serialise to far fewer bytes than
+	// the dense float grid would take.
+	n, f := 200, 500
+	feats := mat.New(n, f)
+	for i := 0; i < n; i++ {
+		feats.Set(i, i%f, 1)
+	}
+	g, err := New(feats, make([]int, n), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > n*f {
+		t.Fatalf("serialisation not sparse: %d bytes", buf.Len())
+	}
+}
+
+func TestReadJSONValidation(t *testing.T) {
+	bad := []string{
+		`{`, // malformed
+		`{"nodes":2,"features":1,"classes":1,"labels":[0,0],"feat_rows":[[]],"feat_vals":[[]]}`,                       // row count mismatch
+		`{"nodes":1,"features":1,"classes":1,"labels":[0],"feat_rows":[[0,1]],"feat_vals":[[1.0]]}`,                   // ragged indices/values
+		`{"nodes":1,"features":1,"classes":1,"labels":[0],"feat_rows":[[5]],"feat_vals":[[1.0]]}`,                     // index out of range
+		`{"nodes":1,"features":1,"classes":1,"labels":[0],"feat_rows":[[]],"feat_vals":[[]],"train_mask":[7]}`,        // mask out of range
+		`{"nodes":2,"features":1,"classes":1,"labels":[0,0],"feat_rows":[[],[]],"feat_vals":[[],[]],"edges":[[0,0]]}`, // self loop
+	}
+	for i, s := range bad {
+		if _, err := ReadJSON(strings.NewReader(s)); err == nil {
+			t.Fatalf("bad payload %d accepted", i)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := smallGraph(t)
+	path := filepath.Join(t.TempDir(), "g.json")
+	if err := g.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() {
+		t.Fatal("file round trip lost nodes")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

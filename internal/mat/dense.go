@@ -1,0 +1,204 @@
+// Package mat implements dense float64 matrices and the linear-algebra
+// kernels the rest of the repository is built on: parallel blocked matrix
+// multiplication, element-wise arithmetic, reductions, norms, a symmetric
+// eigendecomposition, Newton–Schulz orthogonalisation, and the weight
+// initialisers (Gaussian, Xavier, He) used by the neural-network layers.
+//
+// All matrices are row-major. Kernels that combine two matrices panic on a
+// shape mismatch: shapes are fixed at model-construction time, so a mismatch
+// is a programmer error, not a runtime condition.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix of float64.
+//
+// The zero value is an empty (0×0) matrix. Use New, NewFromRows or the
+// initialiser helpers in init.go to construct one.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zeroed r×c matrix. It panics if r or c is negative.
+func New(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewFromData wraps data as an r×c matrix without copying. It panics unless
+// len(data) == r*c.
+func NewFromData(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: data length %d does not match %dx%d", len(data), r, c))
+	}
+	return &Dense{rows: r, cols: c, data: data}
+}
+
+// NewFromRows builds a matrix from a slice of equal-length rows, copying the
+// contents. It returns an error if the rows are ragged or empty.
+func NewFromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	c := len(rows[0])
+	m := New(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			return nil, fmt.Errorf("mat: ragged rows: row %d has %d entries, want %d", i, len(row), c)
+		}
+		copy(m.data[i*c:(i+1)*c], row)
+	}
+	return m, nil
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// Dims returns (rows, cols).
+func (m *Dense) Dims() (int, int) { return m.rows, m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Data exposes the backing slice (row-major). Mutating it mutates the matrix.
+func (m *Dense) Data() []float64 { return m.data }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := New(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// CopyFrom copies src into m. The shapes must match.
+func (m *Dense) CopyFrom(src *Dense) {
+	m.mustSameShape(src, "CopyFrom")
+	copy(m.data, src.data)
+}
+
+// Zero sets every element of m to 0 in place.
+func (m *Dense) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v in place.
+func (m *Dense) Fill(v float64) {
+	for i := range m.data {
+		m.data[i] = v
+	}
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	out := New(m.cols, m.rows)
+	const block = 32
+	for ii := 0; ii < m.rows; ii += block {
+		iMax := min(ii+block, m.rows)
+		for jj := 0; jj < m.cols; jj += block {
+			jMax := min(jj+block, m.cols)
+			for i := ii; i < iMax; i++ {
+				for j := jj; j < jMax; j++ {
+					out.data[j*m.rows+i] = m.data[i*m.cols+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SliceRows returns a new matrix holding rows [from, to) of m (copied).
+func (m *Dense) SliceRows(from, to int) *Dense {
+	if from < 0 || to > m.rows || from > to {
+		panic(fmt.Sprintf("mat: SliceRows[%d:%d] out of range for %d rows", from, to, m.rows))
+	}
+	out := New(to-from, m.cols)
+	copy(out.data, m.data[from*m.cols:to*m.cols])
+	return out
+}
+
+// SelectRows returns a new matrix whose i-th row is m's idx[i]-th row.
+func (m *Dense) SelectRows(idx []int) *Dense {
+	out := New(len(idx), m.cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// Equal reports whether m and b have identical shape and elements.
+func (m *Dense) Equal(b *Dense) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if v != b.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualApprox reports whether m and b agree element-wise within tol.
+func (m *Dense) EqualApprox(b *Dense, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small matrices for debugging; large ones are summarised.
+func (m *Dense) String() string {
+	if m.rows*m.cols > 64 {
+		return fmt.Sprintf("Dense(%dx%d)", m.rows, m.cols)
+	}
+	s := fmt.Sprintf("Dense(%dx%d)[", m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}
+
+func (m *Dense) mustSameShape(b *Dense, op string) {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, m.rows, m.cols, b.rows, b.cols))
+	}
+}

@@ -1,0 +1,201 @@
+package mat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the amount of scalar multiply-adds below which MatMul
+// stays serial; spawning goroutines for tiny products costs more than it saves.
+const parallelThreshold = 1 << 16
+
+// MatMul returns a·b using a cache-blocked, row-sharded parallel kernel.
+// It panics if a.Cols() != b.Rows().
+func MatMul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: MatMul inner dimension mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.cols)
+	matMulInto(out, a, b)
+	return out
+}
+
+// matMulInto computes out = a·b, overwriting out (which must be pre-shaped).
+func matMulInto(out, a, b *Dense) {
+	work := a.rows * a.cols * b.cols
+	nw := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || nw == 1 || a.rows == 1 {
+		matMulRange(out, a, b, 0, a.rows)
+		return
+	}
+	if nw > a.rows {
+		nw = a.rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.rows + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, a.rows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRange(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulRange computes rows [lo,hi) of out = a·b with an ikj loop order:
+// the inner loop streams over contiguous rows of b and out, which is the
+// cache-friendly order for row-major storage.
+func matMulRange(out, a, b *Dense, lo, hi int) {
+	n, p := a.cols, b.cols
+	for i := lo; i < hi; i++ {
+		arow := a.data[i*n : (i+1)*n]
+		orow := out.data[i*p : (i+1)*p]
+		for j := range orow {
+			orow[j] = 0
+		}
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*p : (k+1)*p]
+			axpyRow(orow, av, brow)
+		}
+	}
+}
+
+// axpyRow computes dst += alpha*src with 4-way unrolling.
+func axpyRow(dst []float64, alpha float64, src []float64) {
+	n := len(dst)
+	i := 0
+	for ; i+3 < n; i += 4 {
+		dst[i] += alpha * src[i]
+		dst[i+1] += alpha * src[i+1]
+		dst[i+2] += alpha * src[i+2]
+		dst[i+3] += alpha * src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// MatMulSerial is the single-goroutine reference kernel, kept exported for
+// the parallel-vs-serial ablation benchmark.
+func MatMulSerial(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: MatMulSerial inner dimension mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.cols)
+	matMulRange(out, a, b, 0, a.rows)
+	return out
+}
+
+// MatMulT1 returns aᵀ·b without materialising the transpose.
+func MatMulT1(a, b *Dense) *Dense {
+	if a.rows != b.rows {
+		panic(fmt.Sprintf("mat: MatMulT1 dimension mismatch %dx%d ᵀ· %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.cols, b.cols)
+	// outᵀrows are accumulated across k; shard over columns of a to keep
+	// writes disjoint.
+	nw := runtime.GOMAXPROCS(0)
+	work := a.rows * a.cols * b.cols
+	if work < parallelThreshold || nw == 1 {
+		matMulT1Range(out, a, b, 0, a.cols)
+		return out
+	}
+	if nw > a.cols {
+		nw = a.cols
+	}
+	var wg sync.WaitGroup
+	chunk := (a.cols + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, a.cols)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulT1Range(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func matMulT1Range(out, a, b *Dense, lo, hi int) {
+	n, p := a.cols, b.cols
+	for k := 0; k < a.rows; k++ {
+		arow := a.data[k*n : (k+1)*n]
+		brow := b.data[k*p : (k+1)*p]
+		for i := lo; i < hi; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			axpyRow(out.data[i*p:(i+1)*p], av, brow)
+		}
+	}
+}
+
+// MatMulT2 returns a·bᵀ without materialising the transpose.
+func MatMulT2(a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("mat: MatMulT2 dimension mismatch %dx%d · %dx%dᵀ", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.rows)
+	nw := runtime.GOMAXPROCS(0)
+	work := a.rows * a.cols * b.rows
+	if work < parallelThreshold || nw == 1 || a.rows == 1 {
+		matMulT2Range(out, a, b, 0, a.rows)
+		return out
+	}
+	if nw > a.rows {
+		nw = a.rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.rows + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, a.rows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulT2Range(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func matMulT2Range(out, a, b *Dense, lo, hi int) {
+	n := a.cols
+	p := b.rows
+	for i := lo; i < hi; i++ {
+		arow := a.data[i*n : (i+1)*n]
+		orow := out.data[i*p : (i+1)*p]
+		for j := 0; j < p; j++ {
+			brow := b.data[j*n : (j+1)*n]
+			var s float64
+			k := 0
+			for ; k+3 < n; k += 4 {
+				s += arow[k]*brow[k] + arow[k+1]*brow[k+1] + arow[k+2]*brow[k+2] + arow[k+3]*brow[k+3]
+			}
+			for ; k < n; k++ {
+				s += arow[k] * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+}

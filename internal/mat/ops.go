@@ -1,0 +1,242 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a + b element-wise.
+func Add(a, b *Dense) *Dense {
+	a.mustSameShape(b, "Add")
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v + b.data[i]
+	}
+	return out
+}
+
+// Sub returns a - b element-wise.
+func Sub(a, b *Dense) *Dense {
+	a.mustSameShape(b, "Sub")
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v - b.data[i]
+	}
+	return out
+}
+
+// MulElem returns the Hadamard (element-wise) product a ⊙ b.
+func MulElem(a, b *Dense) *Dense {
+	a.mustSameShape(b, "MulElem")
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v * b.data[i]
+	}
+	return out
+}
+
+// Scale returns s * a.
+func Scale(s float64, a *Dense) *Dense {
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = s * v
+	}
+	return out
+}
+
+// AddInPlace computes m += b in place.
+func (m *Dense) AddInPlace(b *Dense) {
+	m.mustSameShape(b, "AddInPlace")
+	for i := range m.data {
+		m.data[i] += b.data[i]
+	}
+}
+
+// SubInPlace computes m -= b in place.
+func (m *Dense) SubInPlace(b *Dense) {
+	m.mustSameShape(b, "SubInPlace")
+	for i := range m.data {
+		m.data[i] -= b.data[i]
+	}
+}
+
+// ScaleInPlace computes m *= s in place.
+func (m *Dense) ScaleInPlace(s float64) {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+}
+
+// AXPY computes m += alpha*b in place (the BLAS axpy update).
+func (m *Dense) AXPY(alpha float64, b *Dense) {
+	m.mustSameShape(b, "AXPY")
+	for i := range m.data {
+		m.data[i] += alpha * b.data[i]
+	}
+}
+
+// Apply returns a new matrix with f applied to every element of a.
+func Apply(a *Dense, f func(float64) float64) *Dense {
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = f(v)
+	}
+	return out
+}
+
+// AddRowVec returns a + v broadcast over rows, where v is 1×c.
+func AddRowVec(a, v *Dense) *Dense {
+	if v.rows != 1 || v.cols != a.cols {
+		panic(fmt.Sprintf("mat: AddRowVec wants 1x%d vector, got %dx%d", a.cols, v.rows, v.cols))
+	}
+	out := New(a.rows, a.cols)
+	for i := 0; i < a.rows; i++ {
+		row := a.Row(i)
+		o := out.Row(i)
+		for j, x := range row {
+			o[j] = x + v.data[j]
+		}
+	}
+	return out
+}
+
+// SubRowVec returns a - v broadcast over rows, where v is 1×c.
+func SubRowVec(a, v *Dense) *Dense {
+	if v.rows != 1 || v.cols != a.cols {
+		panic(fmt.Sprintf("mat: SubRowVec wants 1x%d vector, got %dx%d", a.cols, v.rows, v.cols))
+	}
+	out := New(a.rows, a.cols)
+	for i := 0; i < a.rows; i++ {
+		row := a.Row(i)
+		o := out.Row(i)
+		for j, x := range row {
+			o[j] = x - v.data[j]
+		}
+	}
+	return out
+}
+
+// MeanRows returns the 1×c column-wise mean of a. A 0-row input yields zeros.
+func MeanRows(a *Dense) *Dense {
+	out := New(1, a.cols)
+	if a.rows == 0 {
+		return out
+	}
+	for i := 0; i < a.rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			out.data[j] += v
+		}
+	}
+	inv := 1 / float64(a.rows)
+	for j := range out.data {
+		out.data[j] *= inv
+	}
+	return out
+}
+
+// SumRows returns the 1×c column-wise sum of a.
+func SumRows(a *Dense) *Dense {
+	out := New(1, a.cols)
+	for i := 0; i < a.rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			out.data[j] += v
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of every element of a.
+func Sum(a *Dense) float64 {
+	var s float64
+	for _, v := range a.data {
+		s += v
+	}
+	return s
+}
+
+// Max returns the largest element of a; -Inf for an empty matrix.
+func Max(a *Dense) float64 {
+	m := math.Inf(-1)
+	for _, v := range a.data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the smallest element of a; +Inf for an empty matrix.
+func Min(a *Dense) float64 {
+	m := math.Inf(1)
+	for _, v := range a.data {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// FrobNorm returns the Frobenius norm ‖a‖_F.
+func FrobNorm(a *Dense) float64 {
+	var s float64
+	for _, v := range a.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// FrobNormSq returns ‖a‖²_F.
+func FrobNormSq(a *Dense) float64 {
+	var s float64
+	for _, v := range a.data {
+		s += v * v
+	}
+	return s
+}
+
+// Dot returns the Frobenius inner product <a, b> = Σ a_ij b_ij.
+func Dot(a, b *Dense) float64 {
+	a.mustSameShape(b, "Dot")
+	var s float64
+	for i, v := range a.data {
+		s += v * b.data[i]
+	}
+	return s
+}
+
+// PowElem returns a with every element raised to the integer power p.
+// Integer powers are computed by repeated multiplication, so negative bases
+// are handled exactly (needed for odd central moments).
+func PowElem(a *Dense, p int) *Dense {
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = ipow(v, p)
+	}
+	return out
+}
+
+func ipow(x float64, p int) float64 {
+	r := 1.0
+	for k := 0; k < p; k++ {
+		r *= x
+	}
+	return r
+}
+
+// ArgmaxRows returns, for each row, the index of its largest element.
+func ArgmaxRows(a *Dense) []int {
+	out := make([]int, a.rows)
+	for i := 0; i < a.rows; i++ {
+		row := a.Row(i)
+		best, bi := math.Inf(-1), 0
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// QR computes the thin QR decomposition a = Q·R by Householder reflections:
+// Q is m×n with orthonormal columns and R is n×n upper triangular. It
+// requires m ≥ n. QR provides the alternative weight-orthogonalisation
+// (QR retraction) benchmarked against Newton–Schulz in the design ablation.
+func QR(a *Dense) (q, r *Dense, err error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, nil, errors.New("mat: QR requires rows >= cols")
+	}
+	// Work on a copy; accumulate the Householder vectors in-place below the
+	// diagonal and R above.
+	work := a.Clone()
+	vs := make([][]float64, 0, n)
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			v := work.At(i, k)
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		alpha := -norm
+		if work.At(k, k) < 0 {
+			alpha = norm
+		}
+		v := make([]float64, m-k)
+		v[0] = work.At(k, k) - alpha
+		for i := k + 1; i < m; i++ {
+			v[i-k] = work.At(i, k)
+		}
+		vnorm := 0.0
+		for _, x := range v {
+			vnorm += x * x
+		}
+		if vnorm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		// Apply H = I − 2vvᵀ/(vᵀv) to the trailing submatrix.
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * work.At(i, j)
+			}
+			scale := 2 * dot / vnorm
+			for i := k; i < m; i++ {
+				work.Set(i, j, work.At(i, j)-scale*v[i-k])
+			}
+		}
+		vs = append(vs, v)
+	}
+	r = New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, work.At(i, j))
+		}
+	}
+	// Q = H_0 H_1 … H_{n-1} applied to the first n columns of I.
+	q = New(m, n)
+	for j := 0; j < n; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := n - 1; k >= 0; k-- {
+		v := vs[k]
+		if v == nil {
+			continue
+		}
+		var vnorm float64
+		for _, x := range v {
+			vnorm += x * x
+		}
+		for j := 0; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * q.At(i, j)
+			}
+			scale := 2 * dot / vnorm
+			for i := k; i < m; i++ {
+				q.Set(i, j, q.At(i, j)-scale*v[i-k])
+			}
+		}
+	}
+	return q, r, nil
+}
+
+// OrthonormalizeQR returns the Q factor of a's QR decomposition with column
+// signs fixed so diag(R) ≥ 0 — the canonical orthonormalisation of a's
+// column space, an alternative to NewtonSchulz for square weights.
+func OrthonormalizeQR(a *Dense) (*Dense, error) {
+	q, r, err := QR(a)
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < r.Cols(); j++ {
+		if r.At(j, j) < 0 {
+			for i := 0; i < q.Rows(); i++ {
+				q.Set(i, j, -q.At(i, j))
+			}
+		}
+	}
+	return q, nil
+}

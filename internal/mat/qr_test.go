@@ -1,0 +1,81 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][2]int{{3, 3}, {8, 5}, {20, 20}, {31, 7}} {
+		a := RandGaussian(rng, dims[0], dims[1], 0, 1)
+		q, r, err := QR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !MatMul(q, r).EqualApprox(a, 1e-9) {
+			t.Fatalf("QR does not reconstruct for %v", dims)
+		}
+		// Q has orthonormal columns: QᵀQ = I.
+		if got := MatMulT1(q, q); !got.EqualApprox(Eye(dims[1]), 1e-9) {
+			t.Fatalf("Q columns not orthonormal for %v", dims)
+		}
+		// R is upper triangular.
+		for i := 1; i < r.Rows(); i++ {
+			for j := 0; j < i; j++ {
+				if r.At(i, j) != 0 {
+					t.Fatalf("R not upper triangular at %d,%d", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestQRRejectsWide(t *testing.T) {
+	if _, _, err := QR(New(2, 3)); err == nil {
+		t.Fatal("wide matrix accepted")
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Duplicate columns: decomposition must still reconstruct.
+	a, _ := NewFromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	q, r, err := QR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MatMul(q, r).EqualApprox(a, 1e-9) {
+		t.Fatal("rank-deficient QR reconstruction failed")
+	}
+}
+
+func TestOrthonormalizeQR(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandGaussian(rng, 16, 16, 0, 1)
+	q, err := OrthonormalizeQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if OrthoError(q) > 1e-9 {
+		t.Fatalf("QR orthonormalisation defect %v", OrthoError(q))
+	}
+}
+
+func TestQRPropertyRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		m := n + rng.Intn(10)
+		a := RandGaussian(rng, m, n, 0, 1)
+		q, r, err := QR(a)
+		if err != nil {
+			return false
+		}
+		return MatMul(q, r).EqualApprox(a, 1e-8) &&
+			MatMulT1(q, q).EqualApprox(Eye(n), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

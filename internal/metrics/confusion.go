@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// Confusion is a square confusion matrix: Counts[t][p] is the number of
+// samples with true class t predicted as p.
+type Confusion struct {
+	Counts [][]int
+}
+
+// NewConfusion returns an empty k-class confusion matrix.
+func NewConfusion(k int) *Confusion {
+	c := &Confusion{Counts: make([][]int, k)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, k)
+	}
+	return c
+}
+
+// Observe records predictions against truths over a mask of indices; truths
+// and preds are full-length, mask selects the evaluated rows.
+func (c *Confusion) Observe(truths, preds, mask []int) error {
+	k := len(c.Counts)
+	for _, i := range mask {
+		if i < 0 || i >= len(truths) || i >= len(preds) {
+			return fmt.Errorf("metrics: mask index %d out of range", i)
+		}
+		t, p := truths[i], preds[i]
+		if t < 0 || t >= k || p < 0 || p >= k {
+			return fmt.Errorf("metrics: class out of range: true=%d pred=%d k=%d", t, p, k)
+		}
+		c.Counts[t][p]++
+	}
+	return nil
+}
+
+// Merge adds another confusion matrix (e.g. another party's) into c.
+func (c *Confusion) Merge(other *Confusion) error {
+	if len(other.Counts) != len(c.Counts) {
+		return fmt.Errorf("metrics: merging %d-class into %d-class confusion", len(other.Counts), len(c.Counts))
+	}
+	for t := range c.Counts {
+		for p := range c.Counts[t] {
+			c.Counts[t][p] += other.Counts[t][p]
+		}
+	}
+	return nil
+}
+
+// Total returns the number of observed samples.
+func (c *Confusion) Total() int {
+	n := 0
+	for _, row := range c.Counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Accuracy returns the trace over the total (0 for an empty matrix).
+func (c *Confusion) Accuracy() float64 {
+	n := c.Total()
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range c.Counts {
+		correct += c.Counts[i][i]
+	}
+	return float64(correct) / float64(n)
+}
+
+// PerClass returns precision, recall and F1 for class k (zeros when the
+// denominators are empty).
+func (c *Confusion) PerClass(k int) (precision, recall, f1 float64) {
+	tp := c.Counts[k][k]
+	var predK, trueK int
+	for t := range c.Counts {
+		predK += c.Counts[t][k]
+	}
+	for p := range c.Counts[k] {
+		trueK += c.Counts[k][p]
+	}
+	if predK > 0 {
+		precision = float64(tp) / float64(predK)
+	}
+	if trueK > 0 {
+		recall = float64(tp) / float64(trueK)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}
+
+// MacroF1 averages F1 over classes that appear in the data, the standard
+// imbalance-robust summary for the skewed per-party label distributions of
+// Figure 4.
+func (c *Confusion) MacroF1() float64 {
+	var sum float64
+	classes := 0
+	for k := range c.Counts {
+		trueK := 0
+		for p := range c.Counts[k] {
+			trueK += c.Counts[k][p]
+		}
+		if trueK == 0 {
+			continue
+		}
+		_, _, f1 := c.PerClass(k)
+		sum += f1
+		classes++
+	}
+	if classes == 0 {
+		return 0
+	}
+	return sum / float64(classes)
+}
+
+// Render writes the matrix with per-class recall annotations.
+func (c *Confusion) Render(w io.Writer) error {
+	header := []string{"true \\ pred"}
+	for k := range c.Counts {
+		header = append(header, fmt.Sprintf("C%d", k))
+	}
+	header = append(header, "recall")
+	tbl := NewTable(header...)
+	for t, row := range c.Counts {
+		cells := []string{fmt.Sprintf("C%d", t)}
+		for _, v := range row {
+			cells = append(cells, fmt.Sprint(v))
+		}
+		_, recall, _ := c.PerClass(t)
+		cells = append(cells, fmt.Sprintf("%.2f", recall))
+		tbl.AddRow(cells...)
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "accuracy %.3f, macro-F1 %.3f\n", c.Accuracy(), c.MacroF1())
+	return err
+}

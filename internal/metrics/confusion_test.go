@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	c := NewConfusion(2)
+	truths := []int{0, 0, 1, 1, 1}
+	preds := []int{0, 1, 1, 1, 0}
+	if err := c.Observe(truths, preds, []int{0, 1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 5 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	if got := c.Accuracy(); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	// Class 0: tp=1, predicted-0 = 2, true-0 = 2 → P=0.5 R=0.5 F1=0.5.
+	p, r, f1 := c.PerClass(0)
+	if p != 0.5 || r != 0.5 || f1 != 0.5 {
+		t.Fatalf("class 0: %v %v %v", p, r, f1)
+	}
+	// Class 1: tp=2, predicted-1 = 3, true-1 = 3 → P=R=F1=2/3.
+	_, _, f11 := c.PerClass(1)
+	if math.Abs(f11-2.0/3) > 1e-12 {
+		t.Fatalf("class 1 f1 = %v", f11)
+	}
+	if got := c.MacroF1(); math.Abs(got-(0.5+2.0/3)/2) > 1e-12 {
+		t.Fatalf("macro f1 = %v", got)
+	}
+}
+
+func TestConfusionValidation(t *testing.T) {
+	c := NewConfusion(2)
+	if err := c.Observe([]int{0}, []int{0}, []int{5}); err == nil {
+		t.Fatal("out-of-range mask accepted")
+	}
+	if err := c.Observe([]int{7}, []int{0}, []int{0}); err == nil {
+		t.Fatal("out-of-range class accepted")
+	}
+}
+
+func TestConfusionMerge(t *testing.T) {
+	a := NewConfusion(2)
+	b := NewConfusion(2)
+	if err := a.Observe([]int{0}, []int{0}, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Observe([]int{1}, []int{0}, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 2 || a.Counts[1][0] != 1 {
+		t.Fatal("merge wrong")
+	}
+	if err := a.Merge(NewConfusion(3)); err == nil {
+		t.Fatal("class-count mismatch accepted")
+	}
+}
+
+func TestConfusionEmptyClassExcludedFromMacroF1(t *testing.T) {
+	c := NewConfusion(3)
+	// Only classes 0 and 1 appear; class 2 must not dilute the macro F1.
+	if err := c.Observe([]int{0, 1}, []int{0, 1}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MacroF1(); got != 1 {
+		t.Fatalf("macro f1 = %v want 1", got)
+	}
+	if NewConfusion(2).MacroF1() != 0 || NewConfusion(2).Accuracy() != 0 {
+		t.Fatal("empty confusion not zero")
+	}
+}
+
+func TestConfusionRender(t *testing.T) {
+	c := NewConfusion(2)
+	if err := c.Observe([]int{0, 1}, []int{0, 0}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "macro-F1") || !strings.Contains(out, "recall") {
+		t.Fatalf("render missing summary:\n%s", out)
+	}
+}

@@ -1,0 +1,106 @@
+// Package metrics provides the accuracy aggregation and table formatting the
+// experiment drivers share: mean ± std over seeds, and fixed-width text
+// tables mirroring the layout of the paper's result tables.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Cell aggregates one table cell's repeated measurements.
+type Cell struct {
+	Runs []float64
+}
+
+// Add appends a measurement.
+func (c *Cell) Add(v float64) { c.Runs = append(c.Runs, v) }
+
+// Mean returns the sample mean (0 for an empty cell).
+func (c Cell) Mean() float64 {
+	if len(c.Runs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range c.Runs {
+		s += v
+	}
+	return s / float64(len(c.Runs))
+}
+
+// Std returns the population standard deviation (0 for < 2 runs).
+func (c Cell) Std() float64 {
+	if len(c.Runs) < 2 {
+		return 0
+	}
+	m := c.Mean()
+	var s float64
+	for _, v := range c.Runs {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(c.Runs)))
+}
+
+// String renders "mean (±std)" as percentages, the paper's cell format.
+func (c Cell) String() string {
+	return fmt.Sprintf("%.2f (±%.2f)", 100*c.Mean(), 100*c.Std())
+}
+
+// Table is a simple fixed-width text table writer.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; missing cells render empty.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// Render writes the table to w with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, wd := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", wd+2, c)
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCellMeanStd(t *testing.T) {
+	var c Cell
+	if c.Mean() != 0 || c.Std() != 0 {
+		t.Fatal("empty cell not zero")
+	}
+	c.Add(0.4)
+	if c.Std() != 0 {
+		t.Fatal("single-run std not zero")
+	}
+	c.Add(0.6)
+	if math.Abs(c.Mean()-0.5) > 1e-12 {
+		t.Fatalf("mean = %v", c.Mean())
+	}
+	if math.Abs(c.Std()-0.1) > 1e-12 {
+		t.Fatalf("std = %v", c.Std())
+	}
+	if got := c.String(); got != "50.00 (±10.00)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Model", "M=3", "M=5")
+	tbl.AddRow("FedOMD", "54.35", "50.10")
+	tbl.AddRow("FedGCN", "47.12")
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Model") || !strings.Contains(lines[0], "M=5") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "FedOMD") || !strings.Contains(lines[3], "FedGCN") {
+		t.Fatal("rows missing")
+	}
+	// Column alignment: "M=3" column starts at the same offset in all rows.
+	col := strings.Index(lines[0], "M=3")
+	if strings.Index(lines[2], "54.35") != col {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}

@@ -1,0 +1,95 @@
+package moments
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedomd/internal/ad"
+	"fedomd/internal/mat"
+)
+
+func TestCMDLossSquaredFormula(t *testing.T) {
+	// Hand-checkable 1-column case: z = [0, 1], global mean 0.75,
+	// global order-2 central moment 0.1875 (that of [0.5, 1]).
+	z, _ := mat.NewFromRows([][]float64{{0}, {1}})
+	gm, _ := mat.NewFromRows([][]float64{{0.75}})
+	gc2, _ := mat.NewFromRows([][]float64{{0.1875}})
+	tp := ad.NewTape()
+	n := tp.Param(z)
+	loss, err := CMDLossSquared(tp, n, gm, []*mat.Dense{gc2}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mean(z)=0.5 ⇒ (0.5−0.75)² = 0.0625; C₂(z)=0.25 ⇒ (0.25−0.1875)² =
+	// 0.00390625. Width 1, dim 1 ⇒ total 0.06640625.
+	want := 0.0625 + 0.00390625
+	if got := loss.Value.At(0, 0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("squared CMD = %v want %v", got, want)
+	}
+}
+
+func TestCMDLossSquaredSharedMinimiser(t *testing.T) {
+	// Both CMD forms are zero exactly when the statistics match.
+	rng := rand.New(rand.NewSource(1))
+	z := mat.RandUniform(rng, 60, 3, 0, 1)
+	s, err := Compute(z, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, f := range map[string]func(*ad.Tape, *ad.Node) (*ad.Node, error){
+		"plain": func(tp *ad.Tape, n *ad.Node) (*ad.Node, error) {
+			return CMDLoss(tp, n, s.Mean, s.Central, 0, 1)
+		},
+		"squared": func(tp *ad.Tape, n *ad.Node) (*ad.Node, error) {
+			return CMDLossSquared(tp, n, s.Mean, s.Central, 0, 1)
+		},
+	} {
+		tp := ad.NewTape()
+		n := tp.Param(z)
+		loss, err := f(tp, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := loss.Value.At(0, 0); got > 1e-20 {
+			t.Fatalf("%s CMD at its minimiser = %v", name, got)
+		}
+	}
+}
+
+func TestSquaredGradientVanishesNearMinimum(t *testing.T) {
+	// The squared form's gradient shrinks with the discrepancy; the plain
+	// form's does not — the stability property DESIGN.md §1.1 relies on.
+	rng := rand.New(rand.NewSource(2))
+	base := mat.RandUniform(rng, 80, 2, 0.3, 0.7)
+	s, err := Compute(base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gradNorm := func(shift float64, squared bool) float64 {
+		z := mat.Apply(base, func(x float64) float64 { return x + shift })
+		tp := ad.NewTape()
+		n := tp.Param(z)
+		var loss *ad.Node
+		if squared {
+			loss, err = CMDLossSquared(tp, n, s.Mean, s.Central, 0, 1)
+		} else {
+			loss, err = CMDLoss(tp, n, s.Mean, s.Central, 0, 1)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tp.Backward(loss); err != nil {
+			t.Fatal(err)
+		}
+		return mat.FrobNorm(n.Grad)
+	}
+	// Squared: tiny shift ⇒ much smaller gradient than large shift.
+	if g1, g2 := gradNorm(1e-3, true), gradNorm(0.3, true); g1 > g2/10 {
+		t.Fatalf("squared gradient not vanishing: %v vs %v", g1, g2)
+	}
+	// Plain: gradient norm stays the same order regardless of shift.
+	if g1, g2 := gradNorm(1e-3, false), gradNorm(0.3, false); g1 < g2/10 {
+		t.Fatalf("plain gradient unexpectedly vanished: %v vs %v", g1, g2)
+	}
+}

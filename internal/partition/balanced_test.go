@@ -1,0 +1,113 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedomd/internal/graph"
+	"fedomd/internal/mat"
+)
+
+func TestBalancedPartiesBasics(t *testing.T) {
+	g := twoCliques(t, 10)
+	parties, err := BalancedParties(g, 4, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parties) != 4 {
+		t.Fatalf("got %d parties", len(parties))
+	}
+	total := 0
+	for _, p := range parties {
+		total += p.Graph.NumNodes()
+		if p.Graph.NumNodes() != 5 {
+			t.Fatalf("party size %d, want 5 (balanced)", p.Graph.NumNodes())
+		}
+	}
+	if total != g.NumNodes() {
+		t.Fatal("node conservation violated")
+	}
+	// No node appears twice.
+	seen := map[int]bool{}
+	for _, p := range parties {
+		for _, id := range p.OrigIDs {
+			if seen[id] {
+				t.Fatalf("node %d assigned twice", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestBalancedPartiesValidation(t *testing.T) {
+	g := twoCliques(t, 3)
+	if _, err := BalancedParties(g, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("0 parties accepted")
+	}
+}
+
+func TestBalancedCutsFewerEdgesThanRandom(t *testing.T) {
+	// Region growing keeps neighbourhoods together, so it should sever
+	// fewer edges than a uniform random split on a community graph.
+	g := twoCliques(t, 20)
+	rng := rand.New(rand.NewSource(2))
+	balanced, err := BalancedParties(g, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := RandomParties(g, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bCut := CrossPartyEdgeLoss(g, balanced)
+	rCut := CrossPartyEdgeLoss(g, random)
+	if bCut >= rCut {
+		t.Fatalf("balanced cut %.3f not below random cut %.3f", bCut, rCut)
+	}
+}
+
+func TestBalancedHandlesDisconnectedGraph(t *testing.T) {
+	// Edgeless graph: region growing cannot expand, the fallback must still
+	// assign every node under the quotas.
+	g, err := graph.New(mat.New(11, 1), make([]int, 11), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties, err := BalancedParties(g, 3, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range parties {
+		total += p.Graph.NumNodes()
+	}
+	if total != 11 {
+		t.Fatalf("assigned %d/11 nodes", total)
+	}
+	// Quotas 4/4/3.
+	if parties[0].Graph.NumNodes() != 4 || parties[2].Graph.NumNodes() != 3 {
+		t.Fatalf("quota split wrong: %d/%d/%d", parties[0].Graph.NumNodes(),
+			parties[1].Graph.NumNodes(), parties[2].Graph.NumNodes())
+	}
+}
+
+func TestPartitionStrategySpectrum(t *testing.T) {
+	// The three strategies should order by non-i.i.d level on a labelled
+	// community graph: Louvain ≥ Balanced ≥ Random (ties allowed within
+	// noise; we assert the ends of the spectrum).
+	g := twoCliques(t, 25)
+	rng := rand.New(rand.NewSource(4))
+	louvain, err := LouvainParties(g, 2, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := RandomParties(g, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := NonIIDScore(louvain, 2)
+	rs := NonIIDScore(random, 2)
+	if ls <= rs {
+		t.Fatalf("Louvain (%.3f) not more non-iid than random (%.3f)", ls, rs)
+	}
+}

@@ -1,0 +1,262 @@
+// Package partition implements the Louvain community-detection algorithm
+// (Blondel et al. 2008) with the resolution parameter the paper sweeps in
+// Figure 7, plus the community→party grouping that turns a global graph into
+// the M non-i.i.d local subgraphs each federated client owns.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fedomd/internal/graph"
+)
+
+// wgraph is the weighted multigraph Louvain coarsens between passes.
+type wgraph struct {
+	// adj[i] maps neighbour -> edge weight (self loops allowed after
+	// aggregation and stored with their full internal weight).
+	adj []map[int]float64
+	// total2m is Σ_ij w_ij counting both directions plus 2× self loops,
+	// i.e. 2m in modularity notation.
+	total2m float64
+}
+
+func newWGraphFromGraph(g *graph.Graph) *wgraph {
+	n := g.NumNodes()
+	w := &wgraph{adj: make([]map[int]float64, n)}
+	for i := 0; i < n; i++ {
+		w.adj[i] = make(map[int]float64)
+	}
+	for _, e := range g.Edges() {
+		w.adj[e[0]][e[1]] += 1
+		w.adj[e[1]][e[0]] += 1
+		w.total2m += 2
+	}
+	return w
+}
+
+// degree returns the weighted degree of node i (self loops count twice).
+// Keys are summed in sorted order so the floating-point result does not
+// depend on map iteration order.
+func (w *wgraph) degree(i int) float64 {
+	keys := sortedKeys(w.adj[i])
+	var d float64
+	for _, j := range keys {
+		if j == i {
+			d += 2 * w.adj[i][j]
+		} else {
+			d += w.adj[i][j]
+		}
+	}
+	return d
+}
+
+func sortedKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Louvain runs multi-pass Louvain modularity optimisation on g with the
+// given resolution γ (larger γ ⇒ more, smaller communities). It returns a
+// community id per node; ids are dense in [0, k).
+//
+// The node visiting order is shuffled with rng, so different seeds can give
+// different (all locally optimal) partitions, matching the reference
+// implementation's behaviour.
+func Louvain(g *graph.Graph, resolution float64, rng *rand.Rand) ([]int, error) {
+	if resolution <= 0 {
+		return nil, fmt.Errorf("partition: resolution must be positive, got %v", resolution)
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, nil
+	}
+	w := newWGraphFromGraph(g)
+	// node -> community at the current coarsening level; levelMap composes
+	// them down to the original nodes.
+	assignment := make([]int, n)
+	for i := range assignment {
+		assignment[i] = i
+	}
+	if w.total2m == 0 {
+		// No edges: every node is its own community.
+		return assignment, nil
+	}
+	for {
+		comm, improved := w.onePass(resolution, rng)
+		comm = renumber(comm)
+		// Compose into the original-node assignment.
+		for i := range assignment {
+			assignment[i] = comm[assignment[i]]
+		}
+		if !improved {
+			break
+		}
+		w = w.aggregate(comm)
+		if len(w.adj) == 1 {
+			break
+		}
+	}
+	return renumber(assignment), nil
+}
+
+// onePass performs the local-moving phase on w: nodes greedily move to the
+// neighbouring community with the largest positive modularity gain until no
+// move improves. It returns the community of each node and whether any node
+// moved at all.
+func (w *wgraph) onePass(resolution float64, rng *rand.Rand) ([]int, bool) {
+	n := len(w.adj)
+	comm := make([]int, n)
+	commTot := make([]float64, n) // Σ of degrees in each community
+	deg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		comm[i] = i
+		deg[i] = w.degree(i)
+		commTot[i] = deg[i]
+	}
+	order := rng.Perm(n)
+	anyMoved := false
+	for iter := 0; iter < 100; iter++ {
+		moved := false
+		for _, i := range order {
+			ci := comm[i]
+			// Weights from i to each neighbouring community (self loops
+			// excluded: they move with the node). Candidate communities are
+			// visited in sorted order: Go map iteration order is random, and
+			// tie-breaks must not depend on it or identical seeds would
+			// yield different partitions.
+			links := map[int]float64{}
+			for _, j := range sortedKeys(w.adj[i]) {
+				if j == i {
+					continue
+				}
+				links[comm[j]] += w.adj[i][j]
+			}
+			cands := make([]int, 0, len(links))
+			for c := range links {
+				cands = append(cands, c)
+			}
+			sort.Ints(cands)
+			// Remove i from its community.
+			commTot[ci] -= deg[i]
+			bestComm, bestGain := ci, 0.0
+			baseline := links[ci] - resolution*commTot[ci]*deg[i]/w.total2m
+			for _, c := range cands {
+				if c == ci {
+					continue
+				}
+				gain := links[c] - resolution*commTot[c]*deg[i]/w.total2m
+				if gain-baseline > bestGain+1e-12 {
+					bestGain = gain - baseline
+					bestComm = c
+				}
+			}
+			comm[i] = bestComm
+			commTot[bestComm] += deg[i]
+			if bestComm != ci {
+				moved = true
+				anyMoved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return comm, anyMoved
+}
+
+// aggregate builds the coarsened graph whose nodes are the communities of w.
+func (w *wgraph) aggregate(comm []int) *wgraph {
+	k := 0
+	for _, c := range comm {
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	out := &wgraph{adj: make([]map[int]float64, k), total2m: w.total2m}
+	for i := range out.adj {
+		out.adj[i] = make(map[int]float64)
+	}
+	for i, nbrs := range w.adj {
+		ci := comm[i]
+		for _, j := range sortedKeys(nbrs) {
+			wt := nbrs[j]
+			cj := comm[j]
+			if i == j {
+				out.adj[ci][ci] += wt
+				continue
+			}
+			if i < j {
+				// Each undirected edge appears in both adjacency maps; add
+				// once per direction below.
+				out.adj[ci][cj] += wt
+				out.adj[cj][ci] += wt
+				// Note: when ci == cj this double-adds, forming the doubled
+				// internal self-loop weight convention used by degree().
+				if ci == cj {
+					out.adj[ci][cj] -= wt // undo one of the two adds
+				}
+			}
+		}
+	}
+	return out
+}
+
+// renumber maps arbitrary community ids to dense ids 0..k-1 preserving first
+// appearance order.
+func renumber(comm []int) []int {
+	seen := map[int]int{}
+	out := make([]int, len(comm))
+	next := 0
+	for i, c := range comm {
+		id, ok := seen[c]
+		if !ok {
+			id = next
+			seen[c] = id
+			next++
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// Modularity computes the resolution-weighted modularity of an assignment on
+// g: Q = Σ_c [ in_c/2m − γ (tot_c/2m)² ].
+func Modularity(g *graph.Graph, comm []int, resolution float64) float64 {
+	var m2 float64
+	n := g.NumNodes()
+	deg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		deg[i] = float64(g.Degree(i))
+		m2 += deg[i]
+	}
+	if m2 == 0 {
+		return 0
+	}
+	k := 0
+	for _, c := range comm {
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	in := make([]float64, k)
+	tot := make([]float64, k)
+	for i := 0; i < n; i++ {
+		tot[comm[i]] += deg[i]
+	}
+	for _, e := range g.Edges() {
+		if comm[e[0]] == comm[e[1]] {
+			in[comm[e[0]]] += 2
+		}
+	}
+	var q float64
+	for c := 0; c < k; c++ {
+		q += in[c]/m2 - resolution*(tot[c]/m2)*(tot[c]/m2)
+	}
+	return q
+}

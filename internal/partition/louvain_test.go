@@ -1,0 +1,272 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedomd/internal/graph"
+	"fedomd/internal/mat"
+)
+
+// twoCliques builds two k-cliques joined by a single bridge edge — the
+// canonical case Louvain must split into two communities.
+func twoCliques(t *testing.T, k int) *graph.Graph {
+	t.Helper()
+	n := 2 * k
+	var edges [][2]int
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			edges = append(edges, [2]int{i, j}, [2]int{k + i, k + j})
+		}
+	}
+	edges = append(edges, [2]int{0, k})
+	labels := make([]int, n)
+	for i := k; i < n; i++ {
+		labels[i] = 1
+	}
+	g, err := graph.New(mat.New(n, 2), labels, 2, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLouvainTwoCliques(t *testing.T) {
+	g := twoCliques(t, 6)
+	comm, err := Louvain(g, 1.0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All of clique A in one community, all of clique B in another.
+	for i := 1; i < 6; i++ {
+		if comm[i] != comm[0] {
+			t.Fatalf("clique A split: %v", comm)
+		}
+	}
+	for i := 7; i < 12; i++ {
+		if comm[i] != comm[6] {
+			t.Fatalf("clique B split: %v", comm)
+		}
+	}
+	if comm[0] == comm[6] {
+		t.Fatalf("cliques merged: %v", comm)
+	}
+}
+
+func TestLouvainImprovesModularity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := twoCliques(t, 8)
+	comm, err := Louvain(g, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Modularity(g, comm, 1.0)
+	// Singleton baseline.
+	single := make([]int, g.NumNodes())
+	for i := range single {
+		single[i] = i
+	}
+	if base := Modularity(g, single, 1.0); got <= base {
+		t.Fatalf("Louvain modularity %v not above singleton baseline %v", got, base)
+	}
+	if got < 0.3 {
+		t.Fatalf("two-clique modularity %v suspiciously low", got)
+	}
+}
+
+func TestLouvainResolutionMonotonicity(t *testing.T) {
+	// Higher resolution must not produce fewer communities on a graph with
+	// nested structure.
+	rng := rand.New(rand.NewSource(3))
+	n := 60
+	var edges [][2]int
+	// 6 groups of 10 in a ring of groups.
+	for grp := 0; grp < 6; grp++ {
+		base := grp * 10
+		for i := 0; i < 10; i++ {
+			for j := i + 1; j < 10; j++ {
+				if rng.Float64() < 0.7 {
+					edges = append(edges, [2]int{base + i, base + j})
+				}
+			}
+		}
+		nxt := ((grp + 1) % 6) * 10
+		edges = append(edges, [2]int{base, nxt}, [2]int{base + 1, nxt + 1})
+	}
+	labels := make([]int, n)
+	g, err := graph.New(mat.New(n, 1), labels, 1, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(res float64) int {
+		comm, err := Louvain(g, res, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 0
+		for _, c := range comm {
+			if c+1 > k {
+				k = c + 1
+			}
+		}
+		return k
+	}
+	low, high := count(0.2), count(20)
+	if low > high {
+		t.Fatalf("resolution 0.2 gave %d communities, 20 gave %d; want non-decreasing", low, high)
+	}
+}
+
+func TestLouvainEdgeCases(t *testing.T) {
+	if _, err := Louvain(twoCliques(t, 3), 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("resolution 0 accepted")
+	}
+	// Edgeless graph: everyone their own community.
+	g, _ := graph.New(mat.New(4, 1), make([]int, 4), 1, nil)
+	comm, err := Louvain(g, 1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range comm {
+		if seen[c] {
+			t.Fatalf("edgeless graph merged nodes: %v", comm)
+		}
+		seen[c] = true
+	}
+}
+
+func TestLouvainDeterministicUnderSeed(t *testing.T) {
+	g := twoCliques(t, 5)
+	a, _ := Louvain(g, 1, rand.New(rand.NewSource(9)))
+	b, _ := Louvain(g, 1, rand.New(rand.NewSource(9)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different partition")
+		}
+	}
+}
+
+func TestGroupCommunitiesBalance(t *testing.T) {
+	// 4 communities of sizes 5,4,3,2 into 2 parties → sizes 7,7.
+	comm := make([]int, 14)
+	idx := 0
+	for c, size := range []int{5, 4, 3, 2} {
+		for k := 0; k < size; k++ {
+			comm[idx] = c
+			idx++
+		}
+	}
+	groups := GroupCommunities(comm, 2)
+	if len(groups[0])+len(groups[1]) != 14 {
+		t.Fatal("nodes lost")
+	}
+	diff := len(groups[0]) - len(groups[1])
+	if diff < -1 || diff > 1 {
+		t.Fatalf("groups unbalanced: %d vs %d", len(groups[0]), len(groups[1]))
+	}
+}
+
+func TestGroupCommunitiesNeverSplits(t *testing.T) {
+	comm := []int{0, 0, 0, 1, 1, 2}
+	groups := GroupCommunities(comm, 2)
+	where := map[int]int{}
+	for p, nodes := range groups {
+		for _, nd := range nodes {
+			where[nd] = p
+		}
+	}
+	for _, pair := range [][2]int{{0, 1}, {1, 2}, {3, 4}} {
+		if where[pair[0]] != where[pair[1]] {
+			t.Fatalf("community split across parties: %v", groups)
+		}
+	}
+}
+
+func TestLouvainPartiesEndToEnd(t *testing.T) {
+	g := twoCliques(t, 10)
+	rng := rand.New(rand.NewSource(4))
+	if err := g.Split(rng, 0.1, 0.2, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	parties, err := LouvainParties(g, 2, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parties) != 2 {
+		t.Fatalf("got %d parties", len(parties))
+	}
+	totalNodes := 0
+	for _, p := range parties {
+		totalNodes += p.Graph.NumNodes()
+	}
+	if totalNodes != g.NumNodes() {
+		t.Fatalf("node conservation violated: %d vs %d", totalNodes, g.NumNodes())
+	}
+	// The clique structure means each party should be label-pure — the
+	// non-i.i.d phenomenon of Figure 4.
+	if NonIIDScore(parties, 2) < 0.4 {
+		t.Fatalf("expected strong non-iid, score=%v", NonIIDScore(parties, 2))
+	}
+	dist := LabelDistribution(parties, 2)
+	for p := range dist {
+		if dist[p][0] > 0 && dist[p][1] > 0 {
+			t.Fatalf("party %d mixes both cliques: %v", p, dist)
+		}
+	}
+	// Exactly the single bridge edge is cut.
+	if loss := CrossPartyEdgeLoss(g, parties); loss <= 0 || loss > 0.05 {
+		t.Fatalf("cross-party edge loss = %v", loss)
+	}
+}
+
+func TestRandomPartiesLowNonIID(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Balanced 2-class graph, random split should be near-i.i.d.
+	n := 400
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % 2
+	}
+	g, err := graph.New(mat.New(n, 1), labels, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties, err := RandomParties(g, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score := NonIIDScore(parties, 2); score > 0.15 {
+		t.Fatalf("random partition unexpectedly non-iid: %v", score)
+	}
+	louvainScore := NonIIDScore(parties, 2)
+	_ = louvainScore
+}
+
+func TestPartyCountValidation(t *testing.T) {
+	g := twoCliques(t, 3)
+	rng := rand.New(rand.NewSource(6))
+	if _, err := LouvainParties(g, 0, 1, rng); err == nil {
+		t.Fatal("0 parties accepted")
+	}
+	if _, err := RandomParties(g, -1, rng); err == nil {
+		t.Fatal("negative parties accepted")
+	}
+}
+
+func TestMoreCliquesThanParties(t *testing.T) {
+	// 2 cliques, 4 parties: two parties end up empty — the code must not
+	// crash and must conserve nodes.
+	g := twoCliques(t, 6)
+	parties, err := LouvainParties(g, 4, 1.0, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range parties {
+		total += p.Graph.NumNodes()
+	}
+	if total != g.NumNodes() {
+		t.Fatal("node conservation violated")
+	}
+}

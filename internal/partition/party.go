@@ -1,0 +1,179 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fedomd/internal/graph"
+)
+
+// Party is the local view one federated client receives: an induced
+// subgraph and the original node ids it covers.
+type Party struct {
+	Graph *graph.Graph
+	// OrigIDs[i] is the global id of local node i.
+	OrigIDs []int
+}
+
+// LouvainParties implements the paper's "Louvain-cut" setup: detect
+// communities at the given resolution, then greedily pack the communities
+// into m parties balanced by node count (largest community to the currently
+// smallest party). Each party's subgraph inherits the global masks.
+func LouvainParties(g *graph.Graph, m int, resolution float64, rng *rand.Rand) ([]Party, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("partition: party count must be positive, got %d", m)
+	}
+	comm, err := Louvain(g, resolution, rng)
+	if err != nil {
+		return nil, err
+	}
+	groups := GroupCommunities(comm, m)
+	return buildParties(g, groups)
+}
+
+// RandomParties splits nodes uniformly at random into m parties — the
+// i.i.d-ish control setting used by ablation experiments.
+func RandomParties(g *graph.Graph, m int, rng *rand.Rand) ([]Party, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("partition: party count must be positive, got %d", m)
+	}
+	perm := rng.Perm(g.NumNodes())
+	groups := make([][]int, m)
+	for i, node := range perm {
+		groups[i%m] = append(groups[i%m], node)
+	}
+	return buildParties(g, groups)
+}
+
+// GroupCommunities packs community-labelled nodes into m groups, assigning
+// each community (largest first) to the group with the fewest nodes so far.
+// Communities are never split, preserving the non-i.i.d structure.
+func GroupCommunities(comm []int, m int) [][]int {
+	byComm := map[int][]int{}
+	for node, c := range comm {
+		byComm[c] = append(byComm[c], node)
+	}
+	ids := make([]int, 0, len(byComm))
+	for c := range byComm {
+		ids = append(ids, c)
+	}
+	// Largest first; ties by id for determinism.
+	sort.Slice(ids, func(a, b int) bool {
+		la, lb := len(byComm[ids[a]]), len(byComm[ids[b]])
+		if la != lb {
+			return la > lb
+		}
+		return ids[a] < ids[b]
+	})
+	groups := make([][]int, m)
+	sizes := make([]int, m)
+	for _, c := range ids {
+		smallest := 0
+		for p := 1; p < m; p++ {
+			if sizes[p] < sizes[smallest] {
+				smallest = p
+			}
+		}
+		groups[smallest] = append(groups[smallest], byComm[c]...)
+		sizes[smallest] += len(byComm[c])
+	}
+	for _, g := range groups {
+		sort.Ints(g)
+	}
+	return groups
+}
+
+func buildParties(g *graph.Graph, groups [][]int) ([]Party, error) {
+	parties := make([]Party, 0, len(groups))
+	for _, nodes := range groups {
+		sub, ids, err := g.Subgraph(nodes)
+		if err != nil {
+			return nil, err
+		}
+		parties = append(parties, Party{Graph: sub, OrigIDs: ids})
+	}
+	return parties, nil
+}
+
+// LabelDistribution returns an m×numClasses count matrix: row p is party p's
+// label histogram. This is exactly the data plotted as circles in Figure 4.
+func LabelDistribution(parties []Party, numClasses int) [][]int {
+	out := make([][]int, len(parties))
+	for p, party := range parties {
+		out[p] = make([]int, numClasses)
+		copy(out[p], party.Graph.LabelHistogram())
+	}
+	return out
+}
+
+// NonIIDScore quantifies label heterogeneity as the mean total-variation
+// distance between each party's label distribution and the pooled global
+// distribution. 0 means identical (i.i.d) distributions; values toward 1
+// mean heavily skewed parties.
+func NonIIDScore(parties []Party, numClasses int) float64 {
+	if len(parties) == 0 {
+		return 0
+	}
+	global := make([]float64, numClasses)
+	var total float64
+	dists := make([][]float64, len(parties))
+	for p, party := range parties {
+		h := party.Graph.LabelHistogram()
+		dists[p] = make([]float64, numClasses)
+		var n float64
+		for _, c := range h {
+			n += float64(c)
+		}
+		for y, c := range h {
+			global[y] += float64(c)
+			total += float64(c)
+			if n > 0 {
+				dists[p][y] = float64(c) / n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	for y := range global {
+		global[y] /= total
+	}
+	var sum float64
+	for _, d := range dists {
+		var tv float64
+		for y := range d {
+			tv += math.Abs(d[y] - global[y])
+		}
+		sum += tv / 2
+	}
+	return sum / float64(len(parties))
+}
+
+// CrossPartyEdgeLoss reports the fraction of the global graph's edges that
+// are severed by the partition (endpoints in different parties) — the
+// information FedSage+-style methods try to recover by generating missing
+// neighbours.
+func CrossPartyEdgeLoss(g *graph.Graph, parties []Party) float64 {
+	owner := make([]int, g.NumNodes())
+	for i := range owner {
+		owner[i] = -1
+	}
+	for p, party := range parties {
+		for _, id := range party.OrigIDs {
+			owner[id] = p
+		}
+	}
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return 0
+	}
+	cut := 0
+	for _, e := range edges {
+		if owner[e[0]] != owner[e[1]] {
+			cut++
+		}
+	}
+	return float64(cut) / float64(len(edges))
+}

@@ -1,0 +1,285 @@
+// Package sparse implements compressed sparse row (CSR) matrices and the
+// kernels graph convolutions need: parallel sparse×dense multiplication and
+// the symmetric GCN normalisation D^{-1/2}(A+I)D^{-1/2}.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"fedomd/internal/mat"
+)
+
+// CSR is a compressed-sparse-row matrix of float64.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int     // len rows+1
+	colIdx     []int     // len nnz
+	vals       []float64 // len nnz
+}
+
+// Coord is a single (row, col, value) entry used when assembling a CSR
+// matrix from coordinate (COO) form.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSR assembles a rows×cols CSR matrix from coordinate entries. Duplicate
+// (row, col) pairs are summed. Entries out of range yield an error.
+func NewCSR(rows, cols int, entries []Coord) (*CSR, error) {
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of range for %dx%d", e.Row, e.Col, rows, cols)
+		}
+	}
+	sorted := make([]Coord, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{rows: rows, cols: cols, rowPtr: make([]int, rows+1)}
+	for i := 0; i < len(sorted); {
+		j := i
+		v := 0.0
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j++
+		}
+		m.colIdx = append(m.colIdx, sorted[i].Col)
+		m.vals = append(m.vals, v)
+		m.rowPtr[sorted[i].Row+1]++
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.rowPtr[r+1] += m.rowPtr[r]
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity in CSR form.
+func Identity(n int) *CSR {
+	m := &CSR{rows: n, cols: n, rowPtr: make([]int, n+1), colIdx: make([]int, n), vals: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		m.rowPtr[i+1] = i + 1
+		m.colIdx[i] = i
+		m.vals[i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CSR) Cols() int { return m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.vals) }
+
+// At returns the element at (i, j); zero if not stored. O(log row-nnz).
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	k := lo + sort.SearchInts(m.colIdx[lo:hi], j)
+	if k < hi && m.colIdx[k] == j {
+		return m.vals[k]
+	}
+	return 0
+}
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *CSR) RowNNZ(i int) int { return m.rowPtr[i+1] - m.rowPtr[i] }
+
+// RowEntries calls f for each stored (col, val) in row i.
+func (m *CSR) RowEntries(i int, f func(col int, val float64)) {
+	for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+		f(m.colIdx[k], m.vals[k])
+	}
+}
+
+// ToDense materialises m as a dense matrix (for tests and small problems).
+func (m *CSR) ToDense() *mat.Dense {
+	d := mat.New(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			d.Set(i, m.colIdx[k], m.vals[k])
+		}
+	}
+	return d
+}
+
+// MulDense returns m·x for a dense x, sharding rows across goroutines.
+// It panics if m.Cols() != x.Rows().
+func (m *CSR) MulDense(x *mat.Dense) *mat.Dense {
+	if m.cols != x.Rows() {
+		panic(fmt.Sprintf("sparse: MulDense dimension mismatch %dx%d · %dx%d", m.rows, m.cols, x.Rows(), x.Cols()))
+	}
+	out := mat.New(m.rows, x.Cols())
+	nw := runtime.GOMAXPROCS(0)
+	if m.NNZ()*x.Cols() < 1<<15 || nw == 1 {
+		m.mulDenseRange(out, x, 0, m.rows)
+		return out
+	}
+	if nw > m.rows {
+		nw = m.rows
+	}
+	var wg sync.WaitGroup
+	chunk := (m.rows + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m.rows {
+			hi = m.rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			m.mulDenseRange(out, x, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func (m *CSR) mulDenseRange(out, x *mat.Dense, lo, hi int) {
+	c := x.Cols()
+	xd := x.Data()
+	od := out.Data()
+	for i := lo; i < hi; i++ {
+		orow := od[i*c : (i+1)*c]
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			v := m.vals[k]
+			xrow := xd[m.colIdx[k]*c : (m.colIdx[k]+1)*c]
+			for j, xv := range xrow {
+				orow[j] += v * xv
+			}
+		}
+	}
+}
+
+// TMulDense returns mᵀ·x without materialising the transpose. Because column
+// writes from different rows collide, each worker accumulates into a private
+// buffer which is then reduced; this keeps the result deterministic.
+func (m *CSR) TMulDense(x *mat.Dense) *mat.Dense {
+	if m.rows != x.Rows() {
+		panic(fmt.Sprintf("sparse: TMulDense dimension mismatch %dx%dᵀ · %dx%d", m.rows, m.cols, x.Rows(), x.Cols()))
+	}
+	c := x.Cols()
+	out := mat.New(m.cols, c)
+	od := out.Data()
+	xd := x.Data()
+	for i := 0; i < m.rows; i++ {
+		xrow := xd[i*c : (i+1)*c]
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			v := m.vals[k]
+			orow := od[m.colIdx[k]*c : (m.colIdx[k]+1)*c]
+			for j, xv := range xrow {
+				orow[j] += v * xv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ as a new CSR matrix.
+func (m *CSR) Transpose() *CSR {
+	entries := make([]Coord, 0, m.NNZ())
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			entries = append(entries, Coord{Row: m.colIdx[k], Col: i, Val: m.vals[k]})
+		}
+	}
+	t, err := NewCSR(m.cols, m.rows, entries)
+	if err != nil {
+		panic("sparse: internal transpose error: " + err.Error())
+	}
+	return t
+}
+
+// IsSymmetric reports whether m equals its transpose within tol.
+func (m *CSR) IsSymmetric(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			if math.Abs(m.vals[k]-m.At(m.colIdx[k], i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// GCNNormalize builds the renormalised propagation operator of Kipf & Welling
+//
+//	S̃ = D^{-1/2} (A + I) D^{-1/2},  D_ii = Σ_j (A+I)_ij
+//
+// from a square adjacency matrix A (§4.1 / eq. 7). Rows whose degree is zero
+// after self-loop insertion cannot occur (the self loop guarantees ≥1).
+func GCNNormalize(a *CSR) (*CSR, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("sparse: GCNNormalize requires square adjacency, got %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	entries := make([]Coord, 0, a.NNZ()+n)
+	for i := 0; i < n; i++ {
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			entries = append(entries, Coord{Row: i, Col: a.colIdx[k], Val: a.vals[k]})
+		}
+		entries = append(entries, Coord{Row: i, Col: i, Val: 1})
+	}
+	withLoops, err := NewCSR(n, n, entries)
+	if err != nil {
+		return nil, err
+	}
+	deg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var d float64
+		withLoops.RowEntries(i, func(_ int, v float64) { d += v })
+		deg[i] = d
+	}
+	for i := 0; i < n; i++ {
+		di := 1 / math.Sqrt(deg[i])
+		for k := withLoops.rowPtr[i]; k < withLoops.rowPtr[i+1]; k++ {
+			j := withLoops.colIdx[k]
+			withLoops.vals[k] *= di / math.Sqrt(deg[j])
+		}
+	}
+	return withLoops, nil
+}
+
+// RowSumNormalize returns D^{-1}A (mean aggregation, used by the
+// GraphSAGE-style convolution in the FedSage+ baseline). Zero-degree rows are
+// left as zero rows.
+func RowSumNormalize(a *CSR) *CSR {
+	out := &CSR{
+		rows:   a.rows,
+		cols:   a.cols,
+		rowPtr: append([]int(nil), a.rowPtr...),
+		colIdx: append([]int(nil), a.colIdx...),
+		vals:   append([]float64(nil), a.vals...),
+	}
+	for i := 0; i < a.rows; i++ {
+		var d float64
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			d += a.vals[k]
+		}
+		if d == 0 {
+			continue
+		}
+		for k := out.rowPtr[i]; k < out.rowPtr[i+1]; k++ {
+			out.vals[k] /= d
+		}
+	}
+	return out
+}
