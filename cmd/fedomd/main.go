@@ -5,11 +5,19 @@
 //
 //	fedomd -dataset cora -model FedOMD -parties 3 -rounds 100
 //	fedomd -dataset computer -model FedGCN -parties 5 -divisor 8
+//
+// Observability:
+//
+//	fedomd -report                  # per-phase timing table + comms totals
+//	fedomd -trace out.jsonl         # machine-readable per-event trace
+//	fedomd -debug-addr :6060        # live pprof + expvar while training
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 
 	"fedomd"
@@ -32,6 +40,9 @@ func main() {
 	dpDelta := flag.Float64("dp-delta", 1e-5, "DP δ (with -dp-epsilon)")
 	dpClip := flag.Float64("dp-clip", 1, "DP L2 clip bound (with -dp-epsilon)")
 	list := flag.Bool("list", false, "list models and datasets, then exit")
+	report := flag.Bool("report", false, "print a per-phase timing and comms report after the run")
+	trace := flag.String("trace", "", "write machine-readable JSONL telemetry events to this file")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. :6060) for live profiling")
 	flag.Parse()
 
 	if *list {
@@ -43,6 +54,39 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "fedomd:", err)
 		os.Exit(1)
+	}
+
+	// Telemetry sinks: an in-memory aggregator for -report and -debug-addr,
+	// a JSONL writer for -trace. With none requested the runtime sees the
+	// zero-cost no-op recorder.
+	var sinks []fedomd.Recorder
+	var agg *fedomd.TelemetryAggregator
+	if *report || *debugAddr != "" {
+		agg = fedomd.NewTelemetryAggregator()
+		sinks = append(sinks, agg)
+	}
+	var tracer *fedomd.TraceWriter
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fail(err)
+		}
+		tracer = fedomd.NewTraceWriter(f)
+		sinks = append(sinks, tracer)
+	}
+	recorder := fedomd.MultiRecorder(sinks...)
+
+	if *debugAddr != "" {
+		// expvar's import (via the facade) registers /debug/vars and the
+		// pprof import /debug/pprof on the default mux; publish the live
+		// telemetry counters there and serve.
+		fedomd.PublishTelemetryExpvar(agg)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "fedomd: debug server:", err)
+			}
+		}()
+		fmt.Printf("debug server on %s (/debug/pprof, /debug/vars)\n", *debugAddr)
 	}
 
 	g, err := fedomd.GenerateDataset(*ds, *divisor, *seed)
@@ -65,7 +109,7 @@ func main() {
 	fmt.Printf("partitioned into %d parties (non-iid score %.3f)\n",
 		len(partiesList), fedomd.NonIIDScore(partiesList, g.NumClasses))
 
-	opts := fedomd.RunOptions{Rounds: *rounds, Patience: *patience}
+	opts := fedomd.RunOptions{Rounds: *rounds, Patience: *patience, Recorder: recorder}
 	var result *fedomd.Result
 	if *model == fedomd.FedOMD {
 		cfg := fedomd.DefaultConfig()
@@ -101,4 +145,15 @@ func main() {
 		result.BestValAcc, result.BestRound, result.TestAtBestVal)
 	fmt.Printf("traffic: %d bytes up, %d bytes down over %d rounds\n",
 		result.TotalBytesUp, result.TotalBytesDown, len(result.History))
+
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace written to %s\n", *trace)
+	}
+	if *report {
+		fmt.Println("\ntelemetry report")
+		agg.Report(os.Stdout)
+	}
 }

@@ -18,6 +18,7 @@ package fedomd
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 
@@ -27,6 +28,7 @@ import (
 	"fedomd/internal/fed"
 	"fedomd/internal/graph"
 	"fedomd/internal/partition"
+	"fedomd/internal/telemetry"
 )
 
 // Re-exported core types. See the internal packages for full documentation.
@@ -45,7 +47,31 @@ type (
 	RoundStats = fed.RoundStats
 	// DatasetConfig parameterises the synthetic dataset generator.
 	DatasetConfig = dataset.Config
+	// Recorder receives run telemetry (counters, gauges, histograms, span
+	// timers); see RunOptions.Recorder. Nil always means "off, for free".
+	Recorder = telemetry.Recorder
+	// TelemetryAggregator is the in-memory Recorder; its Report method
+	// renders the per-run timing/comms table.
+	TelemetryAggregator = telemetry.Aggregator
+	// TraceWriter is the JSONL trace-event Recorder.
+	TraceWriter = telemetry.JSONL
 )
+
+// NewTelemetryAggregator returns an in-memory telemetry sink whose Report
+// renders per-phase timing (count, total, mean, p50, p95) and comms totals.
+func NewTelemetryAggregator() *TelemetryAggregator { return telemetry.NewAggregator() }
+
+// NewTraceWriter returns a Recorder streaming one JSON event per line to w.
+// Close (or Flush) it when the run ends.
+func NewTraceWriter(w io.Writer) *TraceWriter { return telemetry.NewJSONL(w) }
+
+// MultiRecorder fans telemetry out to several recorders (e.g. an aggregator
+// for the report plus a trace writer).
+func MultiRecorder(rs ...Recorder) Recorder { return telemetry.Multi(rs...) }
+
+// PublishTelemetryExpvar exposes the aggregator (and the process-global
+// autodiff/SpMM counters) on expvar's /debug/vars for live profiling.
+func PublishTelemetryExpvar(a *TelemetryAggregator) { telemetry.PublishExpvar(a) }
 
 // Model names accepted by TrainBaseline, in the paper's table order.
 const (
@@ -133,6 +159,10 @@ type RunOptions struct {
 	Patience int
 	// Sequential disables concurrent client training.
 	Sequential bool
+	// Recorder receives the run's telemetry: per-round phase spans,
+	// per-client train-duration histograms and communication counters
+	// (plus RPC metrics for distributed runs). Nil disables telemetry.
+	Recorder Recorder
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -162,7 +192,7 @@ func TrainFedOMD(parties []Party, cfg Config, opts RunOptions, seed int64) (*Res
 	if len(clients) == 0 {
 		return nil, fmt.Errorf("fedomd: no non-empty parties")
 	}
-	return fed.Run(fed.Config{Rounds: opts.Rounds, Patience: opts.Patience, Sequential: opts.Sequential}, clients)
+	return fed.Run(fed.Config{Rounds: opts.Rounds, Patience: opts.Patience, Sequential: opts.Sequential, Recorder: opts.Recorder}, clients)
 }
 
 // DPConfig re-exports the Gaussian-mechanism configuration for private
@@ -194,7 +224,7 @@ func TrainFedOMDPrivate(parties []Party, cfg Config, dp DPConfig, opts RunOption
 	if len(clients) == 0 {
 		return nil, fmt.Errorf("fedomd: no non-empty parties")
 	}
-	return fed.Run(fed.Config{Rounds: opts.Rounds, Patience: opts.Patience, Sequential: opts.Sequential}, clients)
+	return fed.Run(fed.Config{Rounds: opts.Rounds, Patience: opts.Patience, Sequential: opts.Sequential, Recorder: opts.Recorder}, clients)
 }
 
 // TrainBaseline trains one of the named comparison models (see Models) over
@@ -209,7 +239,7 @@ func TrainBaseline(model string, parties []Party, opts RunOptions, seed int64) (
 		Seeds:          1,
 		Hidden:         64,
 		LocalEpochs:    1,
-	}, seed)
+	}, seed).WithRecorder(opts.Recorder)
 	return runner.RunModelPublic(model, parties, seed, opts.Sequential)
 }
 
@@ -233,6 +263,7 @@ func CoordinateFedOMD(ln net.Listener, n int, opts RunOptions) (*Result, error) 
 		Rounds:     opts.Rounds,
 		Patience:   opts.Patience,
 		Sequential: opts.Sequential,
+		Recorder:   opts.Recorder,
 	}, ln, n)
 }
 

@@ -12,6 +12,18 @@ import (
 	"fmt"
 
 	"fedomd/internal/mat"
+	"fedomd/internal/telemetry"
+)
+
+// Process-global telemetry: tape growth and backward passes are the
+// autodiff cost drivers (every recorded op implies a forward kernel and, if
+// reached, a backward one). A single uncontended atomic add per event is
+// negligible next to the matrix work each op performs, so these stay on
+// unconditionally; reports and /debug/vars pick them up via the telemetry
+// registry.
+var (
+	tapeOpCount   = telemetry.NewCounter("ad/tape_ops")
+	backwardCount = telemetry.NewCounter("ad/backward_passes")
 )
 
 // Node is one value in the computation graph: its forward result, the
@@ -53,6 +65,7 @@ func (t *Tape) Len() int { return len(t.nodes) }
 
 // add appends a node to the tape and returns it.
 func (t *Tape) add(n *Node) *Node {
+	tapeOpCount.Add(1)
 	t.nodes = append(t.nodes, n)
 	return n
 }
@@ -85,6 +98,7 @@ func (t *Tape) Backward(loss *Node) error {
 	if idx < 0 {
 		return fmt.Errorf("ad: loss node not recorded on this tape")
 	}
+	backwardCount.Add(1)
 	seed := mat.New(1, 1)
 	seed.Set(0, 0, 1)
 	loss.Grad = seed

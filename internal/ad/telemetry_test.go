@@ -1,0 +1,26 @@
+package ad
+
+import (
+	"testing"
+
+	"fedomd/internal/mat"
+)
+
+// TestTapeCounters verifies the global tape-op and backward-pass counters
+// advance with autodiff work (other tests run in the same process, so only
+// deltas are meaningful).
+func TestTapeCounters(t *testing.T) {
+	ops0, bw0 := tapeOpCount.Value(), backwardCount.Value()
+	tp := NewTape()
+	a := tp.Param(mat.NewFromData(1, 2, []float64{1, 2}))
+	loss := tp.SumSquares(tp.Mul(a, a))
+	if err := tp.Backward(loss); err != nil {
+		t.Fatal(err)
+	}
+	if got := tapeOpCount.Value() - ops0; got != int64(tp.Len()) {
+		t.Fatalf("tape op counter advanced by %d, tape recorded %d nodes", got, tp.Len())
+	}
+	if got := backwardCount.Value() - bw0; got != 1 {
+		t.Fatalf("backward counter advanced by %d want 1", got)
+	}
+}

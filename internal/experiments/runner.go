@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"fedomd/internal/baselines"
 	"fedomd/internal/core"
@@ -17,6 +18,7 @@ import (
 	"fedomd/internal/graph"
 	"fedomd/internal/metrics"
 	"fedomd/internal/partition"
+	"fedomd/internal/telemetry"
 )
 
 // Model names, in the paper's table order.
@@ -86,11 +88,22 @@ type buildOpts struct {
 type Runner struct {
 	Scale    Scale
 	BaseSeed int64
+	// Recorder, when set, is threaded into every federated run it drives
+	// (phase spans, comms counters) and additionally receives per-cell
+	// wall-time histograms ("exp/cell_seconds/<model>/<dataset>") so
+	// experiment tables can report wall-time columns. Nil disables.
+	Recorder telemetry.Recorder
 }
 
 // NewRunner returns a Runner with the given scale and base seed.
 func NewRunner(s Scale, baseSeed int64) *Runner {
 	return &Runner{Scale: s, BaseSeed: baseSeed}
+}
+
+// WithRecorder sets the telemetry sink and returns the runner for chaining.
+func (r *Runner) WithRecorder(rec telemetry.Recorder) *Runner {
+	r.Recorder = rec
+	return r
 }
 
 // loadGraph generates the (scaled) named dataset and applies the paper's
@@ -212,7 +225,7 @@ func (r *Runner) RunModelPublic(model string, parties []partition.Party, seed in
 	if err != nil {
 		return nil, err
 	}
-	cfg := fed.Config{Rounds: r.Scale.Rounds, Patience: r.Scale.Patience, Sequential: sequential}
+	cfg := fed.Config{Rounds: r.Scale.Rounds, Patience: r.Scale.Patience, Sequential: sequential, Recorder: r.Recorder}
 	if localOnly {
 		return fed.RunLocalOnly(cfg, clients)
 	}
@@ -225,7 +238,7 @@ func (r *Runner) runModel(model string, parties []partition.Party, seed int64, b
 	if err != nil {
 		return nil, err
 	}
-	cfg := fed.Config{Rounds: r.Scale.Rounds, Patience: r.Scale.Patience}
+	cfg := fed.Config{Rounds: r.Scale.Rounds, Patience: r.Scale.Patience, Recorder: r.Recorder}
 	if localOnly {
 		return fed.RunLocalOnly(cfg, clients)
 	}
@@ -235,6 +248,7 @@ func (r *Runner) runModel(model string, parties []partition.Party, seed int64, b
 // cell measures one table cell: mean±std of test accuracy (at best
 // validation) over the seed schedule.
 func (r *Runner) cell(model, ds string, m int, resolution float64, bo buildOpts) (metrics.Cell, error) {
+	rec := telemetry.Or(r.Recorder)
 	var c metrics.Cell
 	for s := 0; s < r.Scale.Seeds; s++ {
 		seed := r.BaseSeed + int64(1000*s)
@@ -246,9 +260,16 @@ func (r *Runner) cell(model, ds string, m int, resolution float64, bo buildOpts)
 		if err != nil {
 			return c, err
 		}
+		var start time.Time
+		if rec.Enabled() {
+			start = time.Now()
+		}
 		res, err := r.runModel(model, parties, seed+13, bo)
 		if err != nil {
 			return c, err
+		}
+		if rec.Enabled() {
+			rec.Observe("exp/cell_seconds/"+model+"/"+ds, time.Since(start).Seconds())
 		}
 		c.Add(res.TestAtBestVal)
 	}

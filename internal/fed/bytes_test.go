@@ -1,0 +1,81 @@
+package fed
+
+import (
+	"testing"
+
+	"fedomd/internal/mat"
+)
+
+// The byte-accounting tests pin RoundStats.BytesUp/BytesDown and the Result
+// totals to analytically computed payload sizes, so the comms numbers
+// telemetry reports (and the paper's Figure 5 cost axis) are trustworthy.
+
+func TestByteAccountingPlainClients(t *testing.T) {
+	// Two plain clients, one 1×1 parameter ("w", 8 bytes). Per round:
+	// broadcast M·8 down, weight upload M·8 up; nothing else moves.
+	const rounds, m, paramBytes = 3, 2, 8
+	a := newFakeClient("a", 1, 0)
+	b := newFakeClient("b", 2, 0)
+	res, err := Run(Config{Rounds: rounds}, []Client{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUp, wantDown := int64(m*paramBytes), int64(m*paramBytes)
+	for _, h := range res.History {
+		if h.BytesUp != wantUp || h.BytesDown != wantDown {
+			t.Fatalf("round %d bytes = %d up / %d down, want %d / %d",
+				h.Round, h.BytesUp, h.BytesDown, wantUp, wantDown)
+		}
+	}
+	if res.TotalBytesUp != rounds*wantUp || res.TotalBytesDown != rounds*wantDown {
+		t.Fatalf("totals = %d up / %d down, want %d / %d",
+			res.TotalBytesUp, res.TotalBytesDown, rounds*wantUp, rounds*wantDown)
+	}
+}
+
+func TestByteAccountingMomentClients(t *testing.T) {
+	// Two moment clients over 1-feature data, 1 hidden layer, orders 2..5.
+	// Per client per round, on top of the 8-byte weight up/down:
+	//   means upload:        1×1 mean (8) + count (8)      = 16 up
+	//   global means down:   1×1                           =  8 down
+	//   moments upload:      4 orders × 1×1 (32) + count   = 40 up
+	//   global central down: 4 × 1×1                       = 32 down
+	d1, _ := mat.NewFromRows([][]float64{{0}, {2}})
+	d2, _ := mat.NewFromRows([][]float64{{10}, {12}})
+	a := &momentFake{fakeClient: newFakeClient("a", 2, 0), data: d1}
+	b := &momentFake{fakeClient: newFakeClient("b", 2, 0), data: d2}
+	res, err := Run(Config{Rounds: 1}, []Client{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 2
+	wantUp := int64(m * (8 + 16 + 40))
+	wantDown := int64(m * (8 + 8 + 32))
+	h := res.History[0]
+	if h.BytesUp != wantUp || h.BytesDown != wantDown {
+		t.Fatalf("moment round bytes = %d up / %d down, want %d / %d",
+			h.BytesUp, h.BytesDown, wantUp, wantDown)
+	}
+	if res.TotalBytesUp != wantUp || res.TotalBytesDown != wantDown {
+		t.Fatalf("totals = %d / %d, want %d / %d",
+			res.TotalBytesUp, res.TotalBytesDown, wantUp, wantDown)
+	}
+}
+
+func TestByteAccountingAuxClients(t *testing.T) {
+	// Two aux clients: each uploads a 1×1 control variate (8 bytes) and
+	// downloads the 8-byte aggregate, on top of the weight exchange.
+	a := &auxFake{fakeClient: newFakeClient("a", 1, 0), auxVal: 2}
+	b := &auxFake{fakeClient: newFakeClient("b", 1, 0), auxVal: 6}
+	res, err := Run(Config{Rounds: 1}, []Client{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 2
+	wantUp, wantDown := int64(m*(8+8)), int64(m*(8+8))
+	h := res.History[0]
+	if h.BytesUp != wantUp || h.BytesDown != wantDown {
+		t.Fatalf("aux round bytes = %d up / %d down, want %d / %d",
+			h.BytesUp, h.BytesDown, wantUp, wantDown)
+	}
+}

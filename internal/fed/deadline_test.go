@@ -1,0 +1,133 @@
+package fed
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fedomd/internal/telemetry"
+)
+
+// slowClient hangs in TrainLocal long enough to trip the coordinator's
+// per-request read deadline.
+type slowClient struct {
+	*fakeClient
+	delay time.Duration
+}
+
+func (s *slowClient) TrainLocal(round int) (float64, error) {
+	time.Sleep(s.delay)
+	return s.fakeClient.TrainLocal(round)
+}
+
+// TestReadDeadlineSurfacesNamedClientError covers the satellite fix for hung
+// parties: without deadlines a stalled party blocks the synchronous round
+// forever; with TransportOptions.ReadTimeout the coordinator fails fast with
+// an error naming the offending client.
+func TestReadDeadlineSurfacesNamedClientError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// The serve loop exits with a write error once the coordinator
+		// abandons the connection; that is expected here.
+		_ = ServeClient(ln.Addr().String(), &slowClient{
+			fakeClient: newFakeClient("laggard", 1, 0),
+			delay:      2 * time.Second,
+		})
+	}()
+
+	clients, err := AcceptClientsOpts(ln, 1, TransportOptions{ReadTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	_, err = Run(Config{Rounds: 1}, clients)
+	// Unblock the party before waiting on it: the shutdown request lands in
+	// its receive buffer and is served once the slow TrainLocal returns.
+	clients[0].(*remoteClient).shutdown()
+	if err == nil {
+		t.Fatal("hung party did not surface an error")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("deadline did not fire promptly, run took %v", time.Since(start))
+	}
+	if !strings.Contains(err.Error(), "laggard") {
+		t.Fatalf("error does not name the hung client: %v", err)
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("deadline expiry is not a net timeout error: %v", err)
+	}
+	wg.Wait()
+}
+
+// TestDeadlinesHarmlessOnHealthyRun checks generous deadlines leave a normal
+// distributed run untouched and that transport telemetry lands on both ends.
+func TestDeadlinesHarmlessOnHealthyRun(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	coordRec := telemetry.NewAggregator()
+	partyRec := telemetry.NewAggregator()
+	var wg sync.WaitGroup
+	for _, name := range []string{"a", "b"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			if err := ServeClientConnOpts(conn, newFakeClient(name, 1, 0), ServeOptions{
+				Recorder:     partyRec,
+				WriteTimeout: 5 * time.Second,
+			}); err != nil {
+				t.Errorf("party %s: %v", name, err)
+			}
+		}(name)
+	}
+	res, err := RunDistributedOpts(Config{Rounds: 2}, ln, 2, TransportOptions{
+		Recorder:     coordRec,
+		ReadTimeout:  5 * time.Second,
+		WriteTimeout: 5 * time.Second,
+	})
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 2 {
+		t.Fatalf("run truncated: %d rounds", len(res.History))
+	}
+	// Each round calls TrainLocal once per party: latency histogram on the
+	// coordinator, handle histogram on the party, bytes counters on both.
+	if s, ok := coordRec.Histogram("rpc/coord/latency_seconds/TrainLocal"); !ok || s.Count != 4 {
+		t.Fatalf("coordinator TrainLocal latency samples = %d (present=%v) want 4", s.Count, ok)
+	}
+	if s, ok := partyRec.Histogram("rpc/party/handle_seconds/TrainLocal"); !ok || s.Count != 4 {
+		t.Fatalf("party TrainLocal handle samples = %d (present=%v) want 4", s.Count, ok)
+	}
+	if coordRec.Counter("rpc/coord/bytes_tx/SetParams") == 0 ||
+		coordRec.Counter("rpc/coord/bytes_rx/GetParams") == 0 {
+		t.Fatal("coordinator byte counters missing")
+	}
+	if partyRec.Counter("rpc/party/bytes_rx/SetParams") == 0 ||
+		partyRec.Counter("rpc/party/bytes_tx/GetParams") == 0 {
+		t.Fatal("party byte counters missing")
+	}
+}

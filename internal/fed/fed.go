@@ -9,6 +9,7 @@ package fed
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"fedomd/internal/mat"
 	"fedomd/internal/moments"
 	"fedomd/internal/nn"
+	"fedomd/internal/telemetry"
 )
 
 // Client is one federated participant. Implementations own their local graph
@@ -80,11 +82,36 @@ type Config struct {
 	EvalEvery int
 	// ClientFraction selects ⌈fraction·M⌉ clients uniformly at random each
 	// round to train and aggregate (standard FL partial participation).
-	// 0 means full participation; values outside (0, 1] are rejected.
+	// 0 explicitly means full participation (every client trains every
+	// round); otherwise the fraction must lie in (0, 1].
 	ClientFraction float64
 	// SampleSeed makes the per-round client sampling deterministic.
 	SampleSeed int64
+	// Recorder receives the run's telemetry: per-round per-phase spans
+	// (broadcast, eval, moments, train, aux, aggregate), per-client
+	// train-duration histograms, and communication counters. Nil disables
+	// telemetry at zero cost.
+	Recorder telemetry.Recorder
 }
+
+// Telemetry metric names emitted by Run. Phase spans are histograms of
+// per-round durations in seconds; bytes are monotonic counters.
+const (
+	MetricRoundSeconds     = "fed/round_seconds"
+	MetricBroadcastSeconds = "fed/phase/broadcast_seconds"
+	MetricEvalSeconds      = "fed/phase/eval_seconds"
+	MetricMomentsSeconds   = "fed/phase/moments_seconds"
+	MetricTrainSeconds     = "fed/phase/train_seconds"
+	MetricAuxSeconds       = "fed/phase/aux_seconds"
+	MetricAggregateSeconds = "fed/phase/aggregate_seconds"
+	MetricClientTrainSecs  = "fed/client/train_seconds"
+	MetricBytesUp          = "fed/bytes_up"
+	MetricBytesDown        = "fed/bytes_down"
+	MetricRounds           = "fed/rounds"
+	MetricActiveClients    = "fed/active_clients"
+	MetricValAcc           = "fed/val_acc"
+	MetricTestAcc          = "fed/test_acc"
+)
 
 // RoundStats is one row of the training history (Figure 5 data).
 type RoundStats struct {
@@ -124,8 +151,9 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 		evalEvery = 1
 	}
 	if cfg.ClientFraction < 0 || cfg.ClientFraction > 1 {
-		return nil, fmt.Errorf("fed: ClientFraction must be in (0, 1], got %v", cfg.ClientFraction)
+		return nil, fmt.Errorf("fed: ClientFraction must be 0 (full participation) or in (0, 1], got %v", cfg.ClientFraction)
 	}
+	rec := telemetry.Or(cfg.Recorder)
 	allMoment := true
 	for _, c := range clients {
 		if c == nil {
@@ -152,15 +180,13 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 
 	for round := 0; round < cfg.Rounds; round++ {
 		stats := RoundStats{Round: round}
+		roundSpan := telemetry.StartSpan(rec, MetricRoundSeconds)
 
 		// Partial participation: the round's active cohort.
 		active := clients
 		activeWeights := weights
 		if cfg.ClientFraction > 0 && cfg.ClientFraction < 1 {
-			k := int(cfg.ClientFraction*float64(len(clients)) + 0.999999)
-			if k < 1 {
-				k = 1
-			}
+			k := ceilFraction(cfg.ClientFraction, len(clients))
 			perm := sampler.Perm(len(clients))[:k]
 			sort.Ints(perm)
 			active = make([]Client, k)
@@ -172,16 +198,22 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 		}
 
 		// Broadcast global weights (Phase 1/3 of §3).
+		sp := telemetry.StartSpan(rec, MetricBroadcastSeconds)
 		for _, c := range clients {
 			if err := c.SetParams(global); err != nil {
 				return nil, fmt.Errorf("fed: broadcast to %s: %w", c.Name(), err)
 			}
 			stats.BytesDown += int64(global.Bytes())
 		}
+		sp.End()
 
 		// Evaluate the freshly broadcast global model.
 		if round%evalEvery == 0 || round == cfg.Rounds-1 {
+			sp = telemetry.StartSpan(rec, MetricEvalSeconds)
 			stats.ValAcc, stats.TestAcc = evaluate(clients, cfg.Sequential)
+			sp.End()
+			rec.Gauge(MetricValAcc, stats.ValAcc)
+			rec.Gauge(MetricTestAcc, stats.TestAcc)
 			if stats.ValAcc > res.BestValAcc || res.BestRound < 0 {
 				res.BestValAcc = stats.ValAcc
 				res.TestAtBestVal = stats.TestAcc
@@ -195,7 +227,9 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 		// FedOMD statistics exchange (Algorithm 1 lines 3-18), over the
 		// round's active cohort.
 		if allMoment {
+			sp = telemetry.StartSpan(rec, MetricMomentsSeconds)
 			up, down, err := momentExchange(active)
+			sp.End()
 			if err != nil {
 				return nil, err
 			}
@@ -204,9 +238,12 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 		}
 
 		// Local training, concurrently across active parties.
+		sp = telemetry.StartSpan(rec, MetricTrainSeconds)
 		losses := make([]float64, len(active))
 		if err := forEachClient(active, cfg.Sequential, func(i int, c Client) error {
+			clientSpan := telemetry.StartSpan(rec, MetricClientTrainSecs)
 			loss, err := c.TrainLocal(round)
+			clientSpan.End()
 			if err != nil {
 				return fmt.Errorf("fed: client %s round %d: %w", c.Name(), round, err)
 			}
@@ -215,6 +252,7 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 		}); err != nil {
 			return nil, err
 		}
+		sp.End()
 		var lossSum, wSum float64
 		for i, l := range losses {
 			lossSum += activeWeights[i] * l
@@ -223,11 +261,14 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 		stats.TrainLoss = lossSum / wSum
 
 		// Auxiliary state aggregation (e.g. SCAFFOLD control variates).
+		sp = telemetry.StartSpan(rec, MetricAuxSeconds)
 		if err := auxExchange(active, &stats); err != nil {
 			return nil, err
 		}
+		sp.End()
 
 		// Upload and FedAvg (eq. 2 / Algorithm 1 lines 26-29).
+		sp = telemetry.StartSpan(rec, MetricAggregateSeconds)
 		sets := make([]*nn.Params, len(active))
 		for i, c := range active {
 			sets[i] = c.Params()
@@ -238,6 +279,13 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 			return nil, fmt.Errorf("fed: aggregation: %w", err)
 		}
 		global = agg
+		sp.End()
+
+		roundSpan.End()
+		rec.Count(MetricRounds, 1)
+		rec.Count(MetricActiveClients, int64(len(active)))
+		rec.Count(MetricBytesUp, stats.BytesUp)
+		rec.Count(MetricBytesDown, stats.BytesDown)
 
 		res.History = append(res.History, stats)
 		res.TotalBytesUp += stats.BytesUp
@@ -458,6 +506,26 @@ func forEachClient(clients []Client, sequential bool, f func(int, Client) error)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// ceilFraction returns ⌈f·m⌉ clamped to [1, m] — the partial-participation
+// cohort size. Products that land within one ulp-scale tolerance of an
+// integer are snapped to it first, so mathematically exact cases like
+// f = 1/3, m = 3 (product 0.999…) or f = 0.1, m = 30 (product 3.000…04)
+// do not gain a spurious extra client from float rounding.
+func ceilFraction(f float64, m int) int {
+	p := f * float64(m)
+	if r := math.Round(p); r > 0 && math.Abs(p-r) < 1e-9*r {
+		p = r
+	}
+	k := int(math.Ceil(p))
+	if k < 1 {
+		k = 1
+	}
+	if k > m {
+		k = m
+	}
+	return k
 }
 
 func bytesOfVecs(vs []*mat.Dense) int64 {

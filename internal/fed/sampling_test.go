@@ -1,6 +1,7 @@
 package fed
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -9,8 +10,43 @@ func TestClientFractionValidation(t *testing.T) {
 	if _, err := Run(Config{Rounds: 1, ClientFraction: -0.5}, []Client{a}); err == nil {
 		t.Fatal("negative fraction accepted")
 	}
-	if _, err := Run(Config{Rounds: 1, ClientFraction: 1.5}, []Client{a}); err == nil {
+	_, err := Run(Config{Rounds: 1, ClientFraction: 1.5}, []Client{a})
+	if err == nil {
 		t.Fatal("fraction > 1 accepted")
+	}
+	// The message must not claim (0, 1] is the whole domain: 0 is the
+	// documented full-participation value and is accepted.
+	if !strings.Contains(err.Error(), "0 (full participation)") {
+		t.Fatalf("validation message does not document 0: %v", err)
+	}
+	if _, err := Run(Config{Rounds: 1, ClientFraction: 0}, []Client{a}); err != nil {
+		t.Fatalf("fraction 0 (full participation) rejected: %v", err)
+	}
+}
+
+func TestCeilFraction(t *testing.T) {
+	cases := []struct {
+		f    float64
+		m    int
+		want int
+	}{
+		{1.0 / 3.0, 3, 1},   // float product 0.999… snaps to 1, not ⌈⌉ → 1 anyway
+		{1.0 / 3.0, 4, 2},   // 1.333 → 2
+		{0.1, 30, 3},        // product 3.000…04: float noise must not yield 4
+		{0.1, 10, 1},        // exactly M/10
+		{0.3, 3, 1},         // 0.9 → 1
+		{0.34, 3, 2},        // 1.02 → 2
+		{0.5, 5, 3},         // 2.5 → 3
+		{0.5, 4, 2},         // exact 2
+		{1e-9, 1000, 1},     // tiny fractions clamp up to one client
+		{1e-9, 3, 1},        // old +0.999999 trick truncated this to 0
+		{0.999999999, 4, 4}, // near-1 fractions never exceed M
+		{1, 7, 7},           // exact full participation
+	}
+	for _, c := range cases {
+		if got := ceilFraction(c.f, c.m); got != c.want {
+			t.Errorf("ceilFraction(%v, %d) = %d want %d", c.f, c.m, got, c.want)
+		}
 	}
 }
 

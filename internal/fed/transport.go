@@ -15,11 +15,65 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"fedomd/internal/mat"
 	"fedomd/internal/nn"
+	"fedomd/internal/telemetry"
 )
+
+// TransportOptions configures the coordinator side of the RPC transport.
+type TransportOptions struct {
+	// Recorder receives per-op RPC latency histograms and payload byte
+	// counters ("rpc/coord/…"). Nil disables transport telemetry.
+	Recorder telemetry.Recorder
+	// ReadTimeout bounds each wait for a party's reply. It covers the
+	// party's compute for that request — TrainLocal included — so size it
+	// above the slowest expected local epoch. 0 means no deadline (a hung
+	// party then stalls the synchronous round forever, the pre-deadline
+	// behaviour).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each request write. 0 means no deadline.
+	WriteTimeout time.Duration
+}
+
+// ServeOptions configures the party side of the RPC transport.
+type ServeOptions struct {
+	// Recorder receives per-op request-handling histograms and payload
+	// byte counters ("rpc/party/…"). Nil disables transport telemetry.
+	Recorder telemetry.Recorder
+	// DialTimeout bounds the initial connection to the coordinator
+	// (ServeClientOpts only). 0 means the 30s default.
+	DialTimeout time.Duration
+	// ReadTimeout bounds each wait for the next coordinator request. Note
+	// a party legitimately sits idle while its peers finish the round, so
+	// this must cover the whole round, not one request. 0 (recommended)
+	// means no deadline.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write. 0 means no deadline.
+	WriteTimeout time.Duration
+}
+
+// countingConn wraps a net.Conn with byte counters so payload sizes per
+// message can be measured at the transport layer, where gob streams directly
+// to the socket.
+type countingConn struct {
+	net.Conn
+	rx, tx atomic.Int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.rx.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.tx.Add(int64(n))
+	return n, err
+}
 
 // wireDense is the gob form of a dense matrix.
 type wireDense struct {
@@ -132,32 +186,59 @@ type rpcResponse struct {
 // client until the coordinator sends Shutdown or the connection closes.
 // It returns nil on a clean shutdown.
 func ServeClient(addr string, c Client) error {
-	conn, err := net.DialTimeout("tcp", addr, 30*time.Second)
+	return ServeClientOpts(addr, c, ServeOptions{})
+}
+
+// ServeClientOpts is ServeClient with explicit transport options.
+func ServeClientOpts(addr string, c Client, opts ServeOptions) error {
+	dial := opts.DialTimeout
+	if dial <= 0 {
+		dial = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, dial)
 	if err != nil {
 		return fmt.Errorf("fed: dial coordinator: %w", err)
 	}
 	defer conn.Close()
-	return ServeClientConn(conn, c)
+	return ServeClientConnOpts(conn, c, opts)
 }
 
 // ServeClientConn serves the client over an established connection (exported
 // so tests and in-process demos can use net.Pipe or loopback listeners).
 func ServeClientConn(conn net.Conn, c Client) error {
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
+	return ServeClientConnOpts(conn, c, ServeOptions{})
+}
+
+// ServeClientConnOpts is ServeClientConn with explicit transport options:
+// per-request read/write deadlines and a Recorder for per-op handling time
+// and payload sizes.
+func ServeClientConnOpts(conn net.Conn, c Client, opts ServeOptions) error {
+	rec := telemetry.Or(opts.Recorder)
+	cc := &countingConn{Conn: conn}
+	enc := gob.NewEncoder(cc)
+	dec := gob.NewDecoder(cc)
 	mc, isMoment := c.(MomentClient)
 	ac, isAux := c.(AuxClient)
 	if err := enc.Encode(hello{Name: c.Name(), NumSamples: c.NumSamples(), Moment: isMoment, Aux: isAux}); err != nil {
 		return fmt.Errorf("fed: handshake: %w", err)
 	}
 	for {
+		if opts.ReadTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(opts.ReadTimeout))
+		}
+		rx0 := cc.rx.Load()
 		var req rpcRequest
 		if err := dec.Decode(&req); err != nil {
 			return fmt.Errorf("fed: reading request: %w", err)
 		}
 		var resp rpcResponse
+		handleSpan := telemetry.StartSpan(rec, "rpc/party/handle_seconds/"+req.Op)
 		switch req.Op {
 		case opShutdown:
+			handleSpan.End()
+			if opts.WriteTimeout > 0 {
+				_ = conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
+			}
 			return enc.Encode(rpcResponse{})
 		case opSetParams:
 			if err := c.SetParams(paramsFromWire(req.Params)); err != nil {
@@ -229,8 +310,17 @@ func ServeClientConn(conn net.Conn, c Client) error {
 		default:
 			resp.Err = fmt.Sprintf("fed: unknown op %q", req.Op)
 		}
+		handleSpan.End()
+		if opts.WriteTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
+		}
+		tx0 := cc.tx.Load()
 		if err := enc.Encode(resp); err != nil {
 			return fmt.Errorf("fed: writing response: %w", err)
+		}
+		if rec.Enabled() {
+			rec.Count("rpc/party/bytes_rx/"+req.Op, cc.rx.Load()-rx0)
+			rec.Count("rpc/party/bytes_tx/"+req.Op, cc.tx.Load()-tx0)
 		}
 	}
 }
@@ -241,16 +331,41 @@ type remoteClient struct {
 	samples int
 	enc     *gob.Encoder
 	dec     *gob.Decoder
-	conn    net.Conn
+	conn    *countingConn
+	rec     telemetry.Recorder
+	opts    TransportOptions
 }
 
+// call performs one request/response exchange, applying the configured
+// per-request deadlines and recording latency and payload sizes per op. A
+// deadline expiry surfaces as an error naming the party (via the "to/from
+// %s" wrapping) that satisfies net.Error with Timeout() == true.
 func (r *remoteClient) call(req rpcRequest) (rpcResponse, error) {
+	var (
+		sp       telemetry.Span
+		tx0, rx0 int64
+	)
+	if r.rec.Enabled() {
+		sp = telemetry.StartSpan(r.rec, "rpc/coord/latency_seconds/"+req.Op)
+		tx0, rx0 = r.conn.tx.Load(), r.conn.rx.Load()
+	}
+	if r.opts.WriteTimeout > 0 {
+		_ = r.conn.SetWriteDeadline(time.Now().Add(r.opts.WriteTimeout))
+	}
 	if err := r.enc.Encode(req); err != nil {
 		return rpcResponse{}, fmt.Errorf("fed: rpc %s to %s: %w", req.Op, r.name, err)
+	}
+	if r.opts.ReadTimeout > 0 {
+		_ = r.conn.SetReadDeadline(time.Now().Add(r.opts.ReadTimeout))
 	}
 	var resp rpcResponse
 	if err := r.dec.Decode(&resp); err != nil {
 		return rpcResponse{}, fmt.Errorf("fed: rpc %s reply from %s: %w", req.Op, r.name, err)
+	}
+	if r.rec.Enabled() {
+		sp.End()
+		r.rec.Count("rpc/coord/bytes_tx/"+req.Op, r.conn.tx.Load()-tx0)
+		r.rec.Count("rpc/coord/bytes_rx/"+req.Op, r.conn.rx.Load()-rx0)
 	}
 	if resp.Err != "" {
 		return resp, errors.New(resp.Err)
@@ -352,20 +467,28 @@ func (r *remoteAuxClient) DownloadAux(global *nn.Params) error {
 // AcceptClients waits for n parties to connect and complete their handshake,
 // returning proxy Clients in connection order.
 func AcceptClients(ln net.Listener, n int) ([]Client, error) {
+	return AcceptClientsOpts(ln, n, TransportOptions{})
+}
+
+// AcceptClientsOpts is AcceptClients with explicit transport options: the
+// returned proxies apply the per-request deadlines and record RPC telemetry.
+func AcceptClientsOpts(ln net.Listener, n int, opts TransportOptions) ([]Client, error) {
 	clients := make([]Client, 0, n)
 	for len(clients) < n {
 		conn, err := ln.Accept()
 		if err != nil {
 			return nil, fmt.Errorf("fed: accept: %w", err)
 		}
-		enc := gob.NewEncoder(conn)
-		dec := gob.NewDecoder(conn)
+		cc := &countingConn{Conn: conn}
+		enc := gob.NewEncoder(cc)
+		dec := gob.NewDecoder(cc)
 		var h hello
 		if err := dec.Decode(&h); err != nil {
 			conn.Close()
 			return nil, fmt.Errorf("fed: handshake: %w", err)
 		}
-		base := remoteClient{name: h.Name, samples: h.NumSamples, enc: enc, dec: dec, conn: conn}
+		base := remoteClient{name: h.Name, samples: h.NumSamples, enc: enc, dec: dec,
+			conn: cc, rec: telemetry.Or(opts.Recorder), opts: opts}
 		switch {
 		case h.Moment:
 			clients = append(clients, &remoteMomentClient{base})
@@ -381,12 +504,19 @@ func AcceptClients(ln net.Listener, n int) ([]Client, error) {
 
 // RunDistributed accepts n parties on ln and drives the full federated
 // protocol over the network, reusing Run's round logic. Parties are shut
-// down cleanly when the run finishes.
+// down cleanly when the run finishes. cfg.Recorder, when set, also receives
+// the transport's RPC metrics.
 func RunDistributed(cfg Config, ln net.Listener, n int) (*Result, error) {
+	return RunDistributedOpts(cfg, ln, n, TransportOptions{Recorder: cfg.Recorder})
+}
+
+// RunDistributedOpts is RunDistributed with explicit transport options
+// (per-request deadlines, a dedicated transport Recorder).
+func RunDistributedOpts(cfg Config, ln net.Listener, n int, opts TransportOptions) (*Result, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("fed: RunDistributed needs a positive party count, got %d", n)
 	}
-	clients, err := AcceptClients(ln, n)
+	clients, err := AcceptClientsOpts(ln, n, opts)
 	if err != nil {
 		return nil, err
 	}

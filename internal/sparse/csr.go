@@ -11,6 +11,16 @@ import (
 	"sync"
 
 	"fedomd/internal/mat"
+	"fedomd/internal/telemetry"
+)
+
+// Process-global telemetry: SpMM kernel invocations and their floating-point
+// work (one multiply-add per stored entry per output column, counted as
+// 2 FLOPs). One atomic add per kernel call — not per entry — so the cost is
+// invisible next to the multiply itself.
+var (
+	spmmCalls = telemetry.NewCounter("sparse/spmm_calls")
+	spmmFlops = telemetry.NewCounter("sparse/spmm_flops")
 )
 
 // CSR is a compressed-sparse-row matrix of float64.
@@ -120,6 +130,8 @@ func (m *CSR) MulDense(x *mat.Dense) *mat.Dense {
 	if m.cols != x.Rows() {
 		panic(fmt.Sprintf("sparse: MulDense dimension mismatch %dx%d · %dx%d", m.rows, m.cols, x.Rows(), x.Cols()))
 	}
+	spmmCalls.Add(1)
+	spmmFlops.Add(2 * int64(m.NNZ()) * int64(x.Cols()))
 	out := mat.New(m.rows, x.Cols())
 	nw := runtime.GOMAXPROCS(0)
 	if m.NNZ()*x.Cols() < 1<<15 || nw == 1 {
@@ -173,6 +185,8 @@ func (m *CSR) TMulDense(x *mat.Dense) *mat.Dense {
 	if m.rows != x.Rows() {
 		panic(fmt.Sprintf("sparse: TMulDense dimension mismatch %dx%dᵀ · %dx%d", m.rows, m.cols, x.Rows(), x.Cols()))
 	}
+	spmmCalls.Add(1)
+	spmmFlops.Add(2 * int64(m.NNZ()) * int64(x.Cols()))
 	c := x.Cols()
 	out := mat.New(m.cols, c)
 	od := out.Data()

@@ -1,0 +1,37 @@
+package sparse
+
+import (
+	"testing"
+
+	"fedomd/internal/mat"
+)
+
+// TestSpMMCounters verifies the global kernel-call and FLOP counters advance
+// by the analytic amount (2·nnz·cols per multiply). Counters are
+// process-global, so only deltas are asserted.
+func TestSpMMCounters(t *testing.T) {
+	m, err := NewCSR(2, 2, []Coord{{0, 0, 1}, {0, 1, 2}, {1, 1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.NewFromData(2, 4, make([]float64, 8))
+
+	calls0, flops0 := spmmCalls.Value(), spmmFlops.Value()
+	m.MulDense(x)
+	if got := spmmCalls.Value() - calls0; got != 1 {
+		t.Fatalf("spmm call counter advanced by %d want 1", got)
+	}
+	want := int64(2 * m.NNZ() * x.Cols()) // 2*3*4 = 24
+	if got := spmmFlops.Value() - flops0; got != want {
+		t.Fatalf("spmm flop counter advanced by %d want %d", got, want)
+	}
+
+	calls0, flops0 = spmmCalls.Value(), spmmFlops.Value()
+	m.TMulDense(x)
+	if got := spmmCalls.Value() - calls0; got != 1 {
+		t.Fatalf("transpose spmm call counter advanced by %d want 1", got)
+	}
+	if got := spmmFlops.Value() - flops0; got != want {
+		t.Fatalf("transpose spmm flop counter advanced by %d want %d", got, want)
+	}
+}

@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// reservoirCap bounds per-histogram sample storage. Beyond it, reservoir
+// sampling keeps a uniform subsample so quantiles stay representative over
+// arbitrarily long runs at O(1) memory.
+const reservoirCap = 4096
+
+// hist accumulates one histogram: exact count/sum/min/max plus a bounded
+// sample reservoir for quantiles.
+type hist struct {
+	count    int64
+	sum      float64
+	min, max float64
+	samples  []float64
+	rng      uint64 // xorshift64 state for deterministic reservoir eviction
+}
+
+func (h *hist) observe(v float64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if len(h.samples) < reservoirCap {
+		h.samples = append(h.samples, v)
+		return
+	}
+	// Vitter's algorithm R with a private xorshift64 stream: sample i is
+	// kept with probability cap/i, deterministically per histogram.
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	if j := h.rng % uint64(h.count); j < reservoirCap {
+		h.samples[j] = v
+	}
+}
+
+// quantile returns the q-quantile (0 ≤ q ≤ 1) over the reservoir.
+func (h *hist) quantile(q float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), h.samples...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// HistSummary is one histogram's aggregate view.
+type HistSummary struct {
+	Count         int64
+	Sum, Min, Max float64
+	Mean          float64
+	P50, P95      float64
+}
+
+// Aggregator is the in-memory Recorder: it accumulates counters, gauges and
+// histograms under a mutex and renders a per-run text report.
+type Aggregator struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*hist
+}
+
+// NewAggregator returns an empty in-memory aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*hist),
+	}
+}
+
+// Enabled always reports true.
+func (a *Aggregator) Enabled() bool { return true }
+
+// Count implements Recorder.
+func (a *Aggregator) Count(name string, delta int64) {
+	a.mu.Lock()
+	a.counters[name] += delta
+	a.mu.Unlock()
+}
+
+// Gauge implements Recorder.
+func (a *Aggregator) Gauge(name string, v float64) {
+	a.mu.Lock()
+	a.gauges[name] = v
+	a.mu.Unlock()
+}
+
+// Observe implements Recorder.
+func (a *Aggregator) Observe(name string, v float64) {
+	a.mu.Lock()
+	h := a.hists[name]
+	if h == nil {
+		h = &hist{rng: 0x9E3779B97F4A7C15}
+		a.hists[name] = h
+	}
+	h.observe(v)
+	a.mu.Unlock()
+}
+
+// Counter returns the named counter's current value.
+func (a *Aggregator) Counter(name string) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.counters[name]
+}
+
+// GaugeValue returns the named gauge's latest value and whether it was set.
+func (a *Aggregator) GaugeValue(name string) (float64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v, ok := a.gauges[name]
+	return v, ok
+}
+
+// Histogram returns the named histogram's summary and whether it exists.
+func (a *Aggregator) Histogram(name string) (HistSummary, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h, ok := a.hists[name]
+	if !ok {
+		return HistSummary{}, false
+	}
+	return summarize(h), true
+}
+
+func summarize(h *hist) HistSummary {
+	s := HistSummary{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		P50: h.quantile(0.50), P95: h.quantile(0.95)}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
+	}
+	return s
+}
+
+// Snapshot returns sorted copies of all counters, gauges and histogram
+// summaries (the expvar surface uses it).
+func (a *Aggregator) Snapshot() (counters map[string]int64, gauges map[string]float64, hists map[string]HistSummary) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	counters = make(map[string]int64, len(a.counters))
+	for k, v := range a.counters {
+		counters[k] = v
+	}
+	gauges = make(map[string]float64, len(a.gauges))
+	for k, v := range a.gauges {
+		gauges[k] = v
+	}
+	hists = make(map[string]HistSummary, len(a.hists))
+	for k, h := range a.hists {
+		hists[k] = summarize(h)
+	}
+	return counters, gauges, hists
+}
+
+// isSeconds reports whether a histogram holds durations (by naming
+// convention) and should be formatted as times.
+func isSeconds(name string) bool { return strings.HasSuffix(name, "_seconds") }
+
+func fmtDur(sec float64) string {
+	return time.Duration(sec * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+func fmtVal(name string, v float64) string {
+	if isSeconds(name) {
+		return fmtDur(v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Report renders the per-run text report: a timing/values table for every
+// histogram (count, total, mean, p50, p95), then counters, gauges, and the
+// process-global counters from leaf packages.
+func (a *Aggregator) Report(w io.Writer) {
+	counters, gauges, hists := a.Snapshot()
+
+	if len(hists) > 0 {
+		names := make([]string, 0, len(hists))
+		width := len("name")
+		for k := range hists {
+			names = append(names, k)
+			if len(k) > width {
+				width = len(k)
+			}
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "%-*s  %8s  %12s  %12s  %12s  %12s\n",
+			width, "name", "count", "total", "mean", "p50", "p95")
+		for _, k := range names {
+			s := hists[k]
+			fmt.Fprintf(w, "%-*s  %8d  %12s  %12s  %12s  %12s\n",
+				width, k, s.Count, fmtVal(k, s.Sum), fmtVal(k, s.Mean),
+				fmtVal(k, s.P50), fmtVal(k, s.P95))
+		}
+	}
+
+	writeKV := func(title string, keys []string, val func(string) string) {
+		if len(keys) == 0 {
+			return
+		}
+		sort.Strings(keys)
+		width := 0
+		for _, k := range keys {
+			if len(k) > width {
+				width = len(k)
+			}
+		}
+		fmt.Fprintf(w, "\n%s\n", title)
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-*s  %s\n", width, k, val(k))
+		}
+	}
+
+	ckeys := make([]string, 0, len(counters))
+	for k := range counters {
+		ckeys = append(ckeys, k)
+	}
+	writeKV("counters", ckeys, func(k string) string { return fmt.Sprintf("%d", counters[k]) })
+
+	gkeys := make([]string, 0, len(gauges))
+	for k := range gauges {
+		gkeys = append(gkeys, k)
+	}
+	writeKV("gauges", gkeys, func(k string) string { return fmt.Sprintf("%g", gauges[k]) })
+
+	global := GlobalCounters()
+	gnames := globalCounterNames()
+	writeKV("global counters", gnames, func(k string) string { return fmt.Sprintf("%d", global[k]) })
+}

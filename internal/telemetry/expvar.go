@@ -1,0 +1,29 @@
+package telemetry
+
+import (
+	"expvar"
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// PublishExpvar exposes the aggregator and every global counter under the
+// "fedomd.telemetry" expvar, alongside the standard memstats/cmdline vars on
+// /debug/vars (`fedomd -debug-addr` serves them). Safe to call more than
+// once; only the first aggregator wins (expvar names are process-global).
+func PublishExpvar(a *Aggregator) {
+	publishOnce.Do(func() {
+		expvar.Publish("fedomd.telemetry", expvar.Func(func() any {
+			out := map[string]any{
+				"global_counters": GlobalCounters(),
+			}
+			if a != nil {
+				counters, gauges, hists := a.Snapshot()
+				out["counters"] = counters
+				out["gauges"] = gauges
+				out["histograms"] = hists
+			}
+			return out
+		}))
+	})
+}

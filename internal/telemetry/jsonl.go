@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one JSONL trace record. Type is "count", "gauge" or "observe"
+// (span timers surface as "observe" events carrying seconds under the span
+// name).
+type Event struct {
+	TS    string  `json:"ts"`
+	Type  string  `json:"type"`
+	Name  string  `json:"name"`
+	Value float64 `json:"value,omitempty"`
+	Delta int64   `json:"delta,omitempty"`
+}
+
+// JSONL is a Recorder writing one JSON event per line — the machine-readable
+// trace sink (`fedomd -trace out.jsonl`). Writes are buffered; call Close (or
+// Flush) when the run ends.
+type JSONL struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer
+	now func() time.Time
+}
+
+// NewJSONL returns a trace writer over w. If w is an io.Closer, Close closes
+// it after flushing.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	j := &JSONL{bw: bw, enc: json.NewEncoder(bw), now: time.Now}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// Enabled always reports true.
+func (j *JSONL) Enabled() bool { return true }
+
+func (j *JSONL) emit(e Event) {
+	e.TS = j.now().UTC().Format(time.RFC3339Nano)
+	j.mu.Lock()
+	_ = j.enc.Encode(e) // a broken trace sink must not fail the run
+	j.mu.Unlock()
+}
+
+// Count implements Recorder.
+func (j *JSONL) Count(name string, delta int64) {
+	j.emit(Event{Type: "count", Name: name, Delta: delta})
+}
+
+// Gauge implements Recorder.
+func (j *JSONL) Gauge(name string, v float64) {
+	j.emit(Event{Type: "gauge", Name: name, Value: v})
+}
+
+// Observe implements Recorder.
+func (j *JSONL) Observe(name string, v float64) {
+	j.emit(Event{Type: "observe", Name: name, Value: v})
+}
+
+// Flush forces buffered events to the underlying writer.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bw.Flush()
+}
+
+// Close flushes and closes the underlying writer when it is closable.
+func (j *JSONL) Close() error {
+	if err := j.Flush(); err != nil {
+		return err
+	}
+	if j.c != nil {
+		return j.c.Close()
+	}
+	return nil
+}
