@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race bench
+.PHONY: build test check fmt vet race bench bench-step
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,25 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# The gate a PR must pass: formatting, static analysis, and the full
-# test suite under the race detector.
-check: fmt vet race
+# The gate a PR must pass: formatting, static analysis, and the full test
+# suite under the race detector. CI-friendly: every stage runs even if an
+# earlier one fails, each reports its own status, and the target exits
+# non-zero if any stage failed.
+check:
+	@fail=0; \
+	out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "FAIL gofmt — run gofmt -w on:"; echo "$$out"; fail=1; \
+	else echo "ok   gofmt"; fi; \
+	if $(GO) vet ./...; then echo "ok   go vet"; \
+	else echo "FAIL go vet"; fail=1; fi; \
+	if $(GO) test -race ./...; then echo "ok   go test -race"; \
+	else echo "FAIL go test -race"; fail=1; fi; \
+	exit $$fail
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/benchstep -out BENCH_step_allocs.json
+
+# Regenerate only the pooled-vs-unpooled training-step artefact.
+bench-step:
+	$(GO) run ./cmd/benchstep -out BENCH_step_allocs.json

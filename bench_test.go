@@ -425,6 +425,57 @@ func BenchmarkCMDOrders(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainStepAllocs measures the steady-state cost of one FedOMD local
+// training step — forward, backward, Adam update — with the full objective
+// (CE + orthogonality + CMD) active, comparing the pooled memory-reuse layer
+// against the unpooled ablation (mat.SetPooling(false), which restores the
+// seed's allocate-per-op behaviour). `make bench` feeds this comparison into
+// BENCH_step_allocs.json via cmd/benchstep.
+func BenchmarkTrainStepAllocs(b *testing.B) {
+	g := benchGraph(b, dataset.Cora, 16)
+	for _, pooled := range []bool{true, false} {
+		name := "Pooled"
+		if !pooled {
+			name = "Unpooled"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Hidden = 32
+			client, err := core.NewClient("alloc", g, cfg, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Install global moment statistics (self-aggregated: one party)
+			// so the CMD branch of eq. 12 is exercised.
+			means, _, err := client.LocalMeans()
+			if err != nil {
+				b.Fatal(err)
+			}
+			central, _, err := client.CentralAroundGlobal(means)
+			if err != nil {
+				b.Fatal(err)
+			}
+			client.SetGlobalStats(means, central)
+			mat.SetPooling(pooled)
+			defer mat.SetPooling(true)
+			// Warm-up: populates pool buckets, tape arena, prop cache and
+			// optimizer state so b.N measures the steady state.
+			for i := 0; i < 3; i++ {
+				if _, err := client.TrainLocal(i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.TrainLocal(i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFedRoundParallelVsSequential measures the concurrency win of
 // training parties in goroutines within a round.
 func BenchmarkFedRoundParallelVsSequential(b *testing.B) {

@@ -1,0 +1,138 @@
+// Command benchstep measures the steady-state cost of one FedOMD local
+// training step with the memory-reuse layer on (pooled buffers, tape arena,
+// propagated-feature cache) and off (the allocate-per-op ablation), and
+// writes the comparison to a JSON artefact. `make bench` runs it to produce
+// BENCH_step_allocs.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	fedomd "fedomd"
+	"fedomd/internal/core"
+	"fedomd/internal/dataset"
+	"fedomd/internal/mat"
+)
+
+// stepResult is one benchmark arm of the comparison.
+type stepResult struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+type report struct {
+	Benchmark   string     `json:"benchmark"`
+	Dataset     string     `json:"dataset"`
+	Divisor     int        `json:"divisor"`
+	Hidden      int        `json:"hidden"`
+	Pooled      stepResult `json:"pooled"`
+	Unpooled    stepResult `json:"unpooled"`
+	BytesRatio  float64    `json:"bytes_ratio"`
+	AllocsRatio float64    `json:"allocs_ratio"`
+	SpeedupPct  float64    `json:"speedup_pct"`
+}
+
+// measure benchmarks TrainLocal steady state with pooling toggled. The full
+// eq. 12 objective is active: global moment statistics are installed first so
+// the CMD branch runs.
+func measure(pooled bool, divisor, hidden int) (stepResult, error) {
+	g, err := fedomd.GenerateDataset(dataset.Cora, divisor, 1)
+	if err != nil {
+		return stepResult{}, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Hidden = hidden
+	client, err := core.NewClient("bench", g, cfg, 1)
+	if err != nil {
+		return stepResult{}, err
+	}
+	means, _, err := client.LocalMeans()
+	if err != nil {
+		return stepResult{}, err
+	}
+	central, _, err := client.CentralAroundGlobal(means)
+	if err != nil {
+		return stepResult{}, err
+	}
+	client.SetGlobalStats(means, central)
+
+	mat.SetPooling(pooled)
+	defer mat.SetPooling(true)
+	var stepErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < 3; i++ { // warm up pool, arena, caches, Adam state
+			if _, err := client.TrainLocal(i); err != nil {
+				stepErr = err
+				return
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.TrainLocal(i); err != nil {
+				stepErr = err
+				return
+			}
+		}
+	})
+	if stepErr != nil {
+		return stepResult{}, stepErr
+	}
+	return stepResult{
+		NsPerOp:     res.NsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_step_allocs.json", "output JSON path")
+	divisor := flag.Int("divisor", 16, "dataset scale divisor (higher = smaller graph)")
+	hidden := flag.Int("hidden", 32, "hidden width")
+	flag.Parse()
+
+	pooled, err := measure(true, *divisor, *hidden)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchstep: pooled run:", err)
+		os.Exit(1)
+	}
+	unpooled, err := measure(false, *divisor, *hidden)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchstep: unpooled run:", err)
+		os.Exit(1)
+	}
+	ratio := func(a, b int64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return float64(a) / float64(b)
+	}
+	r := report{
+		Benchmark:   "fedomd_train_step_allocs",
+		Dataset:     dataset.Cora,
+		Divisor:     *divisor,
+		Hidden:      *hidden,
+		Pooled:      pooled,
+		Unpooled:    unpooled,
+		BytesRatio:  ratio(pooled.BytesPerOp, unpooled.BytesPerOp),
+		AllocsRatio: ratio(pooled.AllocsPerOp, unpooled.AllocsPerOp),
+		SpeedupPct:  100 * (1 - ratio(pooled.NsPerOp, unpooled.NsPerOp)),
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchstep:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchstep:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchstep: pooled %d B/op (%d allocs), unpooled %d B/op (%d allocs), bytes ratio %.4f -> %s\n",
+		pooled.BytesPerOp, pooled.AllocsPerOp, unpooled.BytesPerOp, unpooled.AllocsPerOp, r.BytesRatio, *out)
+}

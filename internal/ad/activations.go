@@ -7,9 +7,10 @@ import (
 )
 
 // Sigmoid records c = 1/(1+e^{−a}) element-wise.
-// Gradient: c·(1−c) ⊙ upstream.
+// Gradient: c·(1−c) ⊙ upstream, fused into the grad buffer.
 func (t *Tape) Sigmoid(a *Node) *Node {
-	val := mat.Apply(a.Value, func(x float64) float64 {
+	out := t.op(a.Value.Dims())
+	mat.ApplyInto(out.Value, a.Value, func(x float64) float64 {
 		if x >= 0 {
 			return 1 / (1 + math.Exp(-x))
 		}
@@ -17,54 +18,50 @@ func (t *Tape) Sigmoid(a *Node) *Node {
 		e := math.Exp(x)
 		return e / (1 + e)
 	})
-	out := &Node{Value: val}
 	out.backward = func() {
-		g := mat.New(val.Rows(), val.Cols())
-		vd, gd, og := val.Data(), g.Data(), out.Grad.Data()
-		for i, s := range vd {
-			gd[i] = og[i] * s * (1 - s)
+		gd := a.grad().Data()
+		og := out.Grad.Data()
+		for i, s := range out.Value.Data() {
+			gd[i] += og[i] * s * (1 - s)
 		}
-		a.accumGrad(g)
 	}
-	return t.add(out)
+	return out
 }
 
 // Tanh records c = tanh(a) element-wise.
-// Gradient: (1−c²) ⊙ upstream.
+// Gradient: (1−c²) ⊙ upstream, fused into the grad buffer.
 func (t *Tape) Tanh(a *Node) *Node {
-	val := mat.Apply(a.Value, math.Tanh)
-	out := &Node{Value: val}
+	out := t.op(a.Value.Dims())
+	mat.ApplyInto(out.Value, a.Value, math.Tanh)
 	out.backward = func() {
-		g := mat.New(val.Rows(), val.Cols())
-		vd, gd, og := val.Data(), g.Data(), out.Grad.Data()
-		for i, s := range vd {
-			gd[i] = og[i] * (1 - s*s)
+		gd := a.grad().Data()
+		og := out.Grad.Data()
+		for i, s := range out.Value.Data() {
+			gd[i] += og[i] * (1 - s*s)
 		}
-		a.accumGrad(g)
 	}
-	return t.add(out)
+	return out
 }
 
 // LeakyReLU records c = max(a, slope·a) for 0 ≤ slope < 1.
 func (t *Tape) LeakyReLU(a *Node, slope float64) *Node {
-	val := mat.Apply(a.Value, func(x float64) float64 {
+	out := t.op(a.Value.Dims())
+	mat.ApplyInto(out.Value, a.Value, func(x float64) float64 {
 		if x > 0 {
 			return x
 		}
 		return slope * x
 	})
-	out := &Node{Value: val}
 	out.backward = func() {
-		g := mat.New(val.Rows(), val.Cols())
-		ad, gd, og := a.Value.Data(), g.Data(), out.Grad.Data()
-		for i, x := range ad {
+		gd := a.grad().Data()
+		og := out.Grad.Data()
+		for i, x := range a.Value.Data() {
 			if x > 0 {
-				gd[i] = og[i]
+				gd[i] += og[i]
 			} else {
-				gd[i] = og[i] * slope
+				gd[i] += og[i] * slope
 			}
 		}
-		a.accumGrad(g)
 	}
-	return t.add(out)
+	return out
 }

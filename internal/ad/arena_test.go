@@ -1,0 +1,163 @@
+package ad
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fedomd/internal/mat"
+	"fedomd/internal/sparse"
+)
+
+// arenaLoss records a small but representative graph — SpMM, MatMul, bias
+// broadcast, ReLU, dropout-free softmax CE plus an ortho penalty — touching
+// most fused backward paths.
+func arenaLoss(tp *Tape, s *sparse.CSR, x *mat.Dense, w, b, w2 *mat.Dense) (*Node, []*Node) {
+	wn, bn, w2n := tp.Param(w), tp.Param(b), tp.Param(w2)
+	h := tp.ReLU(tp.AddRowVec(tp.SpMM(s, tp.MatMul(tp.Const(x), wn)), bn))
+	logits := tp.MatMul(h, w2n)
+	loss := tp.SoftmaxCrossEntropy(logits, []int{0, 1, 0, 1}, []int{0, 1, 2, 3})
+	loss = tp.Add(loss, tp.Scale(0.01, tp.OrthoPenalty(w2n)))
+	return loss, []*Node{wn, bn, w2n}
+}
+
+func arenaFixture(rng *rand.Rand) (*sparse.CSR, *mat.Dense, *mat.Dense, *mat.Dense, *mat.Dense) {
+	s, err := sparse.NewCSR(4, 4, []sparse.Coord{
+		{Row: 0, Col: 1, Val: 0.5}, {Row: 1, Col: 0, Val: 0.5},
+		{Row: 2, Col: 3, Val: 1.0}, {Row: 3, Col: 2, Val: 1.0},
+		{Row: 0, Col: 0, Val: 0.5}, {Row: 1, Col: 1, Val: 0.5},
+	})
+	if err != nil {
+		panic(err)
+	}
+	x := mat.RandGaussian(rng, 4, 5, 0, 1)
+	w := mat.RandGaussian(rng, 5, 3, 0, 1)
+	b := mat.RandGaussian(rng, 1, 3, 0, 1)
+	w2 := mat.RandGaussian(rng, 3, 2, 0, 1)
+	return s, x, w, b, w2
+}
+
+// TestReleasedTapeMatchesFreshTape runs the same loss on a reused tape
+// (Release between steps) and on fresh tapes, and demands bit-identical
+// losses and gradients: recycling buffers must not change any numerics.
+func TestReleasedTapeMatchesFreshTape(t *testing.T) {
+	s, x, w, b, w2 := arenaFixture(rand.New(rand.NewSource(42)))
+
+	reused := NewTape()
+	for step := 0; step < 5; step++ {
+		lossR, nodesR := arenaLoss(reused, s, x, w, b, w2)
+		if err := reused.Backward(lossR); err != nil {
+			t.Fatal(err)
+		}
+
+		fresh := NewTape()
+		lossF, nodesF := arenaLoss(fresh, s, x, w, b, w2)
+		if err := fresh.Backward(lossF); err != nil {
+			t.Fatal(err)
+		}
+
+		if lr, lf := lossR.Value.At(0, 0), lossF.Value.At(0, 0); lr != lf {
+			t.Fatalf("step %d: reused loss %v != fresh loss %v", step, lr, lf)
+		}
+		for i := range nodesR {
+			gr, gf := nodesR[i].Grad, nodesF[i].Grad
+			if (gr == nil) != (gf == nil) {
+				t.Fatalf("step %d param %d: grad nil mismatch", step, i)
+			}
+			for j, v := range gr.Data() {
+				if v != gf.Data()[j] {
+					t.Fatalf("step %d param %d grad[%d]: reused %v fresh %v", step, i, j, v, gf.Data()[j])
+				}
+			}
+		}
+		// Nudge a parameter so each step sees different values.
+		w.Set(0, 0, w.At(0, 0)+0.01)
+		reused.Release()
+	}
+}
+
+// TestReleaseRecyclesBuffers checks that after a warm-up step, subsequent
+// steps on a Released tape are served from the pool (no fresh allocations
+// through the pool's miss path).
+func TestReleaseRecyclesBuffers(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool randomly drops Put items under the race detector")
+	}
+	s, x, w, b, w2 := arenaFixture(rand.New(rand.NewSource(7)))
+	tp := NewTape()
+
+	step := func() {
+		loss, _ := arenaLoss(tp, s, x, w, b, w2)
+		if err := tp.Backward(loss); err != nil {
+			t.Fatal(err)
+		}
+		tp.Release()
+	}
+	step() // warm-up populates the pool buckets
+	_, m0, _ := mat.PoolStats()
+	for i := 0; i < 3; i++ {
+		step()
+	}
+	_, m1, _ := mat.PoolStats()
+	if m1 != m0 {
+		t.Fatalf("steady-state steps missed the pool %d times", m1-m0)
+	}
+}
+
+// TestFiniteDiffOnReusedTape re-runs a finite-difference check where every
+// evaluation shares one Released tape, proving gradient correctness is
+// preserved under buffer recycling.
+func TestFiniteDiffOnReusedTape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := mat.RandGaussian(rng, 3, 4, 0, 1)
+	tp := NewTape()
+	eval := func() (float64, *mat.Dense) {
+		defer tp.Release()
+		an := tp.Param(a)
+		loss := tp.SumSquares(tp.ReLU(an))
+		if err := tp.Backward(loss); err != nil {
+			t.Fatal(err)
+		}
+		return loss.Value.At(0, 0), an.Grad.Clone()
+	}
+	_, grad := eval()
+	const eps = 1e-6
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			orig := a.At(i, j)
+			a.Set(i, j, orig+eps)
+			lp, _ := eval()
+			a.Set(i, j, orig-eps)
+			lm, _ := eval()
+			a.Set(i, j, orig)
+			numeric := (lp - lm) / (2 * eps)
+			if got := grad.At(i, j); math.Abs(numeric-got) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("grad[%d,%d] = %v, finite diff %v", i, j, got, numeric)
+			}
+		}
+	}
+}
+
+// TestConcurrentTapes drives independent tapes from several goroutines; with
+// -race this proves the shared pool never hands one buffer to two tapes.
+func TestConcurrentTapes(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			s, x, w, b, w2 := arenaFixture(rand.New(rand.NewSource(seed)))
+			tp := NewTape()
+			for i := 0; i < 20; i++ {
+				loss, _ := arenaLoss(tp, s, x, w, b, w2)
+				if err := tp.Backward(loss); err != nil {
+					t.Error(err)
+					return
+				}
+				tp.Release()
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+}

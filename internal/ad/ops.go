@@ -9,108 +9,128 @@ import (
 	"fedomd/internal/sparse"
 )
 
+// Backward closures accumulate directly into the input nodes' gradient
+// buffers via the fused *AddInto / AXPY kernels in mat and sparse — no
+// backward op materialises a full-size temporary. grad() hands out a zeroed
+// pool buffer on first touch, so "accumulate" and "initialise" are the same
+// write.
+
 // MatMul records c = a·b.
 // Gradients: ∂L/∂a = ∂L/∂c · bᵀ, ∂L/∂b = aᵀ · ∂L/∂c.
 func (t *Tape) MatMul(a, b *Node) *Node {
-	out := &Node{Value: mat.MatMul(a.Value, b.Value)}
-	out.backward = func() {
-		a.accumGrad(mat.MatMulT2(out.Grad, b.Value))
-		b.accumGrad(mat.MatMulT1(a.Value, out.Grad))
+	if a.Value.Cols() != b.Value.Rows() {
+		panic(fmt.Sprintf("ad: MatMul inner dimension mismatch %dx%d · %dx%d",
+			a.Value.Rows(), a.Value.Cols(), b.Value.Rows(), b.Value.Cols()))
 	}
-	return t.add(out)
+	out := t.op(a.Value.Rows(), b.Value.Cols())
+	mat.MatMulInto(out.Value, a.Value, b.Value)
+	out.backward = func() {
+		mat.MatMulT2AddInto(a.grad(), out.Grad, b.Value)
+		mat.MatMulT1AddInto(b.grad(), a.Value, out.Grad)
+	}
+	return out
 }
 
 // SpMM records c = S·x for a constant sparse operator S (the graph
 // propagation matrix). Gradient: ∂L/∂x = Sᵀ·∂L/∂c.
 func (t *Tape) SpMM(s *sparse.CSR, x *Node) *Node {
-	out := &Node{Value: s.MulDense(x.Value)}
+	out := t.op(s.Rows(), x.Value.Cols())
+	s.MulDenseInto(out.Value, x.Value)
 	out.backward = func() {
-		x.accumGrad(s.TMulDense(out.Grad))
+		s.TMulDenseAddInto(x.grad(), out.Grad)
 	}
-	return t.add(out)
+	return out
 }
 
 // Add records c = a + b element-wise.
 func (t *Tape) Add(a, b *Node) *Node {
-	out := &Node{Value: mat.Add(a.Value, b.Value)}
+	out := t.op(a.Value.Dims())
+	mat.AddInto(out.Value, a.Value, b.Value)
 	out.backward = func() {
-		a.accumGrad(out.Grad)
-		b.accumGrad(out.Grad)
+		a.grad().AddInPlace(out.Grad)
+		b.grad().AddInPlace(out.Grad)
 	}
-	return t.add(out)
+	return out
 }
 
-// Sub records c = a − b element-wise.
+// Sub records c = a − b element-wise. The backward pass subtracts the
+// upstream gradient in place — no negated temporary.
 func (t *Tape) Sub(a, b *Node) *Node {
-	out := &Node{Value: mat.Sub(a.Value, b.Value)}
+	out := t.op(a.Value.Dims())
+	mat.SubInto(out.Value, a.Value, b.Value)
 	out.backward = func() {
-		a.accumGrad(out.Grad)
-		b.accumGrad(mat.Scale(-1, out.Grad))
+		a.grad().AddInPlace(out.Grad)
+		b.grad().SubInPlace(out.Grad)
 	}
-	return t.add(out)
+	return out
 }
 
 // Mul records the Hadamard product c = a ⊙ b.
 func (t *Tape) Mul(a, b *Node) *Node {
-	out := &Node{Value: mat.MulElem(a.Value, b.Value)}
+	out := t.op(a.Value.Dims())
+	mat.MulElemInto(out.Value, a.Value, b.Value)
 	out.backward = func() {
-		a.accumGrad(mat.MulElem(out.Grad, b.Value))
-		b.accumGrad(mat.MulElem(out.Grad, a.Value))
+		mat.MulElemAddInto(a.grad(), out.Grad, b.Value)
+		mat.MulElemAddInto(b.grad(), out.Grad, a.Value)
 	}
-	return t.add(out)
+	return out
 }
 
 // Scale records c = s·a for a constant scalar s.
 func (t *Tape) Scale(s float64, a *Node) *Node {
-	out := &Node{Value: mat.Scale(s, a.Value)}
+	out := t.op(a.Value.Dims())
+	mat.ScaleInto(out.Value, s, a.Value)
 	out.backward = func() {
-		a.accumGrad(mat.Scale(s, out.Grad))
+		a.grad().AXPY(s, out.Grad)
 	}
-	return t.add(out)
+	return out
 }
 
 // AddRowVec records c = a + v with v a 1×cols bias broadcast over rows.
 // Gradient to v is the column-wise sum of the upstream gradient.
 func (t *Tape) AddRowVec(a, v *Node) *Node {
-	out := &Node{Value: mat.AddRowVec(a.Value, v.Value)}
+	out := t.op(a.Value.Dims())
+	mat.AddRowVecInto(out.Value, a.Value, v.Value)
 	out.backward = func() {
-		a.accumGrad(out.Grad)
-		v.accumGrad(mat.SumRows(out.Grad))
+		a.grad().AddInPlace(out.Grad)
+		mat.SumRowsAXPY(v.grad(), 1, out.Grad)
 	}
-	return t.add(out)
+	return out
 }
 
-// SubRowVec records c = a − v with v a 1×cols row vector broadcast over rows.
+// SubRowVec records c = a − v with v a 1×cols row vector broadcast over
+// rows. The v gradient is the negated column sum, accumulated directly.
 func (t *Tape) SubRowVec(a, v *Node) *Node {
-	out := &Node{Value: mat.SubRowVec(a.Value, v.Value)}
+	out := t.op(a.Value.Dims())
+	mat.SubRowVecInto(out.Value, a.Value, v.Value)
 	out.backward = func() {
-		a.accumGrad(out.Grad)
-		v.accumGrad(mat.Scale(-1, mat.SumRows(out.Grad)))
+		a.grad().AddInPlace(out.Grad)
+		mat.SumRowsAXPY(v.grad(), -1, out.Grad)
 	}
-	return t.add(out)
+	return out
 }
 
-// ReLU records c = max(a, 0).
+// ReLU records c = max(a, 0). The backward pass fuses the mask with the
+// accumulation: upstream gradient flows into the grad buffer only where the
+// input was positive, with no mask-sized temporary.
 func (t *Tape) ReLU(a *Node) *Node {
-	out := &Node{Value: mat.Apply(a.Value, func(x float64) float64 {
+	out := t.op(a.Value.Dims())
+	mat.ApplyInto(out.Value, a.Value, func(x float64) float64 {
 		if x > 0 {
 			return x
 		}
 		return 0
-	})}
+	})
 	out.backward = func() {
-		g := mat.New(a.Value.Rows(), a.Value.Cols())
-		av := a.Value.Data()
-		gd := g.Data()
+		gd := a.grad().Data()
 		og := out.Grad.Data()
-		for i, x := range av {
+		for i, x := range a.Value.Data() {
 			if x > 0 {
-				gd[i] = og[i]
+				gd[i] += og[i]
 			}
 		}
-		a.accumGrad(g)
 	}
-	return t.add(out)
+	return out
 }
 
 // Dropout records inverted dropout with drop probability p, drawing the mask
@@ -120,100 +140,97 @@ func (t *Tape) Dropout(a *Node, p float64, rng *rand.Rand, train bool) *Node {
 		return a
 	}
 	keep := 1 - p
-	mask := mat.New(a.Value.Rows(), a.Value.Cols())
+	mask := t.newOwned(a.Value.Dims())
 	md := mask.Data()
 	for i := range md {
 		if rng.Float64() < keep {
 			md[i] = 1 / keep
 		}
 	}
-	out := &Node{Value: mat.MulElem(a.Value, mask)}
+	out := t.op(a.Value.Dims())
+	mat.MulElemInto(out.Value, a.Value, mask)
 	out.backward = func() {
-		a.accumGrad(mat.MulElem(out.Grad, mask))
+		mat.MulElemAddInto(a.grad(), out.Grad, mask)
 	}
-	return t.add(out)
+	return out
 }
 
 // MeanRows records the 1×cols column-wise mean of a.
 func (t *Tape) MeanRows(a *Node) *Node {
-	out := &Node{Value: mat.MeanRows(a.Value)}
+	out := t.op(1, a.Value.Cols())
+	mat.MeanRowsInto(out.Value, a.Value)
 	out.backward = func() {
 		n := a.Value.Rows()
 		if n == 0 {
 			return
 		}
-		g := mat.New(n, a.Value.Cols())
-		inv := 1 / float64(n)
-		for i := 0; i < n; i++ {
-			row := g.Row(i)
-			for j := range row {
-				row[j] = out.Grad.At(0, j) * inv
-			}
-		}
-		a.accumGrad(g)
+		a.grad().AXPYRowBroadcast(1/float64(n), out.Grad)
 	}
-	return t.add(out)
+	return out
 }
 
 // PowElem records c = a^p element-wise for a non-negative integer power p.
-// Gradient: p·a^(p−1) ⊙ upstream.
+// Gradient: p·a^(p−1) ⊙ upstream, fused into the grad buffer.
 func (t *Tape) PowElem(a *Node, p int) *Node {
 	if p < 0 {
 		panic(fmt.Sprintf("ad: PowElem power must be >= 0, got %d", p))
 	}
-	out := &Node{Value: mat.PowElem(a.Value, p)}
+	out := t.op(a.Value.Dims())
+	mat.PowElemInto(out.Value, a.Value, p)
 	out.backward = func() {
 		if p == 0 {
 			return
 		}
-		deriv := mat.Scale(float64(p), mat.PowElem(a.Value, p-1))
-		a.accumGrad(mat.MulElem(out.Grad, deriv))
+		gd := a.grad().Data()
+		og := out.Grad.Data()
+		fp := float64(p)
+		for i, x := range a.Value.Data() {
+			gd[i] += og[i] * fp * mat.IPow(x, p-1)
+		}
 	}
-	return t.add(out)
+	return out
 }
 
-// SelectRows records c = a[idx, :] (row gather). Gradient scatters back.
+// SelectRows records c = a[idx, :] (row gather). Gradient scatters back
+// directly into the grad buffer.
 func (t *Tape) SelectRows(a *Node, idx []int) *Node {
-	out := &Node{Value: a.Value.SelectRows(idx)}
+	out := t.op(len(idx), a.Value.Cols())
+	a.Value.SelectRowsInto(out.Value, idx)
 	out.backward = func() {
-		g := mat.New(a.Value.Rows(), a.Value.Cols())
+		g := a.grad()
 		for i, r := range idx {
 			dst := g.Row(r)
-			src := out.Grad.Row(i)
-			for j, v := range src {
+			for j, v := range out.Grad.Row(i) {
 				dst[j] += v
 			}
 		}
-		a.accumGrad(g)
 	}
-	return t.add(out)
+	return out
 }
 
 // L2Norm records the scalar ‖a‖₂ over all elements (Frobenius norm for
 // matrices). At a = 0 the subgradient 0 is used.
 func (t *Tape) L2Norm(a *Node) *Node {
 	norm := mat.FrobNorm(a.Value)
-	v := mat.New(1, 1)
-	v.Set(0, 0, norm)
-	out := &Node{Value: v}
+	out := t.op(1, 1)
+	out.Value.Set(0, 0, norm)
 	out.backward = func() {
 		if norm == 0 {
 			return
 		}
-		a.accumGrad(mat.Scale(out.Grad.At(0, 0)/norm, a.Value))
+		a.grad().AXPY(out.Grad.At(0, 0)/norm, a.Value)
 	}
-	return t.add(out)
+	return out
 }
 
 // SumSquares records the scalar Σ a_ij² = ‖a‖²_F.
 func (t *Tape) SumSquares(a *Node) *Node {
-	v := mat.New(1, 1)
-	v.Set(0, 0, mat.FrobNormSq(a.Value))
-	out := &Node{Value: v}
+	out := t.op(1, 1)
+	out.Value.Set(0, 0, mat.FrobNormSq(a.Value))
 	out.backward = func() {
-		a.accumGrad(mat.Scale(2*out.Grad.At(0, 0), a.Value))
+		a.grad().AXPY(2*out.Grad.At(0, 0), a.Value)
 	}
-	return t.add(out)
+	return out
 }
 
 // AddScalar records c = a + b for 1×1 nodes (loss composition).
@@ -225,22 +242,26 @@ func (t *Tape) AddScalar(a, b *Node) *Node { return t.Add(a, b) }
 //
 // with gradient ∂f/∂W = 2·(WWᵀ−I)·W / f (zero subgradient at f = 0).
 func (t *Tape) OrthoPenalty(w *Node) *Node {
-	g := mat.MatMulT2(w.Value, w.Value)
+	g := t.newOwned(w.Value.Rows(), w.Value.Rows())
+	mat.MatMulT2Into(g, w.Value, w.Value)
 	for i := 0; i < g.Rows(); i++ {
 		g.Set(i, i, g.At(i, i)-1)
 	}
 	f := mat.FrobNorm(g)
-	v := mat.New(1, 1)
-	v.Set(0, 0, f)
-	out := &Node{Value: v}
+	out := t.op(1, 1)
+	out.Value.Set(0, 0, f)
 	out.backward = func() {
 		if f == 0 {
 			return
 		}
-		grad := mat.Scale(2*out.Grad.At(0, 0)/f, mat.MatMul(g, w.Value))
-		w.accumGrad(grad)
+		// (WWᵀ−I)·W needs a true product; the temporary comes from the
+		// pool and goes straight back.
+		tmp := mat.GetDense(w.Value.Dims())
+		mat.MatMulInto(tmp, g, w.Value)
+		w.grad().AXPY(2*out.Grad.At(0, 0)/f, tmp)
+		mat.PutDense(tmp)
 	}
-	return t.add(out)
+	return out
 }
 
 // SoftmaxCrossEntropy records the mean cross-entropy between softmax(logits)
@@ -249,7 +270,8 @@ func (t *Tape) OrthoPenalty(w *Node) *Node {
 // node-classification objective where only a small training mask is labelled.
 //
 // The op fuses log-softmax and NLL for numerical stability; its gradient on
-// a masked row is (softmax(row) − onehot(label)) / |maskIdx|.
+// a masked row is (softmax(row) − onehot(label)) / |maskIdx|, written
+// directly into the logits gradient buffer.
 func (t *Tape) SoftmaxCrossEntropy(logits *Node, labels []int, maskIdx []int) *Node {
 	n, c := logits.Value.Dims()
 	if len(labels) != n {
@@ -258,7 +280,7 @@ func (t *Tape) SoftmaxCrossEntropy(logits *Node, labels []int, maskIdx []int) *N
 	if len(maskIdx) == 0 {
 		panic("ad: SoftmaxCrossEntropy with empty mask")
 	}
-	probs := mat.New(len(maskIdx), c)
+	probs := t.newOwned(len(maskIdx), c)
 	var loss float64
 	for mi, r := range maskIdx {
 		row := logits.Value.Row(r)
@@ -285,23 +307,21 @@ func (t *Tape) SoftmaxCrossEntropy(logits *Node, labels []int, maskIdx []int) *N
 		loss -= math.Log(math.Max(prow[y], 1e-300))
 	}
 	loss /= float64(len(maskIdx))
-	v := mat.New(1, 1)
-	v.Set(0, 0, loss)
-	out := &Node{Value: v}
+	out := t.op(1, 1)
+	out.Value.Set(0, 0, loss)
 	out.backward = func() {
 		scale := out.Grad.At(0, 0) / float64(len(maskIdx))
-		g := mat.New(n, c)
+		g := logits.grad()
 		for mi, r := range maskIdx {
 			prow := probs.Row(mi)
 			grow := g.Row(r)
 			for j, p := range prow {
-				grow[j] = p * scale
+				grow[j] += p * scale
 			}
 			grow[labels[r]] -= scale
 		}
-		logits.accumGrad(g)
 	}
-	return t.add(out)
+	return out
 }
 
 // Softmax computes row-wise softmax of m outside the tape (inference only).

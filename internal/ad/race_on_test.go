@@ -1,0 +1,8 @@
+//go:build race
+
+package ad
+
+// raceEnabled mirrors the race-detector build tag: sync.Pool deliberately
+// drops a fraction of Put items when the detector is on, so strict
+// zero-miss pool assertions only hold without it.
+const raceEnabled = true

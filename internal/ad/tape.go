@@ -1,8 +1,15 @@
 // Package ad implements reverse-mode automatic differentiation over dense
 // matrices. It is the substrate that replaces the PyTorch autodiff the paper
-// relies on: models build a fresh tape per training step, run their forward
-// pass eagerly through the op constructors in ops.go, and call
-// Tape.Backward on the scalar loss node to populate parameter gradients.
+// relies on: models build their forward pass eagerly through the op
+// constructors in ops.go and call Tape.Backward on the scalar loss node to
+// populate parameter gradients.
+//
+// Tapes are reusable arenas. A fresh tape works like before — record, then
+// Backward — but a long-lived training loop should keep one tape per client
+// and call Release after each optimizer step: the node storage is recycled
+// across steps and every forward value, gradient and op-internal buffer the
+// tape allocated is returned to the mat buffer pool, so a steady-state
+// training step performs (almost) no heap allocation.
 //
 // Gradient correctness for every op is verified against central finite
 // differences in grad_test.go.
@@ -31,30 +38,50 @@ var (
 // closure that pushes its gradient to its inputs.
 type Node struct {
 	// Value is the forward result. It must not be mutated after creation.
+	// For op outputs the storage is owned by the tape and is recycled by
+	// Release; leaf (Const/Param) values stay caller-owned.
 	Value *mat.Dense
-	// Grad is ∂loss/∂Value, allocated lazily during the backward pass.
-	// It remains nil for nodes the loss does not depend on.
+	// Grad is ∂loss/∂Value, allocated lazily during the backward pass from
+	// the tape's buffer pool. It remains nil for nodes the loss does not
+	// depend on, and is only valid until the tape is Released.
 	Grad *mat.Dense
 
 	backward func() // nil for leaves and constants
 	param    bool
+	tape     *Tape
 }
 
 // IsParam reports whether the node was created with Tape.Param.
 func (n *Node) IsParam() bool { return n.param }
 
-// accumGrad adds g into n.Grad, allocating on first use.
-func (n *Node) accumGrad(g *mat.Dense) {
+// grad returns n.Grad, allocating a zeroed pool buffer on first use. The
+// fused backward kernels accumulate directly into this buffer instead of
+// materialising a temporary and adding it.
+func (n *Node) grad() *mat.Dense {
 	if n.Grad == nil {
-		n.Grad = mat.New(n.Value.Rows(), n.Value.Cols())
+		n.Grad = n.tape.newOwned(n.Value.Rows(), n.Value.Cols())
 	}
-	n.Grad.AddInPlace(g)
+	return n.Grad
+}
+
+// accumGrad adds g into n.Grad, allocating on first use. Retained for ops
+// whose upstream gradient is already materialised (pure pass-through adds).
+func (n *Node) accumGrad(g *mat.Dense) {
+	n.grad().AddInPlace(g)
 }
 
 // Tape records nodes in creation order. The forward pass is eager: calling
 // an op both computes its value and appends it to the tape.
 type Tape struct {
 	nodes []*Node
+	// arena backs the Node structs so step N+1 reuses step N's storage.
+	// When append relocates the arena mid-step, previously vended pointers
+	// keep referencing the old backing array — still correct, the old nodes
+	// simply are not recycled; the grown arena serves subsequent steps.
+	arena []Node
+	// owned lists every pool buffer this tape allocated (forward values,
+	// gradients, op-internal state); Release returns them all.
+	owned []*mat.Dense
 }
 
 // NewTape returns an empty tape.
@@ -63,22 +90,65 @@ func NewTape() *Tape { return &Tape{} }
 // Len returns the number of recorded nodes.
 func (t *Tape) Len() int { return len(t.nodes) }
 
-// add appends a node to the tape and returns it.
-func (t *Tape) add(n *Node) *Node {
+// newOwned draws a zeroed pool buffer and registers it for Release.
+func (t *Tape) newOwned(r, c int) *mat.Dense {
+	m := mat.GetDense(r, c)
+	t.owned = append(t.owned, m)
+	return m
+}
+
+// node vends a Node from the arena, records it, and returns it.
+func (t *Tape) node(v *mat.Dense) *Node {
 	tapeOpCount.Add(1)
+	if len(t.arena) == cap(t.arena) {
+		t.arena = append(t.arena, Node{})
+	} else {
+		t.arena = t.arena[:len(t.arena)+1]
+	}
+	n := &t.arena[len(t.arena)-1]
+	*n = Node{Value: v, tape: t}
 	t.nodes = append(t.nodes, n)
 	return n
 }
 
+// op vends a node whose value is a fresh tape-owned r×c pool buffer.
+func (t *Tape) op(r, c int) *Node {
+	return t.node(t.newOwned(r, c))
+}
+
 // Const records a constant: no gradient flows into it.
 func (t *Tape) Const(v *mat.Dense) *Node {
-	return t.add(&Node{Value: v})
+	return t.node(v)
 }
 
 // Param records a trainable parameter leaf. Its Grad is populated by
 // Backward; the caller owns applying the update.
 func (t *Tape) Param(v *mat.Dense) *Node {
-	return t.add(&Node{Value: v, param: true})
+	n := t.node(v)
+	n.param = true
+	return n
+}
+
+// Reset clears the recorded graph while keeping the node arena, so the next
+// step records without re-growing the slices. The buffers the tape allocated
+// are abandoned to the garbage collector — use Release to recycle them.
+func (t *Tape) Reset() {
+	t.nodes = t.nodes[:0]
+	t.arena = t.arena[:0]
+	t.owned = t.owned[:0]
+}
+
+// Release returns every buffer the tape allocated (forward values, gradients
+// and op-internal state) to the mat buffer pool, then Resets. Call it after
+// the optimizer step has consumed the gradients: no Value or Grad of a
+// non-leaf node, nor any slice derived from one, may be used afterwards.
+// Leaf (Const/Param) values are caller-owned and untouched.
+func (t *Tape) Release() {
+	for i, m := range t.owned {
+		mat.PutDense(m)
+		t.owned[i] = nil
+	}
+	t.Reset()
 }
 
 // Backward runs reverse-mode differentiation from the scalar node loss,
@@ -99,9 +169,9 @@ func (t *Tape) Backward(loss *Node) error {
 		return fmt.Errorf("ad: loss node not recorded on this tape")
 	}
 	backwardCount.Add(1)
-	seed := mat.New(1, 1)
+	seed := loss.grad()
+	seed.Zero()
 	seed.Set(0, 0, 1)
-	loss.Grad = seed
 	for i := idx; i >= 0; i-- {
 		n := t.nodes[i]
 		if n.Grad == nil || n.backward == nil {
@@ -113,7 +183,8 @@ func (t *Tape) Backward(loss *Node) error {
 }
 
 // ZeroGrads clears gradients on every node of the tape (useful when a tape is
-// reused for gradient checking).
+// reused for gradient checking). The detached buffers stay registered with
+// the tape and are recycled by the next Release.
 func (t *Tape) ZeroGrads() {
 	for _, n := range t.nodes {
 		n.Grad = nil

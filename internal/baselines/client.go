@@ -52,6 +52,9 @@ type Client struct {
 	opt   *nn.Adam
 	rng   *rand.Rand
 	opts  Options
+	// tape is the reusable per-client autodiff arena (the server never calls
+	// a client concurrently with itself).
+	tape *ad.Tape
 
 	// globalSnapshot is the last broadcast model, anchoring FedProx's
 	// proximal term.
@@ -109,6 +112,7 @@ func newClient(name string, g *graph.Graph, model nn.Model, in nn.Input, opts Op
 		opt:   nn.NewAdam(opts.LR, opts.WeightDecay),
 		rng:   rng,
 		opts:  opts,
+		tape:  ad.NewTape(),
 	}, nil
 }
 
@@ -139,19 +143,31 @@ func (c *Client) TrainLocal(round int) (float64, error) {
 	}
 	var last float64
 	for e := 0; e < c.opts.LocalEpochs; e++ {
-		tp := ad.NewTape()
-		f := c.model.Forward(tp, c.in, c.rng, true)
-		loss := tp.SoftmaxCrossEntropy(f.Logits, c.g.Labels, c.g.TrainMask)
-		if c.opts.ProxMu > 0 && c.globalSnapshot != nil {
-			loss = tp.Add(loss, c.proxTerm(tp, f.ParamNodes))
+		l, err := c.trainStep()
+		if err != nil {
+			return 0, err
 		}
-		last = loss.Value.At(0, 0)
-		if err := tp.Backward(loss); err != nil {
-			return 0, fmt.Errorf("baselines: %s backward: %w", c.name, err)
-		}
-		if err := c.opt.Step(c.model.Params(), f.ParamNodes); err != nil {
-			return 0, fmt.Errorf("baselines: %s optimiser: %w", c.name, err)
-		}
+		last = l
+	}
+	return last, nil
+}
+
+// trainStep runs one gradient step on the reused tape and recycles its
+// buffers once the optimizer has consumed the gradients.
+func (c *Client) trainStep() (float64, error) {
+	tp := c.tape
+	defer tp.Release()
+	f := c.model.Forward(tp, c.in, c.rng, true)
+	loss := tp.SoftmaxCrossEntropy(f.Logits, c.g.Labels, c.g.TrainMask)
+	if c.opts.ProxMu > 0 && c.globalSnapshot != nil {
+		loss = tp.Add(loss, c.proxTerm(tp, f.ParamNodes))
+	}
+	last := loss.Value.At(0, 0)
+	if err := tp.Backward(loss); err != nil {
+		return 0, fmt.Errorf("baselines: %s backward: %w", c.name, err)
+	}
+	if err := c.opt.Step(c.model.Params(), f.ParamNodes); err != nil {
+		return 0, fmt.Errorf("baselines: %s optimiser: %w", c.name, err)
 	}
 	return last, nil
 }
@@ -176,7 +192,8 @@ func (c *Client) Accuracy(mask []int) (int, int) {
 	if len(mask) == 0 {
 		return 0, 0
 	}
-	tp := ad.NewTape()
+	tp := c.tape
+	defer tp.Release()
 	f := c.model.Forward(tp, c.in, c.rng, false)
 	pred := mat.ArgmaxRows(f.Logits.Value)
 	correct := 0

@@ -37,6 +37,7 @@ type FedLITClient struct {
 	opts   Options
 	types  int
 	hidden int
+	tape   *ad.Tape
 }
 
 var _ fed.Client = (*FedLITClient)(nil)
@@ -69,7 +70,7 @@ func NewFedLIT(name string, g *graph.Graph, linkTypes int, opts Options, seed in
 	return &FedLITClient{
 		name: name, g: g, ops: ops, params: params,
 		opt: nn.NewAdam(opts.LR, opts.WeightDecay), rng: rng, opts: opts,
-		types: linkTypes, hidden: opts.Hidden,
+		types: linkTypes, hidden: opts.Hidden, tape: ad.NewTape(),
 	}, nil
 }
 
@@ -222,16 +223,27 @@ func (c *FedLITClient) TrainLocal(round int) (float64, error) {
 	}
 	var last float64
 	for e := 0; e < c.opts.LocalEpochs; e++ {
-		tp := ad.NewTape()
-		logits, nodes := c.forward(tp, true)
-		loss := tp.SoftmaxCrossEntropy(logits, c.g.Labels, c.g.TrainMask)
-		last = loss.Value.At(0, 0)
-		if err := tp.Backward(loss); err != nil {
-			return 0, fmt.Errorf("baselines: %s backward: %w", c.name, err)
+		l, err := c.trainStep()
+		if err != nil {
+			return 0, err
 		}
-		if err := c.opt.Step(c.params, nodes); err != nil {
-			return 0, fmt.Errorf("baselines: %s optimiser: %w", c.name, err)
-		}
+		last = l
+	}
+	return last, nil
+}
+
+// trainStep performs one gradient step on the reused tape.
+func (c *FedLITClient) trainStep() (float64, error) {
+	tp := c.tape
+	defer tp.Release()
+	logits, nodes := c.forward(tp, true)
+	loss := tp.SoftmaxCrossEntropy(logits, c.g.Labels, c.g.TrainMask)
+	last := loss.Value.At(0, 0)
+	if err := tp.Backward(loss); err != nil {
+		return 0, fmt.Errorf("baselines: %s backward: %w", c.name, err)
+	}
+	if err := c.opt.Step(c.params, nodes); err != nil {
+		return 0, fmt.Errorf("baselines: %s optimiser: %w", c.name, err)
 	}
 	return last, nil
 }
@@ -241,7 +253,8 @@ func (c *FedLITClient) Accuracy(mask []int) (int, int) {
 	if len(mask) == 0 {
 		return 0, 0
 	}
-	tp := ad.NewTape()
+	tp := c.tape
+	defer tp.Release()
 	logits, _ := c.forward(tp, false)
 	pred := mat.ArgmaxRows(logits.Value)
 	correct := 0

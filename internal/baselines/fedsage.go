@@ -40,6 +40,8 @@ type FedSageClient struct {
 	rng    *rand.Rand
 	opts   Options
 	hidden int
+	tape   *ad.Tape
+	labels []int // g.Labels zero-padded to the augmented node count
 }
 
 var _ fed.Client = (*FedSageClient)(nil)
@@ -74,11 +76,17 @@ func NewFedSage(name string, g *graph.Graph, opts Options, seed int64) (*FedSage
 	params.Add("w_self1", mat.Xavier(rng, opts.Hidden, g.NumClasses))
 	params.Add("w_nbr1", mat.Xavier(rng, opts.Hidden, g.NumClasses))
 
+	// Labels for generated nodes never enter: the train mask indexes
+	// originals, so the padding values are inert.
+	labels := make([]int, augFeatures.Rows())
+	copy(labels, g.Labels)
+
 	return &FedSageClient{
 		name: name, g: g,
 		augFeatures: augFeatures, augOp: op, numOrig: numOrig,
 		params: params, opt: nn.NewAdam(opts.LR, opts.WeightDecay),
 		rng: rng, opts: opts, hidden: opts.Hidden,
+		tape: ad.NewTape(), labels: labels,
 	}, nil
 }
 
@@ -115,15 +123,17 @@ func trainNeighborGenerator(g *graph.Graph, rng *rand.Rand) *mat.Dense {
 	params.Add("w", w)
 	opt := nn.NewAdam(0.01, 0)
 	scale := 1 / float64(len(withNbrs)*f)
+	tp := ad.NewTape()
 	for step := 0; step < 60; step++ {
-		tp := ad.NewTape()
 		wn := tp.Param(w)
 		pred := tp.MatMul(tp.Const(x), wn)
 		loss := tp.Scale(scale, tp.SumSquares(tp.Sub(pred, tp.Const(target))))
-		if err := tp.Backward(loss); err != nil {
-			break
+		err := tp.Backward(loss)
+		if err == nil {
+			err = opt.Step(params, []*ad.Node{wn})
 		}
-		if err := opt.Step(params, []*ad.Node{wn}); err != nil {
+		tp.Release()
+		if err != nil {
 			break
 		}
 	}
@@ -205,19 +215,27 @@ func (c *FedSageClient) TrainLocal(round int) (float64, error) {
 	}
 	var last float64
 	for e := 0; e < c.opts.LocalEpochs; e++ {
-		tp := ad.NewTape()
-		logits, nodes := c.forward(tp, true)
-		// Labels for generated nodes never enter: the mask indexes originals.
-		labels := make([]int, c.augFeatures.Rows())
-		copy(labels, c.g.Labels)
-		loss := tp.SoftmaxCrossEntropy(logits, labels, c.g.TrainMask)
-		last = loss.Value.At(0, 0)
-		if err := tp.Backward(loss); err != nil {
-			return 0, fmt.Errorf("baselines: %s backward: %w", c.name, err)
+		l, err := c.trainStep()
+		if err != nil {
+			return 0, err
 		}
-		if err := c.opt.Step(c.params, nodes); err != nil {
-			return 0, fmt.Errorf("baselines: %s optimiser: %w", c.name, err)
-		}
+		last = l
+	}
+	return last, nil
+}
+
+// trainStep performs one gradient step on the reused tape.
+func (c *FedSageClient) trainStep() (float64, error) {
+	tp := c.tape
+	defer tp.Release()
+	logits, nodes := c.forward(tp, true)
+	loss := tp.SoftmaxCrossEntropy(logits, c.labels, c.g.TrainMask)
+	last := loss.Value.At(0, 0)
+	if err := tp.Backward(loss); err != nil {
+		return 0, fmt.Errorf("baselines: %s backward: %w", c.name, err)
+	}
+	if err := c.opt.Step(c.params, nodes); err != nil {
+		return 0, fmt.Errorf("baselines: %s optimiser: %w", c.name, err)
 	}
 	return last, nil
 }
@@ -227,7 +245,8 @@ func (c *FedSageClient) Accuracy(mask []int) (int, int) {
 	if len(mask) == 0 {
 		return 0, 0
 	}
-	tp := ad.NewTape()
+	tp := c.tape
+	defer tp.Release()
 	logits, _ := c.forward(tp, false)
 	pred := mat.ArgmaxRows(logits.Value)
 	correct := 0

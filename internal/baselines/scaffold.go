@@ -26,6 +26,7 @@ type ScaffoldClient struct {
 	mlp  *nn.MLP
 	rng  *rand.Rand
 	opts Options
+	tape *ad.Tape
 
 	ci          *nn.Params // client control variate
 	cGlobal     *nn.Params // server control variate
@@ -55,7 +56,7 @@ func NewScaffold(name string, g *graph.Graph, opts Options, seed int64) (*Scaffo
 	}
 	return &ScaffoldClient{
 		name: name, g: g, in: nn.Input{X: g.Features}, mlp: mlp, rng: rng, opts: opts,
-		ci: zero(), cGlobal: zero(),
+		ci: zero(), cGlobal: zero(), tape: ad.NewTape(),
 	}, nil
 }
 
@@ -86,28 +87,11 @@ func (s *ScaffoldClient) TrainLocal(round int) (float64, error) {
 	var last float64
 	steps := s.opts.LocalEpochs
 	for e := 0; e < steps; e++ {
-		tp := ad.NewTape()
-		f := s.mlp.Forward(tp, s.in, s.rng, true)
-		loss := tp.SoftmaxCrossEntropy(f.Logits, s.g.Labels, s.g.TrainMask)
-		last = loss.Value.At(0, 0)
-		if err := tp.Backward(loss); err != nil {
-			return 0, fmt.Errorf("baselines: %s backward: %w", s.name, err)
+		l, err := s.trainStep(params)
+		if err != nil {
+			return 0, err
 		}
-		// w ← w − η (g − c_i + c), plus decoupled weight decay.
-		for i := 0; i < params.Len(); i++ {
-			w := params.At(i)
-			if s.opts.WeightDecay != 0 {
-				w.ScaleInPlace(1 - s.opts.LR*s.opts.WeightDecay)
-			}
-			g := f.ParamNodes[i].Grad
-			if g == nil {
-				g = mat.New(w.Rows(), w.Cols())
-			}
-			corrected := g.Clone()
-			corrected.SubInPlace(s.ci.At(i))
-			corrected.AddInPlace(s.cGlobal.At(i))
-			w.AXPY(-s.opts.LR, corrected)
-		}
+		last = l
 	}
 	// Option II control-variate refresh.
 	if s.roundAnchor != nil {
@@ -115,9 +99,40 @@ func (s *ScaffoldClient) TrainLocal(round int) (float64, error) {
 		for i := 0; i < s.ci.Len(); i++ {
 			ci := s.ci.At(i)
 			ci.SubInPlace(s.cGlobal.At(i))
-			diff := mat.Sub(s.roundAnchor.At(i), params.At(i))
+			diff := mat.GetDense(ci.Rows(), ci.Cols())
+			mat.SubInto(diff, s.roundAnchor.At(i), params.At(i))
 			ci.AXPY(scale, diff)
+			mat.PutDense(diff)
 		}
+	}
+	return last, nil
+}
+
+// trainStep performs one variance-reduced step on the reused tape.
+func (s *ScaffoldClient) trainStep(params *nn.Params) (float64, error) {
+	tp := s.tape
+	defer tp.Release()
+	f := s.mlp.Forward(tp, s.in, s.rng, true)
+	loss := tp.SoftmaxCrossEntropy(f.Logits, s.g.Labels, s.g.TrainMask)
+	last := loss.Value.At(0, 0)
+	if err := tp.Backward(loss); err != nil {
+		return 0, fmt.Errorf("baselines: %s backward: %w", s.name, err)
+	}
+	// w ← w − η (g − c_i + c), plus decoupled weight decay. The corrected
+	// gradient lives in a pooled scratch buffer (zeroed on vend).
+	for i := 0; i < params.Len(); i++ {
+		w := params.At(i)
+		if s.opts.WeightDecay != 0 {
+			w.ScaleInPlace(1 - s.opts.LR*s.opts.WeightDecay)
+		}
+		corrected := mat.GetDense(w.Rows(), w.Cols())
+		if g := f.ParamNodes[i].Grad; g != nil {
+			corrected.AddInPlace(g)
+		}
+		corrected.SubInPlace(s.ci.At(i))
+		corrected.AddInPlace(s.cGlobal.At(i))
+		w.AXPY(-s.opts.LR, corrected)
+		mat.PutDense(corrected)
 	}
 	return last, nil
 }
@@ -136,7 +151,8 @@ func (s *ScaffoldClient) Accuracy(mask []int) (int, int) {
 	if len(mask) == 0 {
 		return 0, 0
 	}
-	tp := ad.NewTape()
+	tp := s.tape
+	defer tp.Release()
 	f := s.mlp.Forward(tp, s.in, s.rng, false)
 	pred := mat.ArgmaxRows(f.Logits.Value)
 	correct := 0

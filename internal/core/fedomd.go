@@ -117,6 +117,11 @@ type Client struct {
 	model *nn.OrthoGCN
 	opt   *nn.Adam
 	rng   *rand.Rand
+	// tape is the client's reusable autodiff arena. fed.Server never calls a
+	// client concurrently with itself, so one tape per client is safe; every
+	// forward pass records on it and Releases its buffers back to the mat
+	// pool once the results have been consumed.
+	tape *ad.Tape
 
 	globalMeans   []*mat.Dense
 	globalCentral [][]*mat.Dense
@@ -154,6 +159,7 @@ func NewClient(name string, g *graph.Graph, cfg Config, seed int64) (*Client, er
 		model: model,
 		opt:   nn.NewAdam(cfg.LR, cfg.WeightDecay),
 		rng:   rng,
+		tape:  ad.NewTape(),
 	}, nil
 }
 
@@ -226,40 +232,51 @@ func (c *Client) TrainLocal(round int) (float64, error) {
 	}
 	var total float64
 	for e := 0; e < c.cfg.LocalEpochs; e++ {
-		tp := ad.NewTape()
-		f := c.forward(tp, true)
-		loss := tp.SoftmaxCrossEntropy(f.Logits, c.g.Labels, c.g.TrainMask)
-		c.last.CE = loss.Value.At(0, 0)
-		c.last.Ortho, c.last.CMD = 0, 0
-		if c.cfg.UseOrtho && len(f.OrthoNodes) > 0 {
-			// eq. 6: Σ_k ‖W_k W_kᵀ − I‖_F over the OrthoConv weights.
-			ortho := tp.OrthoPenalty(f.OrthoNodes[0])
-			for _, w := range f.OrthoNodes[1:] {
-				ortho = tp.Add(ortho, tp.OrthoPenalty(w))
-			}
-			c.last.Ortho = ortho.Value.At(0, 0)
-			loss = tp.Add(loss, tp.Scale(c.cfg.Alpha, ortho))
-		}
-		if c.cfg.UseCMD && c.globalMeans != nil {
-			cmd, err := c.cmdLoss(tp, f)
-			if err != nil {
-				return 0, err
-			}
-			if cmd != nil {
-				c.last.CMD = cmd.Value.At(0, 0)
-				loss = tp.Add(loss, tp.Scale(c.cfg.Beta, cmd))
-			}
-		}
-		c.last.Total = loss.Value.At(0, 0)
-		if err := tp.Backward(loss); err != nil {
-			return 0, fmt.Errorf("core: %s backward: %w", c.name, err)
-		}
-		if err := c.opt.Step(c.model.Params(), f.ParamNodes); err != nil {
-			return 0, fmt.Errorf("core: %s optimiser: %w", c.name, err)
+		if err := c.trainStep(); err != nil {
+			return 0, err
 		}
 		total = c.last.Total
 	}
 	return total, nil
+}
+
+// trainStep is one full-batch gradient step on the reused tape. All loss
+// scalars are copied out and the optimizer consumes the gradients before the
+// deferred Release recycles every tape buffer for the next step.
+func (c *Client) trainStep() error {
+	tp := c.tape
+	defer tp.Release()
+	f := c.forward(tp, true)
+	loss := tp.SoftmaxCrossEntropy(f.Logits, c.g.Labels, c.g.TrainMask)
+	c.last.CE = loss.Value.At(0, 0)
+	c.last.Ortho, c.last.CMD = 0, 0
+	if c.cfg.UseOrtho && len(f.OrthoNodes) > 0 {
+		// eq. 6: Σ_k ‖W_k W_kᵀ − I‖_F over the OrthoConv weights.
+		ortho := tp.OrthoPenalty(f.OrthoNodes[0])
+		for _, w := range f.OrthoNodes[1:] {
+			ortho = tp.Add(ortho, tp.OrthoPenalty(w))
+		}
+		c.last.Ortho = ortho.Value.At(0, 0)
+		loss = tp.Add(loss, tp.Scale(c.cfg.Alpha, ortho))
+	}
+	if c.cfg.UseCMD && c.globalMeans != nil {
+		cmd, err := c.cmdLoss(tp, f)
+		if err != nil {
+			return err
+		}
+		if cmd != nil {
+			c.last.CMD = cmd.Value.At(0, 0)
+			loss = tp.Add(loss, tp.Scale(c.cfg.Beta, cmd))
+		}
+	}
+	c.last.Total = loss.Value.At(0, 0)
+	if err := tp.Backward(loss); err != nil {
+		return fmt.Errorf("core: %s backward: %w", c.name, err)
+	}
+	if err := c.opt.Step(c.model.Params(), f.ParamNodes); err != nil {
+		return fmt.Errorf("core: %s optimiser: %w", c.name, err)
+	}
+	return nil
 }
 
 // cmdLoss sums the per-layer CMD distances (Algorithm 1 line 19) against the
@@ -297,7 +314,8 @@ func (c *Client) cmdLoss(tp *ad.Tape, f *nn.Forward) (*ad.Node, error) {
 // hidden embedding even when unlabelled, and the richer statistic stabilises
 // the global estimate at the paper's 1% label rate).
 func (c *Client) LocalMeans() ([]*mat.Dense, int, error) {
-	tp := ad.NewTape()
+	tp := c.tape
+	defer tp.Release()
 	f := c.forward(tp, false)
 	means := make([]*mat.Dense, len(f.Hidden))
 	obs := 0.0
@@ -313,7 +331,8 @@ func (c *Client) LocalMeans() ([]*mat.Dense, int, error) {
 
 // CentralAroundGlobal implements fed.MomentClient: Algorithm 1 lines 12-15.
 func (c *Client) CentralAroundGlobal(globalMeans []*mat.Dense) ([][]*mat.Dense, int, error) {
-	tp := ad.NewTape()
+	tp := c.tape
+	defer tp.Release()
 	f := c.forward(tp, false)
 	if len(globalMeans) != len(f.Hidden) {
 		return nil, 0, fmt.Errorf("core: %s got %d global means for %d layers", c.name, len(globalMeans), len(f.Hidden))
@@ -336,7 +355,8 @@ func (c *Client) Accuracy(mask []int) (correct, total int) {
 	if len(mask) == 0 {
 		return 0, 0
 	}
-	tp := ad.NewTape()
+	tp := c.tape
+	defer tp.Release()
 	f := c.forward(tp, false)
 	pred := mat.ArgmaxRows(f.Logits.Value)
 	for _, i := range mask {

@@ -13,20 +13,37 @@ const parallelThreshold = 1 << 16
 // MatMul returns a·b using a cache-blocked, row-sharded parallel kernel.
 // It panics if a.Cols() != b.Rows().
 func MatMul(a, b *Dense) *Dense {
-	if a.cols != b.rows {
-		panic(fmt.Sprintf("mat: MatMul inner dimension mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
-	}
 	out := New(a.rows, b.cols)
-	matMulInto(out, a, b)
+	MatMulInto(out, a, b)
 	return out
 }
 
-// matMulInto computes out = a·b, overwriting out (which must be pre-shaped).
-func matMulInto(out, a, b *Dense) {
+// MatMulInto computes out = a·b into caller-owned storage. out must be
+// a.Rows()×b.Cols() and must not alias a or b.
+func MatMulInto(out, a, b *Dense) {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: MatMul inner dimension mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	mustOutShape(out, a.rows, b.cols, "MatMulInto")
+	matMulParallel(out, a, b, false)
+}
+
+// MatMulAddInto computes out += a·b (fused accumulation, no temporary).
+// Shape rules match MatMulInto.
+func MatMulAddInto(out, a, b *Dense) {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: MatMulAddInto inner dimension mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	mustOutShape(out, a.rows, b.cols, "MatMulAddInto")
+	matMulParallel(out, a, b, true)
+}
+
+// matMulParallel shards rows of out = (accum ? out : 0) + a·b over workers.
+func matMulParallel(out, a, b *Dense, accum bool) {
 	work := a.rows * a.cols * b.cols
 	nw := runtime.GOMAXPROCS(0)
 	if work < parallelThreshold || nw == 1 || a.rows == 1 {
-		matMulRange(out, a, b, 0, a.rows)
+		matMulRange(out, a, b, 0, a.rows, accum)
 		return
 	}
 	if nw > a.rows {
@@ -43,7 +60,7 @@ func matMulInto(out, a, b *Dense) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			matMulRange(out, a, b, lo, hi)
+			matMulRange(out, a, b, lo, hi, accum)
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -51,14 +68,17 @@ func matMulInto(out, a, b *Dense) {
 
 // matMulRange computes rows [lo,hi) of out = a·b with an ikj loop order:
 // the inner loop streams over contiguous rows of b and out, which is the
-// cache-friendly order for row-major storage.
-func matMulRange(out, a, b *Dense, lo, hi int) {
+// cache-friendly order for row-major storage. With accum the existing
+// contents of out are kept and added to.
+func matMulRange(out, a, b *Dense, lo, hi int, accum bool) {
 	n, p := a.cols, b.cols
 	for i := lo; i < hi; i++ {
 		arow := a.data[i*n : (i+1)*n]
 		orow := out.data[i*p : (i+1)*p]
-		for j := range orow {
-			orow[j] = 0
+		if !accum {
+			for j := range orow {
+				orow[j] = 0
+			}
 		}
 		for k, av := range arow {
 			if av == 0 {
@@ -92,23 +112,46 @@ func MatMulSerial(a, b *Dense) *Dense {
 		panic(fmt.Sprintf("mat: MatMulSerial inner dimension mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	out := New(a.rows, b.cols)
-	matMulRange(out, a, b, 0, a.rows)
+	matMulRange(out, a, b, 0, a.rows, false)
 	return out
 }
 
 // MatMulT1 returns aᵀ·b without materialising the transpose.
 func MatMulT1(a, b *Dense) *Dense {
-	if a.rows != b.rows {
-		panic(fmt.Sprintf("mat: MatMulT1 dimension mismatch %dx%d ᵀ· %dx%d", a.rows, a.cols, b.rows, b.cols))
-	}
 	out := New(a.cols, b.cols)
-	// outᵀrows are accumulated across k; shard over columns of a to keep
-	// writes disjoint.
+	MatMulT1AddInto(out, a, b)
+	return out
+}
+
+// MatMulT1Into computes out = aᵀ·b into caller-owned storage. out must be
+// a.Cols()×b.Cols() and must not alias a or b.
+func MatMulT1Into(out, a, b *Dense) {
+	if a.rows != b.rows {
+		panic(fmt.Sprintf("mat: MatMulT1Into dimension mismatch %dx%d ᵀ· %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	mustOutShape(out, a.cols, b.cols, "MatMulT1Into")
+	out.Zero()
+	matMulT1Parallel(out, a, b)
+}
+
+// MatMulT1AddInto computes out += aᵀ·b (fused gradient accumulation — the
+// ∂L/∂W term of a dense layer lands directly in the gradient buffer).
+func MatMulT1AddInto(out, a, b *Dense) {
+	if a.rows != b.rows {
+		panic(fmt.Sprintf("mat: MatMulT1AddInto dimension mismatch %dx%d ᵀ· %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	mustOutShape(out, a.cols, b.cols, "MatMulT1AddInto")
+	matMulT1Parallel(out, a, b)
+}
+
+// matMulT1Parallel accumulates out += aᵀ·b, sharding over columns of a so
+// concurrent writes stay disjoint.
+func matMulT1Parallel(out, a, b *Dense) {
 	nw := runtime.GOMAXPROCS(0)
 	work := a.rows * a.cols * b.cols
 	if work < parallelThreshold || nw == 1 {
 		matMulT1Range(out, a, b, 0, a.cols)
-		return out
+		return
 	}
 	if nw > a.cols {
 		nw = a.cols
@@ -128,7 +171,6 @@ func MatMulT1(a, b *Dense) *Dense {
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
 }
 
 func matMulT1Range(out, a, b *Dense, lo, hi int) {
@@ -148,15 +190,33 @@ func matMulT1Range(out, a, b *Dense, lo, hi int) {
 
 // MatMulT2 returns a·bᵀ without materialising the transpose.
 func MatMulT2(a, b *Dense) *Dense {
-	if a.cols != b.cols {
-		panic(fmt.Sprintf("mat: MatMulT2 dimension mismatch %dx%d · %dx%dᵀ", a.rows, a.cols, b.rows, b.cols))
-	}
 	out := New(a.rows, b.rows)
+	matMulT2Checked(out, a, b, false, "MatMulT2")
+	return out
+}
+
+// MatMulT2Into computes out = a·bᵀ into caller-owned storage. out must be
+// a.Rows()×b.Rows() and must not alias a or b.
+func MatMulT2Into(out, a, b *Dense) {
+	matMulT2Checked(out, a, b, false, "MatMulT2Into")
+}
+
+// MatMulT2AddInto computes out += a·bᵀ (fused gradient accumulation — the
+// ∂L/∂X term of a dense layer lands directly in the gradient buffer).
+func MatMulT2AddInto(out, a, b *Dense) {
+	matMulT2Checked(out, a, b, true, "MatMulT2AddInto")
+}
+
+func matMulT2Checked(out, a, b *Dense, accum bool, op string) {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("mat: %s dimension mismatch %dx%d · %dx%dᵀ", op, a.rows, a.cols, b.rows, b.cols))
+	}
+	mustOutShape(out, a.rows, b.rows, op)
 	nw := runtime.GOMAXPROCS(0)
 	work := a.rows * a.cols * b.rows
 	if work < parallelThreshold || nw == 1 || a.rows == 1 {
-		matMulT2Range(out, a, b, 0, a.rows)
-		return out
+		matMulT2Range(out, a, b, 0, a.rows, accum)
+		return
 	}
 	if nw > a.rows {
 		nw = a.rows
@@ -172,14 +232,13 @@ func MatMulT2(a, b *Dense) *Dense {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			matMulT2Range(out, a, b, lo, hi)
+			matMulT2Range(out, a, b, lo, hi, accum)
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
 }
 
-func matMulT2Range(out, a, b *Dense, lo, hi int) {
+func matMulT2Range(out, a, b *Dense, lo, hi int, accum bool) {
 	n := a.cols
 	p := b.rows
 	for i := lo; i < hi; i++ {
@@ -195,7 +254,17 @@ func matMulT2Range(out, a, b *Dense, lo, hi int) {
 			for ; k < n; k++ {
 				s += arow[k] * brow[k]
 			}
-			orow[j] = s
+			if accum {
+				orow[j] += s
+			} else {
+				orow[j] = s
+			}
 		}
+	}
+}
+
+func mustOutShape(out *Dense, r, c int, op string) {
+	if out.rows != r || out.cols != c {
+		panic(fmt.Sprintf("mat: %s output shape %dx%d, want %dx%d", op, out.rows, out.cols, r, c))
 	}
 }

@@ -49,26 +49,34 @@ func NewtonSchulz(w *Dense, maxIters int) (*Dense, error) {
 func SpectralNorm(w *Dense) float64 { return spectralNormEstimate(w) }
 
 // spectralNormEstimate approximates ‖w‖₂ with a few rounds of power iteration
-// on wᵀw, seeded deterministically.
-func spectralNormEstimate(w *Dense) float64 {
+// on wᵀw, seeded deterministically. The iteration vectors ping-pong through
+// two pooled buffers: the estimate runs once per OrthoConv weight per forward
+// pass, so it must not churn.
+func spectralNormEstimate(w *Dense) (sigma float64) {
 	n := w.cols
 	if n == 0 {
 		return 0
 	}
-	v := New(n, 1)
-	for i := 0; i < n; i++ {
+	v := GetDense(n, 1)
+	wv := GetDense(w.rows, 1)
+	next := GetDense(n, 1)
+	defer func() {
+		PutDense(v)
+		PutDense(wv)
+		PutDense(next)
+	}()
+	for i := range v.data {
 		v.data[i] = 1 / math.Sqrt(float64(n))
 	}
-	var sigma float64
 	for k := 0; k < 20; k++ {
-		wv := MatMul(w, v)      // n×1
-		wtwv := MatMulT1(w, wv) // n×1
-		nv := FrobNorm(wtwv)
+		MatMulInto(wv, w, v)      // n×1
+		MatMulT1Into(next, w, wv) // n×1
+		nv := FrobNorm(next)
 		if nv == 0 {
 			return 0
 		}
-		wtwv.ScaleInPlace(1 / nv)
-		v = wtwv
+		next.ScaleInPlace(1 / nv)
+		v, next = next, v
 		sigma = math.Sqrt(nv)
 	}
 	return sigma

@@ -54,6 +54,32 @@ func paramNodes(tp *ad.Tape, ps *Params) []*ad.Node {
 	return nodes
 }
 
+// propCache memoises the propagated features S̃·X of a graph model's first
+// layer. Both operands are constants of the client — S̃ is fixed by the local
+// topology and X by the local features — so by associativity the first layer
+// S̃·(X·W⁰) can be computed as (S̃X)·W⁰ with S̃X built once: every forward
+// after the first saves one SpMM, and every backward saves the matching
+// Sᵀ·G, because the gradient stops at the constant.
+//
+// The cache keys on operand identity, so swapping in a different graph or
+// feature matrix recomputes. It is not safe for concurrent use; models are
+// driven by one goroutine at a time (the fed.Client contract).
+type propCache struct {
+	s    *sparse.CSR
+	x    *mat.Dense
+	prop *mat.Dense
+}
+
+// propagated returns the cached S̃·X, computing it on first use or when the
+// operands change.
+func (c *propCache) propagated(s *sparse.CSR, x *mat.Dense) *mat.Dense {
+	if c.prop == nil || c.s != s || c.x != x {
+		c.prop = s.MulDense(x)
+		c.s, c.x = s, x
+	}
+	return c.prop
+}
+
 // MLP is the FedMLP base model: Dense→ReLU→(dropout)→Dense, no structure.
 type MLP struct {
 	params  *Params
@@ -106,6 +132,7 @@ type GCN struct {
 	params  *Params
 	dims    []int
 	dropout float64
+	prop    propCache
 }
 
 // NewGCN builds a GCN with the given layer dimensions.
@@ -132,11 +159,17 @@ func (m *GCN) Forward(tp *ad.Tape, in Input, rng *rand.Rand, train bool) *Forwar
 		panic("nn: GCN forward without propagation operator")
 	}
 	nodes := paramNodes(tp, m.params)
-	z := tp.Const(in.X)
 	var hidden []*ad.Node
 	layers := len(m.dims) - 1
+	var z *ad.Node
 	for l := 0; l < layers; l++ {
-		z = tp.SpMM(in.S, tp.MatMul(z, nodes[l]))
+		if l == 0 {
+			// Layer 1 uses the cached propagated features:
+			// S̃·(X·W⁰) = (S̃X)·W⁰ with S̃X constant per client.
+			z = tp.MatMul(tp.Const(m.prop.propagated(in.S, in.X)), nodes[0])
+		} else {
+			z = tp.SpMM(in.S, tp.MatMul(z, nodes[l]))
+		}
 		if l+1 < layers {
 			z = tp.ReLU(z)
 			hidden = append(hidden, z)
@@ -157,6 +190,7 @@ type OrthoGCN struct {
 	dims          [3]int // in, hidden, out
 	dropout       float64
 	spectralBound bool
+	prop          propCache
 }
 
 // SetSpectralBound toggles the Q̃ = Q/‖Q‖ bounding of the OrthoConv weights
@@ -213,8 +247,10 @@ func (m *OrthoGCN) Forward(tp *ad.Tape, in Input, rng *rand.Rand, train bool) *F
 		panic("nn: OrthoGCN forward without propagation operator")
 	}
 	nodes := paramNodes(tp, m.params)
-	// Layer 1: Z¹ = σ(S̃ X W⁰)  (eq. 7)
-	z := tp.ReLU(tp.SpMM(in.S, tp.MatMul(tp.Const(in.X), nodes[0])))
+	// Layer 1: Z¹ = σ(S̃ X W⁰) = σ((S̃X) W⁰)  (eq. 7) — S̃X is constant per
+	// client, so it is propagated once and cached; the rewrite drops one
+	// SpMM from every forward and one Sᵀ·G from every backward.
+	z := tp.ReLU(tp.MatMul(tp.Const(m.prop.propagated(in.S, in.X)), nodes[0]))
 	hidden := []*ad.Node{z}
 	var orthoNodes []*ad.Node
 	z = tp.Dropout(z, m.dropout, rng, train)

@@ -127,16 +127,27 @@ func (m *CSR) ToDense() *mat.Dense {
 // MulDense returns m·x for a dense x, sharding rows across goroutines.
 // It panics if m.Cols() != x.Rows().
 func (m *CSR) MulDense(x *mat.Dense) *mat.Dense {
+	out := mat.New(m.rows, x.Cols())
+	m.MulDenseInto(out, x)
+	return out
+}
+
+// MulDenseInto computes out = m·x into caller-owned storage (typically a
+// pooled buffer). out must be m.Rows()×x.Cols() and must not alias x.
+func (m *CSR) MulDenseInto(out, x *mat.Dense) {
 	if m.cols != x.Rows() {
 		panic(fmt.Sprintf("sparse: MulDense dimension mismatch %dx%d · %dx%d", m.rows, m.cols, x.Rows(), x.Cols()))
 	}
+	if out.Rows() != m.rows || out.Cols() != x.Cols() {
+		panic(fmt.Sprintf("sparse: MulDenseInto output %dx%d, want %dx%d", out.Rows(), out.Cols(), m.rows, x.Cols()))
+	}
 	spmmCalls.Add(1)
 	spmmFlops.Add(2 * int64(m.NNZ()) * int64(x.Cols()))
-	out := mat.New(m.rows, x.Cols())
+	out.Zero()
 	nw := runtime.GOMAXPROCS(0)
 	if m.NNZ()*x.Cols() < 1<<15 || nw == 1 {
 		m.mulDenseRange(out, x, 0, m.rows)
-		return out
+		return
 	}
 	if nw > m.rows {
 		nw = m.rows
@@ -159,7 +170,6 @@ func (m *CSR) MulDense(x *mat.Dense) *mat.Dense {
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
 }
 
 func (m *CSR) mulDenseRange(out, x *mat.Dense, lo, hi int) {
@@ -178,17 +188,38 @@ func (m *CSR) mulDenseRange(out, x *mat.Dense, lo, hi int) {
 	}
 }
 
-// TMulDense returns mᵀ·x without materialising the transpose. Because column
-// writes from different rows collide, each worker accumulates into a private
-// buffer which is then reduced; this keeps the result deterministic.
+// TMulDense returns mᵀ·x without materialising the transpose. Column writes
+// from different rows collide, so the kernel runs serially and stays
+// deterministic.
 func (m *CSR) TMulDense(x *mat.Dense) *mat.Dense {
+	out := mat.New(m.cols, x.Cols())
+	m.tMulDenseAccum(out, x)
+	return out
+}
+
+// TMulDenseInto computes out = mᵀ·x into caller-owned storage. out must be
+// m.Cols()×x.Cols() and must not alias x.
+func (m *CSR) TMulDenseInto(out, x *mat.Dense) {
+	out.Zero()
+	m.tMulDenseAccum(out, x)
+}
+
+// TMulDenseAddInto computes out += mᵀ·x — the fused accumulation the SpMM
+// backward pass uses to land ∂L/∂X directly in the gradient buffer.
+func (m *CSR) TMulDenseAddInto(out, x *mat.Dense) {
+	m.tMulDenseAccum(out, x)
+}
+
+func (m *CSR) tMulDenseAccum(out, x *mat.Dense) {
 	if m.rows != x.Rows() {
 		panic(fmt.Sprintf("sparse: TMulDense dimension mismatch %dx%dᵀ · %dx%d", m.rows, m.cols, x.Rows(), x.Cols()))
 	}
-	spmmCalls.Add(1)
-	spmmFlops.Add(2 * int64(m.NNZ()) * int64(x.Cols()))
 	c := x.Cols()
-	out := mat.New(m.cols, c)
+	if out.Rows() != m.cols || out.Cols() != c {
+		panic(fmt.Sprintf("sparse: TMulDense output %dx%d, want %dx%d", out.Rows(), out.Cols(), m.cols, c))
+	}
+	spmmCalls.Add(1)
+	spmmFlops.Add(2 * int64(m.NNZ()) * int64(c))
 	od := out.Data()
 	xd := x.Data()
 	for i := 0; i < m.rows; i++ {
@@ -201,7 +232,6 @@ func (m *CSR) TMulDense(x *mat.Dense) *mat.Dense {
 			}
 		}
 	}
-	return out
 }
 
 // Transpose returns mᵀ as a new CSR matrix.

@@ -1,0 +1,86 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedomd/internal/mat"
+)
+
+func denseClose(t *testing.T, got, want *mat.Dense, op string) {
+	t.Helper()
+	if got.Rows() != want.Rows() || got.Cols() != want.Cols() {
+		t.Fatalf("%s: dims %dx%d want %dx%d", op, got.Rows(), got.Cols(), want.Rows(), want.Cols())
+	}
+	for i, v := range got.Data() {
+		if math.Abs(v-want.Data()[i]) > 1e-12 {
+			t.Fatalf("%s: element %d = %v want %v", op, i, v, want.Data()[i])
+		}
+	}
+}
+
+func garbage(r, c int) *mat.Dense {
+	m := mat.New(r, c)
+	for i := range m.Data() {
+		m.Data()[i] = 1e9
+	}
+	return m
+}
+
+func TestMulDenseIntoMatchesFunctional(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := randomCSR(rng, 9, 6, 0.3)
+	x := mat.New(6, 4)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	want := s.MulDense(x)
+
+	out := garbage(9, 4)
+	s.MulDenseInto(out, x)
+	denseClose(t, out, want, "MulDenseInto")
+}
+
+func TestTMulDenseIntoMatchesFunctional(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	s := randomCSR(rng, 9, 6, 0.3)
+	g := mat.New(9, 4)
+	for i := range g.Data() {
+		g.Data()[i] = rng.NormFloat64()
+	}
+	want := s.TMulDense(g)
+
+	out := garbage(6, 4)
+	s.TMulDenseInto(out, g)
+	denseClose(t, out, want, "TMulDenseInto")
+
+	// AddInto accumulates on top of the existing contents.
+	base := mat.New(6, 4)
+	for i := range base.Data() {
+		base.Data()[i] = rng.NormFloat64()
+	}
+	accum := base.Clone()
+	s.TMulDenseAddInto(accum, g)
+	denseClose(t, accum, mat.Add(base, want), "TMulDenseAddInto")
+}
+
+func TestMulDenseIntoShapePanics(t *testing.T) {
+	s := randomCSR(rand.New(rand.NewSource(13)), 4, 3, 0.5)
+	for name, fn := range map[string]func(){
+		"mul-inner":   func() { s.MulDenseInto(mat.New(4, 2), mat.New(4, 2)) },
+		"mul-out":     func() { s.MulDenseInto(mat.New(3, 2), mat.New(3, 2)) },
+		"tmul-inner":  func() { s.TMulDenseInto(mat.New(3, 2), mat.New(3, 2)) },
+		"tmul-out":    func() { s.TMulDenseInto(mat.New(4, 2), mat.New(4, 2)) },
+		"tmuladd-out": func() { s.TMulDenseAddInto(mat.New(4, 2), mat.New(4, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
