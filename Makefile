@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race bench bench-step
+.PHONY: build test check fmt vet lint race bench bench-step
+
+# Formatting checks skip testdata: it holds deliberately corrupt analyzer
+# fixtures that gofmt cannot parse.
+FMT_FILES = find . -name '*.go' -not -path '*/testdata/*'
 
 build:
 	$(GO) build ./...
@@ -9,27 +13,34 @@ test:
 	$(GO) test ./...
 
 fmt:
-	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+	@out=$$($(FMT_FILES) | xargs gofmt -l); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
 
-race:
-	$(GO) test -race ./...
+# Project-specific static analysis: poolpair, tapelease, intoalias,
+# telemetrykey (see DESIGN.md §8). Non-zero exit on any diagnostic.
+lint:
+	$(GO) run ./cmd/fedomdvet ./...
 
-# The gate a PR must pass: formatting, static analysis, and the full test
-# suite under the race detector. CI-friendly: every stage runs even if an
-# earlier one fails, each reports its own status, and the target exits
-# non-zero if any stage failed.
+race:
+	$(GO) test -race -count=1 ./...
+
+# The gate a PR must pass: formatting, go vet, fedomdvet, and the full test
+# suite under the race detector (-count=1 so a cached pass can't mask a
+# race). CI-friendly: every stage runs even if an earlier one fails, each
+# reports its own status, and the target exits non-zero if any stage failed.
 check:
 	@fail=0; \
-	out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+	out=$$($(FMT_FILES) | xargs gofmt -l); if [ -n "$$out" ]; then \
 		echo "FAIL gofmt — run gofmt -w on:"; echo "$$out"; fail=1; \
 	else echo "ok   gofmt"; fi; \
 	if $(GO) vet ./...; then echo "ok   go vet"; \
 	else echo "FAIL go vet"; fail=1; fi; \
-	if $(GO) test -race ./...; then echo "ok   go test -race"; \
+	if $(GO) run ./cmd/fedomdvet ./...; then echo "ok   fedomdvet"; \
+	else echo "FAIL fedomdvet"; fail=1; fi; \
+	if $(GO) test -race -count=1 ./...; then echo "ok   go test -race"; \
 	else echo "FAIL go test -race"; fail=1; fi; \
 	exit $$fail
 

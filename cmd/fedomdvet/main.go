@@ -1,0 +1,93 @@
+// Command fedomdvet runs the project-specific static analyzers over the
+// module: poolpair, tapelease, intoalias and telemetrykey (see
+// internal/analysis and DESIGN.md §8). Output follows go vet's
+// file:line:col: message convention.
+//
+// Usage:
+//
+//	fedomdvet [packages]
+//
+// Package patterns are directories relative to the working directory;
+// "./..." (the default) walks the whole tree. Exit status is 0 when clean,
+// 1 when any analyzer reported a diagnostic, 2 when a package failed to
+// parse or type-check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fedomd/internal/analysis"
+)
+
+func main() { os.Exit(run(os.Stdout, os.Stderr, flag.CommandLine, os.Args[1:])) }
+
+func run(stdout, stderr *os.File, fs *flag.FlagSet, args []string) int {
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: fedomdvet [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "fedomdvet:", err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "fedomdvet:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "fedomdvet:", err)
+		return 2
+	}
+	dirs, err := analysis.ExpandPatterns(cwd, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "fedomdvet:", err)
+		return 2
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(stderr, "fedomdvet: no packages matched")
+		return 2
+	}
+
+	loadFailed, found := false, false
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			loadFailed = true
+			continue
+		}
+		for _, d := range analysis.Run(pkg, analysis.All()) {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil {
+				d.Pos.Filename = rel
+			}
+			fmt.Fprintln(stdout, d)
+			found = true
+		}
+	}
+	switch {
+	case loadFailed:
+		return 2
+	case found:
+		return 1
+	}
+	return 0
+}

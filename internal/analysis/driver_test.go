@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCorruptFixtureDiagnostics pins the driver's behaviour on broken input:
+// a clean error naming the failure, never a panic.
+func TestCorruptFixtureDiagnostics(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"broken", "parsing"},
+		{"brokentypes", "type-checking"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			loader, err := NewLoader(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = loader.LoadDir(filepath.Join(root, "internal", "analysis", "testdata", tc.dir))
+			if err == nil {
+				t.Fatalf("expected a load error for testdata/%s", tc.dir)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadDirOutsideModule pins the refusal to analyze paths above go.mod.
+func TestLoadDirOutsideModule(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.LoadDir(filepath.Dir(root)); err == nil {
+		t.Fatal("expected an error loading a directory outside the module root")
+	}
+}
+
+// TestExpandPatterns pins wildcard expansion: testdata and hidden trees are
+// skipped, plain directories pass through.
+func TestExpandPatterns(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := ExpandPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("wildcard expansion included a testdata directory: %s", d)
+		}
+	}
+	var sawMat bool
+	for _, d := range dirs {
+		if filepath.Base(d) == "mat" {
+			sawMat = true
+		}
+	}
+	if !sawMat {
+		t.Errorf("wildcard expansion missed internal/mat: %v", dirs)
+	}
+}
+
+// runVet executes the command from the module root and returns combined
+// output plus the exit code.
+func runVet(t *testing.T, root string, cmd *exec.Cmd) (string, int) {
+	t.Helper()
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%v: %v\n%s", cmd.Args, err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// govet runs the fedomdvet binary built once per test (go run would flatten
+// the binary's exit code 2 to its own 1, hiding the load-failure status).
+func govet(t *testing.T, root, bin string, args ...string) (string, int) {
+	t.Helper()
+	return runVet(t, root, exec.Command(bin, args...))
+}
+
+// TestExitCodes shells out to the real tool — once through `go run` to pin
+// the Makefile's invocation, then through the built binary — and pins the
+// three exit statuses: 0 clean, 1 diagnostics, 2 load failure.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping build-and-exec round trips in -short mode")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The clean case through go run, exactly as `make lint` invokes it.
+	out, code := runVet(t, root, exec.Command("go", "run", "./cmd/fedomdvet", "./internal/telemetry"))
+	if code != 0 {
+		t.Errorf("clean package: got exit %d, output:\n%s", code, out)
+	}
+
+	bin := filepath.Join(t.TempDir(), "fedomdvet")
+	if bout, bcode := runVet(t, root, exec.Command("go", "build", "-o", bin, "./cmd/fedomdvet")); bcode != 0 {
+		t.Fatalf("building fedomdvet: exit %d\n%s", bcode, bout)
+	}
+
+	out, code = govet(t, root, bin, "./internal/analysis/testdata/src/intoalias")
+	if code != 1 {
+		t.Errorf("fixture with violations: got exit %d, want 1, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "(intoalias)") {
+		t.Errorf("diagnostic output missing analyzer tag:\n%s", out)
+	}
+	if strings.Contains(out, "panic") {
+		t.Errorf("output mentions a panic:\n%s", out)
+	}
+
+	out, code = govet(t, root, bin, "./internal/analysis/testdata/broken")
+	if code != 2 {
+		t.Errorf("corrupt package: got exit %d, want 2, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "parsing") || strings.Contains(out, "panic") {
+		t.Errorf("corrupt package output not a clean diagnostic:\n%s", out)
+	}
+}
+
+// TestWholeTreeClean runs the full suite over the real module in-process:
+// the tree must stay fedomdvet-clean.
+func TestWholeTreeClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := ExpandPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []string
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		for _, d := range Run(pkg, All()) {
+			diags = append(diags, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		t.Errorf("fedomdvet is not clean on the tree:\n%s", strings.Join(diags, "\n"))
+	}
+}

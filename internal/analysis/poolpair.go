@@ -1,0 +1,563 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolPair enforces the mat buffer-pool ownership contract (DESIGN.md §7): a
+// buffer obtained from mat.GetDense must, on every path through the function
+// that obtained it, either reach mat.PutDense, be handed to a deferred
+// release, or have its ownership visibly transferred (returned, stored into
+// a struct/slice/map, appended to a registry such as the ad.Tape's owned
+// list, or captured by a closure). Early returns and error paths that drop a
+// live buffer are reported as leaks, and a buffer that can reach PutDense
+// twice is reported as a double put.
+//
+// The analysis is a path-sensitive walk over the AST: branches fork the
+// per-buffer state, merges are conservative (released only when released on
+// every incoming path), and panics are treated as non-leaking unwinds.
+var PoolPair = &Analyzer{
+	Name: "poolpair",
+	Doc:  "mat.GetDense buffers must reach mat.PutDense (or an ownership transfer) on every path",
+	Run:  runPoolPair,
+}
+
+var (
+	fnGetDense = pathMat + ".GetDense"
+	fnPutDense = pathMat + ".PutDense"
+)
+
+func runPoolPair(p *Pass) {
+	forEachFuncScope(p.Files, func(body *ast.BlockStmt) {
+		analyzePoolScope(p, body)
+	})
+}
+
+// forEachFuncScope visits the body of every function declaration and every
+// function literal. Each scope is analyzed independently: a closure's
+// buffers are its own responsibility, and a closure capturing an outer
+// buffer is an ownership transfer from the outer scope's point of view.
+func forEachFuncScope(files []*ast.File, fn func(body *ast.BlockStmt)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(n.Body)
+				}
+			case *ast.FuncLit:
+				fn(n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// bufState is the abstract state of one tracked pool buffer along one path.
+type bufState struct {
+	live     bool // GetDense has executed; ownership is with this scope
+	defRel   bool // released on every path reaching this point
+	mayRel   bool // released on at least one path reaching this point
+	deferred bool // a registered defer will release it at function exit
+	escaped  bool // ownership visibly left this scope: stop reporting
+}
+
+// poolEnv is the per-path environment: state and declaration block depth for
+// every tracked buffer variable.
+type poolEnv struct {
+	state      map[types.Object]*bufState
+	terminated bool
+}
+
+func (e *poolEnv) clone() *poolEnv {
+	c := &poolEnv{state: make(map[types.Object]*bufState, len(e.state)), terminated: e.terminated}
+	for k, v := range e.state {
+		s := *v
+		c.state[k] = &s
+	}
+	return c
+}
+
+// merge folds the state after two alternative paths. A path that terminated
+// (returned, branched away) contributes nothing to the fall-through state.
+func mergePoolEnvs(a, b *poolEnv) *poolEnv {
+	if a.terminated {
+		return b
+	}
+	if b.terminated {
+		return a
+	}
+	out := &poolEnv{state: map[types.Object]*bufState{}}
+	for k, sa := range a.state {
+		sb, ok := b.state[k]
+		if !ok {
+			out.state[k] = sa
+			continue
+		}
+		out.state[k] = &bufState{
+			live:     sa.live || sb.live,
+			defRel:   sa.defRel && sb.defRel,
+			mayRel:   sa.mayRel || sb.mayRel,
+			deferred: sa.deferred && sb.deferred,
+			escaped:  sa.escaped || sb.escaped,
+		}
+	}
+	for k, sb := range b.state {
+		if _, ok := a.state[k]; !ok {
+			out.state[k] = sb
+		}
+	}
+	return out
+}
+
+// ctrlFrame records an enclosing breakable construct during the walk.
+type ctrlFrame struct {
+	isLoop     bool
+	blockDepth int // len(blockStack) when the construct's body was entered
+}
+
+// poolWalker interprets one function scope statement by statement.
+type poolWalker struct {
+	pass       *Pass
+	declDepth  map[types.Object]int // block-stack depth at declaration
+	blockDepth int
+	ctrl       []ctrlFrame
+}
+
+func analyzePoolScope(p *Pass, body *ast.BlockStmt) {
+	w := &poolWalker{pass: p, declDepth: map[types.Object]int{}}
+	env := &poolEnv{state: map[types.Object]*bufState{}}
+	env = w.walkBlock(body, env)
+	// walkBlock performs the fall-off-the-end check for the outermost block.
+	_ = env
+}
+
+// leakCheck reports every buffer that is live and unreleased among those for
+// which keep returns true.
+func (w *poolWalker) leakCheck(env *poolEnv, pos token.Pos, what string, keep func(obj types.Object) bool) {
+	for obj, s := range env.state {
+		if !s.live || s.defRel || s.deferred || s.escaped {
+			continue
+		}
+		if keep != nil && !keep(obj) {
+			continue
+		}
+		w.pass.Reportf(pos, "pooled buffer %s may leak: not returned to the pool %s (mat.GetDense at an earlier line)", obj.Name(), what)
+	}
+}
+
+// walkBlock walks a block's statements in order, then performs the
+// scope-exit leak check for buffers declared directly in this block.
+func (w *poolWalker) walkBlock(b *ast.BlockStmt, env *poolEnv) *poolEnv {
+	w.blockDepth++
+	depth := w.blockDepth
+	for _, s := range b.List {
+		if env.terminated {
+			break
+		}
+		env = w.walkStmt(s, env)
+	}
+	if !env.terminated {
+		w.leakCheck(env, b.Rbrace, "before it goes out of scope", func(obj types.Object) bool {
+			return w.declDepth[obj] == depth
+		})
+		// The buffers checked above are out of scope now; drop them so outer
+		// blocks do not re-report.
+		for obj := range env.state {
+			if w.declDepth[obj] == depth {
+				delete(env.state, obj)
+			}
+		}
+	}
+	w.blockDepth--
+	return env
+}
+
+func (w *poolWalker) walkStmt(s ast.Stmt, env *poolEnv) *poolEnv {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.handleAssign(s, env)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if w.handlePut(call, env) {
+				return env
+			}
+			if isBuiltinPanic(w.pass.Info, call) {
+				// A panic unwinds the whole process (or is a programmer-error
+				// guard); pooled buffers on panic paths are the GC's problem.
+				env.terminated = true
+				return env
+			}
+		}
+		w.markEscapes(s.X, env)
+	case *ast.DeferStmt:
+		w.handleDefer(s, env)
+	case *ast.GoStmt:
+		// A spawned goroutine may outlive the scope: everything it touches
+		// escapes.
+		w.markCallEscapes(s.Call, env)
+	case *ast.SendStmt:
+		w.markAliasEscape(s.Value, env)
+		w.markEscapes(s.Chan, env)
+		w.markEscapes(s.Value, env)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.markAliasEscape(r, env)
+			w.markEscapes(r, env)
+		}
+		w.leakCheck(env, s.Pos(), "on this return path", nil)
+		env.terminated = true
+	case *ast.BranchStmt:
+		w.handleBranch(s, env)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			env = w.walkStmt(s.Init, env)
+		}
+		w.markEscapes(s.Cond, env)
+		thenEnv := w.walkBlock(s.Body, env.clone())
+		elseEnv := env
+		if s.Else != nil {
+			elseEnv = w.walkStmt(s.Else, env.clone())
+		}
+		return mergePoolEnvs(thenEnv, elseEnv)
+	case *ast.BlockStmt:
+		return w.walkBlock(s, env)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			env = w.walkStmt(s.Init, env)
+		}
+		if s.Cond != nil {
+			w.markEscapes(s.Cond, env)
+		}
+		w.ctrl = append(w.ctrl, ctrlFrame{isLoop: true, blockDepth: w.blockDepth + 1})
+		bodyEnv := w.walkBlock(s.Body, env.clone())
+		if s.Post != nil && !bodyEnv.terminated {
+			bodyEnv = w.walkStmt(s.Post, bodyEnv)
+		}
+		w.ctrl = w.ctrl[:len(w.ctrl)-1]
+		if s.Cond == nil {
+			// for{}: fall-through only via break, whose effects are already
+			// in bodyEnv; merging with entry keeps the result conservative.
+			bodyEnv.terminated = false
+		}
+		return mergePoolEnvs(env, bodyEnv)
+	case *ast.RangeStmt:
+		w.markEscapes(s.X, env)
+		w.ctrl = append(w.ctrl, ctrlFrame{isLoop: true, blockDepth: w.blockDepth + 1})
+		bodyEnv := w.walkBlock(s.Body, env.clone())
+		w.ctrl = w.ctrl[:len(w.ctrl)-1]
+		bodyEnv.terminated = false
+		return mergePoolEnvs(env, bodyEnv)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			env = w.walkStmt(s.Init, env)
+		}
+		if s.Tag != nil {
+			w.markEscapes(s.Tag, env)
+		}
+		return w.walkCases(s.Body, env, hasDefaultCase(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			env = w.walkStmt(s.Init, env)
+		}
+		return w.walkCases(s.Body, env, hasDefaultCase(s.Body))
+	case *ast.SelectStmt:
+		return w.walkCases(s.Body, env, false)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, env)
+	case *ast.DeclStmt:
+		w.markEscapes(s, env)
+	case *ast.IncDecStmt:
+		// cannot involve a *mat.Dense
+	}
+	return env
+}
+
+// walkCases forks the environment through each case clause of a
+// switch/select body and merges the results; without a default the entry
+// environment joins the merge (no clause may run).
+func (w *poolWalker) walkCases(body *ast.BlockStmt, env *poolEnv, hasDefault bool) *poolEnv {
+	w.ctrl = append(w.ctrl, ctrlFrame{isLoop: false, blockDepth: w.blockDepth + 1})
+	var merged *poolEnv
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.markEscapes(e, env)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				env = w.walkStmt(c.Comm, env)
+			}
+			stmts = c.Body
+		}
+		ce := env.clone()
+		w.blockDepth++ // case bodies open an implicit block
+		for _, s := range stmts {
+			if ce.terminated {
+				break
+			}
+			ce = w.walkStmt(s, ce)
+		}
+		w.blockDepth--
+		if merged == nil {
+			merged = ce
+		} else {
+			merged = mergePoolEnvs(merged, ce)
+		}
+	}
+	w.ctrl = w.ctrl[:len(w.ctrl)-1]
+	if merged == nil {
+		return env
+	}
+	if !hasDefault {
+		merged = mergePoolEnvs(merged, env)
+	}
+	return merged
+}
+
+func hasDefaultCase(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// handleBranch treats break/continue as a scope exit for buffers declared
+// inside the construct being left. fallthrough keeps flowing; goto gives up
+// on the path without reporting (the repo has none).
+func (w *poolWalker) handleBranch(s *ast.BranchStmt, env *poolEnv) {
+	switch s.Tok {
+	case token.FALLTHROUGH:
+		return
+	case token.GOTO:
+		env.terminated = true
+		return
+	}
+	exitDepth := -1
+	for i := len(w.ctrl) - 1; i >= 0; i-- {
+		if s.Tok == token.CONTINUE && !w.ctrl[i].isLoop {
+			continue
+		}
+		exitDepth = w.ctrl[i].blockDepth
+		break
+	}
+	if exitDepth >= 0 {
+		w.leakCheck(env, s.Pos(), "on this "+s.Tok.String()+" path", func(obj types.Object) bool {
+			return w.declDepth[obj] >= exitDepth
+		})
+	}
+	env.terminated = true
+}
+
+// handleAssign processes declarations of tracked buffers, aliasing escapes
+// and overwrites.
+func (w *poolWalker) handleAssign(s *ast.AssignStmt, env *poolEnv) {
+	rhs := s.Rhs
+	parallel := len(s.Lhs) == len(rhs)
+	for i, l := range s.Lhs {
+		var r ast.Expr
+		if parallel {
+			r = ast.Unparen(rhs[i])
+		}
+		lid, _ := ast.Unparen(l).(*ast.Ident)
+		if r != nil {
+			if call, ok := r.(*ast.CallExpr); ok && funcFullName(calleeFunc(w.pass.Info, call)) == fnGetDense && lid != nil && lid.Name != "_" {
+				obj := w.pass.Info.Defs[lid]
+				if obj == nil {
+					obj = w.pass.Info.Uses[lid]
+				}
+				if obj == nil {
+					continue
+				}
+				if st, ok := env.state[obj]; ok && st.live && !st.defRel && !st.deferred && !st.escaped {
+					w.pass.Reportf(s.Pos(), "pooled buffer %s is overwritten before being returned to the pool", obj.Name())
+				}
+				env.state[obj] = &bufState{live: true}
+				w.declDepth[obj] = w.blockDepth
+				w.markEscapes(call, env) // arguments could mention other buffers
+				continue
+			}
+			// Overwriting a live tracked buffer with anything else drops it.
+			if lid != nil {
+				if obj := w.pass.Info.Uses[lid]; obj != nil {
+					if st, ok := env.state[obj]; ok && st.live && !st.defRel && !st.deferred && !st.escaped {
+						w.pass.Reportf(s.Pos(), "pooled buffer %s is overwritten before being returned to the pool", obj.Name())
+					}
+					delete(env.state, obj)
+				}
+			}
+			w.markAliasEscape(r, env)
+			w.markEscapes(r, env)
+			continue
+		}
+		// Non-parallel assignment (multi-value call): nothing to track, but
+		// escapes still apply.
+		_ = i
+	}
+	if !parallel {
+		for _, r := range rhs {
+			w.markEscapes(r, env)
+		}
+	}
+}
+
+// handlePut recognises mat.PutDense(x) and flags double puts. It reports
+// true when the call was a PutDense.
+func (w *poolWalker) handlePut(call *ast.CallExpr, env *poolEnv) bool {
+	if funcFullName(calleeFunc(w.pass.Info, call)) != fnPutDense {
+		return false
+	}
+	if len(call.Args) != 1 {
+		return true
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return true
+	}
+	obj := w.pass.Info.Uses[id]
+	if obj == nil {
+		return true
+	}
+	st, tracked := env.state[obj]
+	if !tracked {
+		return true
+	}
+	if st.escaped {
+		return true
+	}
+	if st.mayRel {
+		w.pass.Reportf(call.Pos(), "%s may already have been returned to the pool (double mat.PutDense)", obj.Name())
+	}
+	st.defRel, st.mayRel = true, true
+	st.live = false
+	return true
+}
+
+// handleDefer classifies a defer as either a release (defer mat.PutDense(x),
+// or a deferred closure whose body puts x back) or an escape for any other
+// captured buffer.
+func (w *poolWalker) handleDefer(s *ast.DeferStmt, env *poolEnv) {
+	call := s.Call
+	if funcFullName(calleeFunc(w.pass.Info, call)) == fnPutDense && len(call.Args) == 1 {
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := w.pass.Info.Uses[id]; obj != nil {
+				if st, ok := env.state[obj]; ok {
+					st.deferred = true
+				}
+				return
+			}
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		released := putTargets(w.pass.Info, lit.Body)
+		for obj, st := range env.state {
+			if !usesIdentOf(w.pass.Info, lit.Body, map[types.Object]bool{obj: true}) {
+				continue
+			}
+			if released[obj] {
+				st.deferred = true
+			} else {
+				st.escaped = true
+			}
+		}
+		return
+	}
+	w.markEscapes(call, env)
+}
+
+// putTargets collects the objects passed to mat.PutDense anywhere in n.
+func putTargets(info *types.Info, n ast.Node) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || funcFullName(calleeFunc(info, call)) != fnPutDense || len(call.Args) != 1 {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// markAliasEscape marks e's object escaped when e is exactly a tracked
+// identifier — an alias was created (y := x, s.f = x, return x, ch <- x).
+func (w *poolWalker) markAliasEscape(e ast.Expr, env *poolEnv) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj := w.pass.Info.Uses[id]; obj != nil {
+		if st, ok := env.state[obj]; ok {
+			st.escaped = true
+		}
+	}
+}
+
+// markEscapes scans an expression subtree for ownership-transferring uses of
+// tracked buffers: composite literals, append, address-of, closures and
+// goroutine arguments. Plain calls borrow their arguments and do not
+// transfer ownership.
+func (w *poolWalker) markEscapes(n ast.Node, env *poolEnv) {
+	if n == nil {
+		return
+	}
+	info := w.pass.Info
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				w.markAliasEscape(elt, env)
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "append") {
+				for _, a := range n.Args {
+					w.markAliasEscape(a, env)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				w.markAliasEscape(n.X, env)
+			}
+		case *ast.FuncLit:
+			// A non-deferred closure may stash the buffer anywhere (it is,
+			// for instance, how backward closures keep op-internal state
+			// alive until Release).
+			for obj, st := range env.state {
+				if usesIdentOf(info, n.Body, map[types.Object]bool{obj: true}) {
+					st.escaped = true
+				}
+			}
+			return false // the literal's own Gets are analyzed separately
+		}
+		return true
+	})
+}
+
+// markCallEscapes marks every tracked buffer mentioned anywhere in a go/defer
+// call as escaped (goroutines outlive the frame's ownership reasoning).
+func (w *poolWalker) markCallEscapes(call *ast.CallExpr, env *poolEnv) {
+	for obj, st := range env.state {
+		if usesIdentOf(w.pass.Info, call, map[types.Object]bool{obj: true}) {
+			st.escaped = true
+		}
+	}
+}
+
+// isBuiltinPanic reports whether call is the built-in panic.
+func isBuiltinPanic(info *types.Info, call *ast.CallExpr) bool {
+	return isBuiltin(info, call, "panic")
+}

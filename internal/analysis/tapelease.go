@@ -1,0 +1,391 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TapeLease enforces the tape-arena lease discipline (DESIGN.md §7): an
+// ad.Tape owns every node, forward value and gradient allocated through it,
+// and Release() recycles them all into the buffer pool. Three rules:
+//
+//  1. a struct field of type *ad.Tape must have a reachable Release call
+//     somewhere in its package (directly on the field or through a local
+//     alias such as `tp := c.tape; defer tp.Release()`);
+//  2. a local constructed with ad.NewTape must have a reachable Release in
+//     the same function, unless ownership is visibly handed away;
+//  3. after a non-deferred Release, no tape-owned value (the tape itself, or
+//     a *ad.Node/*mat.Dense derived from it) may be used later in the same
+//     block — the arena has already recycled its storage.
+//
+// Package ad itself is exempt: Node's internal back-reference to its tape is
+// arena plumbing, not a lease.
+var TapeLease = &Analyzer{
+	Name: "tapelease",
+	Doc:  "every ad.Tape needs a reachable Release, and tape-owned values must not be used after it",
+	Run:  runTapeLease,
+}
+
+var (
+	fnNewTape     = pathAd + ".NewTape"
+	fnTapeRelease = pathAd + ".Tape.Release"
+)
+
+func runTapeLease(p *Pass) {
+	if p.Pkg.Path() == pathAd {
+		return
+	}
+	checkTapeFields(p)
+	forEachFuncScope(p.Files, func(body *ast.BlockStmt) {
+		checkLocalTapes(p, body)
+	})
+	checkUseAfterRelease(p)
+}
+
+// isTapeType reports whether t is (a pointer to) ad.Tape.
+func isTapeType(t types.Type) bool {
+	return t != nil && isNamed(t, pathAd, "Tape")
+}
+
+// tapeReleaseCall returns the receiver expression of a call when the call is
+// ad.Tape.Release, and nil otherwise.
+func tapeReleaseCall(info *types.Info, call *ast.CallExpr) ast.Expr {
+	if funcFullName(calleeFunc(info, call)) != fnTapeRelease {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return ast.Unparen(sel.X)
+}
+
+// checkTapeFields verifies rule 1: collect every *ad.Tape struct field
+// declared in this package and every Release receiver, then connect them
+// directly or through one level of local alias.
+func checkTapeFields(p *Pass) {
+	type fieldDecl struct {
+		obj types.Object
+		id  *ast.Ident
+	}
+	var fields []fieldDecl
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					obj := p.Info.Defs[name]
+					if obj != nil && isTapeType(obj.Type()) {
+						fields = append(fields, fieldDecl{obj, name})
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(fields) == 0 {
+		return
+	}
+
+	released := map[types.Object]bool{}        // objects used as a Release receiver
+	aliasOf := map[types.Object]types.Object{} // local var → field it aliases
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				recv := tapeReleaseCall(p.Info, n)
+				switch recv := recv.(type) {
+				case *ast.Ident:
+					if obj := p.Info.Uses[recv]; obj != nil {
+						released[obj] = true
+					}
+				case *ast.SelectorExpr:
+					if obj := p.Info.Uses[recv.Sel]; obj != nil {
+						released[obj] = true
+					}
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, l := range n.Lhs {
+					lid, ok := ast.Unparen(l).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					sel, ok := ast.Unparen(n.Rhs[i]).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					fieldObj := p.Info.Uses[sel.Sel]
+					if fieldObj == nil || !isTapeType(fieldObj.Type()) {
+						continue
+					}
+					lobj := p.Info.Defs[lid]
+					if lobj == nil {
+						lobj = p.Info.Uses[lid]
+					}
+					if lobj != nil {
+						aliasOf[lobj] = fieldObj
+					}
+				}
+			}
+			return true
+		})
+	}
+	for local, field := range aliasOf {
+		if released[local] {
+			released[field] = true
+		}
+	}
+	for _, fd := range fields {
+		if !released[fd.obj] {
+			p.Reportf(fd.id.Pos(), "ad.Tape field %s has no reachable Release in this package (tape-owned buffers never return to the pool)", fd.id.Name)
+		}
+	}
+}
+
+// checkLocalTapes verifies rule 2 for one function scope: every local built
+// by ad.NewTape either has a Release call on it somewhere in the scope
+// (including deferred closures) or visibly escapes.
+func checkLocalTapes(p *Pass, body *ast.BlockStmt) {
+	type localTape struct {
+		obj types.Object
+		pos ast.Node
+	}
+	var locals []localTape
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != nil {
+			return true // closures share the scope check via ident scanning below
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, l := range as.Lhs {
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok || funcFullName(calleeFunc(p.Info, call)) != fnNewTape {
+				continue
+			}
+			lid, ok := ast.Unparen(l).(*ast.Ident)
+			if !ok || lid.Name == "_" {
+				continue
+			}
+			obj := p.Info.Defs[lid]
+			if obj == nil {
+				obj = p.Info.Uses[lid]
+			}
+			if obj != nil {
+				locals = append(locals, localTape{obj, as})
+			}
+		}
+		return true
+	})
+	for _, lt := range locals {
+		if tapeObjReleased(p.Info, body, lt.obj) {
+			continue
+		}
+		if tapeObjEscapes(p.Info, body, lt.obj) {
+			continue
+		}
+		p.Reportf(lt.pos.Pos(), "ad.Tape %s has no reachable Release in this function (arena buffers leak from the pool)", lt.obj.Name())
+	}
+}
+
+// tapeObjReleased reports whether obj is the receiver of a Release call
+// anywhere under n (deferred or not, including inside closures).
+func tapeObjReleased(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := tapeReleaseCall(info, call).(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// tapeObjEscapes reports whether obj is used anywhere other than as the
+// receiver of a method call or field selection — being returned, passed as
+// an argument, or stored hands the lease to someone else.
+func tapeObjEscapes(info *types.Info, n ast.Node, obj types.Object) bool {
+	// Idents of obj that appear as the X of a selector are borrows; any
+	// other use transfers ownership.
+	borrowed := map[*ast.Ident]bool{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				borrowed[id] = true
+			}
+		}
+		return true
+	})
+	escapes := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj && !borrowed[id] {
+			escapes = true
+		}
+		return true
+	})
+	return escapes
+}
+
+// tapeOwnedType reports whether values of t live in tape-owned storage:
+// *ad.Node or *mat.Dense (possibly behind slices/arrays/maps).
+func tapeOwnedType(t types.Type) bool {
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Pointer:
+		return tapeOwnedType(t.Elem())
+	case *types.Slice:
+		return tapeOwnedType(t.Elem())
+	case *types.Array:
+		return tapeOwnedType(t.Elem())
+	case *types.Map:
+		return tapeOwnedType(t.Elem())
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() == nil {
+			return false
+		}
+		p := obj.Pkg().Path()
+		return (p == pathAd && obj.Name() == "Node") || (p == pathMat && obj.Name() == "Dense")
+	}
+	return false
+}
+
+// checkUseAfterRelease verifies rule 3: within each lexical statement list,
+// once a tape is Released (non-deferred), neither the tape nor any value
+// tainted by it may appear in a later statement of that list.
+func checkUseAfterRelease(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkStmtList(p, n.List)
+			case *ast.CaseClause:
+				checkStmtList(p, n.Body)
+			case *ast.CommClause:
+				checkStmtList(p, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+func checkStmtList(p *Pass, stmts []ast.Stmt) {
+	released := map[types.Object]bool{}          // tape vars released so far
+	taintedBy := map[types.Object]types.Object{} // value var → owning tape var
+	for _, s := range stmts {
+		// 1. Flag uses of already-released tapes or their owned values. The
+		// scan covers the whole subtree: a use nested in an if-body below the
+		// Release is still lexically after it in this list.
+		if len(released) > 0 {
+			reportReleasedUses(p, s, released, taintedBy)
+		}
+		// 2. Record taint: a tape-owned value assigned from an expression
+		// that mentions a live tape (or an already-tainted value).
+		if as, ok := s.(*ast.AssignStmt); ok {
+			recordTaint(p, as, taintedBy)
+		}
+		// 3. Record non-deferred Releases at this nesting level only; a
+		// Release inside an if-branch does not dominate the rest of the list.
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := tapeReleaseCall(p.Info, call).(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; obj != nil {
+						released[obj] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// recordTaint marks LHS variables of tape-owned type whose RHS mentions a
+// tape variable or an already-tainted value.
+func recordTaint(p *Pass, as *ast.AssignStmt, taintedBy map[types.Object]types.Object) {
+	if len(taintedBy) == 0 {
+		// Taint can only originate from a tape variable; find one on the RHS.
+	}
+	var srcTape types.Object
+	for _, r := range as.Rhs {
+		ast.Inspect(r, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if isTapeType(obj.Type()) {
+				srcTape = obj
+				return false
+			}
+			if t, ok := taintedBy[obj]; ok {
+				srcTape = t
+				return false
+			}
+			return true
+		})
+		if srcTape != nil {
+			break
+		}
+	}
+	for _, l := range as.Lhs {
+		lid, ok := ast.Unparen(l).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := p.Info.Defs[lid]
+		if obj == nil {
+			obj = p.Info.Uses[lid]
+		}
+		if obj == nil {
+			continue
+		}
+		if srcTape != nil && tapeOwnedType(obj.Type()) {
+			taintedBy[obj] = srcTape
+		} else {
+			delete(taintedBy, obj) // reassigned from a clean source
+		}
+	}
+}
+
+// reportReleasedUses reports any mention of a released tape or of a value it
+// owns inside the statement.
+func reportReleasedUses(p *Pass, s ast.Stmt, released map[types.Object]bool, taintedBy map[types.Object]types.Object) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if released[obj] {
+			p.Reportf(id.Pos(), "tape %s is used after Release in the same block", id.Name)
+			return true
+		}
+		if tape, ok := taintedBy[obj]; ok && released[tape] {
+			p.Reportf(id.Pos(), "%s is owned by tape %s and used after its Release (arena storage already recycled)", id.Name, tape.Name())
+		}
+		return true
+	})
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+)
+
+// TelemetryKey checks every metric/span name handed to internal/telemetry:
+// the name must be a compile-time constant (dashboards, the expvar publisher
+// and the JSONL trace schema key on exact strings — a name computed at run
+// time silently forks a metric series) and must follow the pkg/snake_case
+// convention used by every existing fed/*, rpc/*, ad/* and mat/* key.
+//
+// The telemetry package itself is exempt: its fan-out plumbing (multi,
+// Span.End) forwards caller-supplied names through variables by design.
+var TelemetryKey = &Analyzer{
+	Name: "telemetrykey",
+	Doc:  "telemetry counter/span names must be pkg/snake_case compile-time constants",
+	Run:  runTelemetryKey,
+}
+
+// telemetryNameArg maps the telemetry entry points to the index of their
+// name parameter.
+var telemetryNameArg = map[string]int{
+	"StartSpan":  1,
+	"NewCounter": 0,
+	"Count":      0,
+	"Gauge":      0,
+	"Observe":    0,
+}
+
+func runTelemetryKey(p *Pass) {
+	if p.Pkg.Path() == pathTelemetry {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pathTelemetry {
+				return true
+			}
+			idx, ok := telemetryNameArg[fn.Name()]
+			if !ok || idx >= len(call.Args) {
+				return true
+			}
+			arg := call.Args[idx]
+			tv, ok := p.Info.Types[arg]
+			if !ok {
+				return true
+			}
+			if tv.Value == nil {
+				p.Reportf(arg.Pos(), "telemetry key passed to %s must be a compile-time constant, got %s", fn.Name(), exprString(arg))
+				return true
+			}
+			if key := constant.StringVal(tv.Value); !snakeKeyRE.MatchString(key) {
+				p.Reportf(arg.Pos(), "telemetry key %q must match pkg/snake_case (two or more /-separated [a-z0-9_]+ segments)", key)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,7 @@
+// Package broken is a corrupt fixture: the driver must turn this syntax
+// error into a clean diagnostic, never a panic.
+package broken
+
+func missingBrace() {
+	if true {
+}

@@ -1,0 +1,8 @@
+// Package brokentypes parses but does not type-check: the driver must
+// report the type error cleanly instead of panicking.
+package brokentypes
+
+func mismatch() int {
+	var s string
+	return s + 1
+}

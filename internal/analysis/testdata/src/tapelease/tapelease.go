@@ -1,0 +1,78 @@
+// Package tapelease exercises the tapelease analyzer: unreleased tape fields
+// and locals, use of tape-owned values after Release, and the release/escape
+// patterns that legitimately pass.
+package tapelease
+
+import (
+	"fedomd/internal/ad"
+	"fedomd/internal/mat"
+)
+
+// --- triggering cases ---
+
+type leaky struct {
+	tp *ad.Tape // want `ad.Tape field tp has no reachable Release in this package`
+}
+
+func (l *leaky) step(x *mat.Dense) float64 {
+	n := l.tp.Param(x)
+	return n.Value.At(0, 0)
+}
+
+func localTapeLeaks(x *mat.Dense) float64 {
+	tp := ad.NewTape() // want `ad.Tape tp has no reachable Release in this function`
+	n := tp.Param(x)
+	return n.Value.At(0, 0)
+}
+
+func nodeUsedAfterRelease(x *mat.Dense) float64 {
+	tp := ad.NewTape()
+	n := tp.Param(x)
+	tp.Release()
+	return n.Value.At(0, 0) // want `n is owned by tape tp and used after its Release`
+}
+
+func tapeUsedAfterRelease(x *mat.Dense) {
+	tp := ad.NewTape()
+	_ = tp.Param(x)
+	tp.Release()
+	tp.Reset() // want `tape tp is used after Release in the same block`
+}
+
+// --- non-triggering cases ---
+
+type clean struct {
+	tp *ad.Tape
+}
+
+func (c *clean) step(x *mat.Dense) {
+	tp := c.tp
+	defer tp.Release()
+	_ = tp.Param(x)
+}
+
+func releasedLocal(x *mat.Dense) float64 {
+	tp := ad.NewTape()
+	n := tp.Param(x)
+	v := n.Value.At(0, 0)
+	tp.Release()
+	return v
+}
+
+func releasedInDeferredClosure(x *mat.Dense) {
+	tp := ad.NewTape()
+	defer func() { tp.Release() }()
+	_ = tp.Param(x)
+}
+
+func ownershipTransferred() *ad.Tape {
+	tp := ad.NewTape()
+	return tp
+}
+
+func deferredReleaseThenUse(x *mat.Dense) float64 {
+	tp := ad.NewTape()
+	defer tp.Release()
+	n := tp.Param(x)
+	return n.Value.At(0, 0) // defer fires after the return value is computed
+}

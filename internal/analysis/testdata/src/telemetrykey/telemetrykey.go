@@ -1,0 +1,19 @@
+// Package telemetrykey exercises the telemetrykey analyzer: metric names
+// handed to internal/telemetry must be pkg/snake_case compile-time constants.
+package telemetrykey
+
+import "fedomd/internal/telemetry"
+
+const spanKey = "fixture/phase_seconds"
+
+func record(r telemetry.Recorder, dyn string) {
+	r.Count("fixture/rounds_total", 1)
+	r.Count(spanKey, 1)
+	r.Count("fixture/sub/"+"leaf_total", 1) // constant folding keeps this checkable
+	r.Count(dyn, 1)                         // want `telemetry key passed to Count must be a compile-time constant`
+	r.Gauge("BadName", 1)                   // want `telemetry key "BadName" must match pkg/snake_case`
+	r.Observe("no_slash", 0.5)              // want `telemetry key "no_slash" must match pkg/snake_case`
+	telemetry.StartSpan(r, spanKey).End()
+	telemetry.StartSpan(r, "fixture/"+dyn).End() // want `telemetry key passed to StartSpan must be a compile-time constant`
+	telemetry.NewCounter("fixture/ops_total").Add(1)
+}

@@ -116,18 +116,18 @@ func TestDeadlinesHarmlessOnHealthyRun(t *testing.T) {
 	}
 	// Each round calls TrainLocal once per party: latency histogram on the
 	// coordinator, handle histogram on the party, bytes counters on both.
-	if s, ok := coordRec.Histogram("rpc/coord/latency_seconds/TrainLocal"); !ok || s.Count != 4 {
+	if s, ok := coordRec.Histogram("rpc/coord/latency_seconds/train_local"); !ok || s.Count != 4 {
 		t.Fatalf("coordinator TrainLocal latency samples = %d (present=%v) want 4", s.Count, ok)
 	}
-	if s, ok := partyRec.Histogram("rpc/party/handle_seconds/TrainLocal"); !ok || s.Count != 4 {
+	if s, ok := partyRec.Histogram("rpc/party/handle_seconds/train_local"); !ok || s.Count != 4 {
 		t.Fatalf("party TrainLocal handle samples = %d (present=%v) want 4", s.Count, ok)
 	}
-	if coordRec.Counter("rpc/coord/bytes_tx/SetParams") == 0 ||
-		coordRec.Counter("rpc/coord/bytes_rx/GetParams") == 0 {
+	if coordRec.Counter("rpc/coord/bytes_tx/set_params") == 0 ||
+		coordRec.Counter("rpc/coord/bytes_rx/get_params") == 0 {
 		t.Fatal("coordinator byte counters missing")
 	}
-	if partyRec.Counter("rpc/party/bytes_rx/SetParams") == 0 ||
-		partyRec.Counter("rpc/party/bytes_tx/GetParams") == 0 {
+	if partyRec.Counter("rpc/party/bytes_rx/set_params") == 0 ||
+		partyRec.Counter("rpc/party/bytes_tx/get_params") == 0 {
 		t.Fatal("party byte counters missing")
 	}
 }

@@ -67,7 +67,9 @@ func (m *Dense) ScaleInPlace(s float64) {
 	}
 }
 
-// AXPY computes m += alpha*b in place (the BLAS axpy update).
+// AXPY computes m += alpha*b in place (the BLAS axpy update). b must not
+// alias m (enforced by fedomdvet's intoalias analyzer); the contract keeps
+// the loop free to be blocked or vectorized.
 func (m *Dense) AXPY(alpha float64, b *Dense) {
 	m.mustSameShape(b, "AXPY")
 	for i := range m.data {
@@ -314,7 +316,7 @@ func SubRowVecInto(out, a, v *Dense) {
 }
 
 // AXPYRowBroadcast computes m[i,:] += alpha·v for every row i, where v is
-// 1×c — the fused MeanRows/broadcast backward update.
+// 1×c — the fused MeanRows/broadcast backward update. v must not alias m.
 func (m *Dense) AXPYRowBroadcast(alpha float64, v *Dense) {
 	if v.rows != 1 || v.cols != m.cols {
 		panic(fmt.Sprintf("mat: AXPYRowBroadcast wants 1x%d vector, got %dx%d", m.cols, v.rows, v.cols))

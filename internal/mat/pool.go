@@ -44,6 +44,33 @@ var (
 	pools      [maxPoolBits + 1]sync.Pool
 )
 
+// Debug double-put detection. A buffer put twice sits in the pool twice, so
+// two later GetDense calls hand the same storage to unrelated code — the
+// worst kind of corruption, surfacing far from the bug. Under SetDebug(true)
+// PutDense records the identity (first-element pointer) of every pooled
+// backing array and panics at the second put; GetDense clears the mark when
+// the buffer leaves the pool. The bookkeeping takes a mutex per Get/Put, so
+// it is off by default and enabled in tests (and by fedomdvet's poolpair
+// analyzer development loop).
+var (
+	debugOn   atomic.Bool
+	debugMu   sync.Mutex
+	debugPuts = map[*float64]bool{}
+)
+
+// SetDebug toggles double-put detection. Turning it off (or on) resets the
+// bookkeeping. Note the mark map deliberately keeps pooled arrays reachable;
+// enable only in tests and debugging sessions.
+func SetDebug(on bool) {
+	debugMu.Lock()
+	defer debugMu.Unlock()
+	debugOn.Store(on)
+	clear(debugPuts)
+}
+
+// DebugEnabled reports whether double-put detection is active.
+func DebugEnabled() bool { return debugOn.Load() }
+
 // SetPooling toggles the buffer pool globally. With pooling off, GetDense
 // degrades to New and PutDense to a no-op — the ablation path the allocation
 // benchmarks compare against. Pooling is on by default.
@@ -79,6 +106,11 @@ func GetDense(r, c int) *Dense {
 	if v := pools[b].Get(); v != nil {
 		poolHits.Add(1)
 		d := v.(*Dense)
+		if debugOn.Load() {
+			debugMu.Lock()
+			delete(debugPuts, &d.data[:1][0])
+			debugMu.Unlock()
+		}
 		d.rows, d.cols = r, c
 		d.data = d.data[:n]
 		for i := range d.data {
@@ -106,6 +138,16 @@ func PutDense(m *Dense) {
 	b := bits.Len(uint(n)) - 1
 	if b < minPoolBits || b > maxPoolBits {
 		return
+	}
+	if debugOn.Load() {
+		p := &m.data[:1][0]
+		debugMu.Lock()
+		if debugPuts[p] {
+			debugMu.Unlock()
+			panic("mat: PutDense called twice on the same backing array (double put)")
+		}
+		debugPuts[p] = true
+		debugMu.Unlock()
 	}
 	poolPuts.Add(1)
 	pools[b].Put(m)
