@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet lint race bench bench-step
+.PHONY: build test check fmt vet lint race bench bench-step chaos
 
 # Formatting checks skip testdata: it holds deliberately corrupt analyzer
 # fixtures that gofmt cannot parse.
@@ -26,6 +26,12 @@ lint:
 
 race:
 	$(GO) test -race -count=1 ./...
+
+# Fault-injection suite: the chaos wrappers' unit tests, the transport
+# retry-through-severed-links test, and the end-to-end crash soak, all under
+# the race detector (the failure paths are where the concurrency lives).
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos/ ./internal/fed/
 
 # The gate a PR must pass: formatting, go vet, fedomdvet, and the full test
 # suite under the race detector (-count=1 so a cached pass can't mask a

@@ -11,6 +11,13 @@
 //	fedomd -report                  # per-phase timing table + comms totals
 //	fedomd -trace out.jsonl         # machine-readable per-event trace
 //	fedomd -debug-addr :6060        # live pprof + expvar while training
+//
+// Robustness:
+//
+//	fedomd -policy drop-round -client-timeout 30s     # tolerate party failures
+//	fedomd -checkpoint run.ckpt -checkpoint-every 10  # snapshot the server
+//	fedomd -resume run.ckpt                           # restart a killed run
+//	fedomd -chaos -chaos-crash-frac 0.2 -policy drop-round  # fault-injection soak
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"sort"
 
 	"fedomd"
 )
@@ -39,6 +47,22 @@ func main() {
 	dpEps := flag.Float64("dp-epsilon", 0, "if > 0, apply (ε, δ)-DP to FedOMD statistic uploads")
 	dpDelta := flag.Float64("dp-delta", 1e-5, "DP δ (with -dp-epsilon)")
 	dpClip := flag.Float64("dp-clip", 1, "DP L2 clip bound (with -dp-epsilon)")
+	policy := flag.String("policy", "failfast", "failure policy: failfast, drop-round, or quarantine")
+	clientTimeout := flag.Duration("client-timeout", 0, "per-call client timeout (0 = unbounded)")
+	minClients := flag.Int("min-clients", 1, "per-round survivor quorum")
+	skipQuorum := flag.Bool("skip-on-quorum-loss", false, "skip a round losing quorum instead of aborting")
+	maxStrikes := flag.Int("max-strikes", 3, "consecutive failed rounds before quarantine benches a party")
+	cooldown := flag.Int("cooldown", 1, "base quarantine bench duration in rounds (doubles per re-bench)")
+	checkpoint := flag.String("checkpoint", "", "snapshot the server state to this file during the run")
+	checkpointEvery := flag.Int("checkpoint-every", 10, "rounds between checkpoints (with -checkpoint)")
+	resume := flag.String("resume", "", "resume from a checkpoint file written by -checkpoint")
+	chaosOn := flag.Bool("chaos", false, "wrap every party in a deterministic fault injector (FedOMD in-process runs)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed (with -chaos)")
+	chaosErrRate := flag.Float64("chaos-err-rate", 0, "per-call transient failure probability (with -chaos)")
+	chaosCrashFrac := flag.Float64("chaos-crash-frac", 0, "fraction of parties crashing permanently (with -chaos)")
+	chaosCrashRound := flag.Int("chaos-crash-round", 3, "round the chosen parties crash at (with -chaos)")
+	chaosNaNRate := flag.Float64("chaos-nan-rate", 0, "per-upload NaN-poisoning probability (with -chaos)")
+	chaosLatency := flag.Duration("chaos-latency", 0, "injected per-call latency (with -chaos)")
 	list := flag.Bool("list", false, "list models and datasets, then exit")
 	report := flag.Bool("report", false, "print a per-phase timing and comms report after the run")
 	trace := flag.String("trace", "", "write machine-readable JSONL telemetry events to this file")
@@ -109,7 +133,38 @@ func main() {
 	fmt.Printf("partitioned into %d parties (non-iid score %.3f)\n",
 		len(partiesList), fedomd.NonIIDScore(partiesList, g.NumClasses))
 
-	opts := fedomd.RunOptions{Rounds: *rounds, Patience: *patience, Recorder: recorder}
+	failPolicy, err := fedomd.ParseFailurePolicy(*policy)
+	if err != nil {
+		fail(err)
+	}
+	opts := fedomd.RunOptions{
+		Rounds:          *rounds,
+		Patience:        *patience,
+		Recorder:        recorder,
+		Policy:          failPolicy,
+		ClientTimeout:   *clientTimeout,
+		MinClients:      *minClients,
+		MaxStrikes:      *maxStrikes,
+		CooldownRounds:  *cooldown,
+		CheckpointPath:  *checkpoint,
+		CheckpointEvery: *checkpointEvery,
+		ResumePath:      *resume,
+	}
+	if *skipQuorum {
+		opts.QuorumPolicy = fedomd.QuorumSkip
+	}
+	if *chaosOn {
+		opts.Chaos = &fedomd.ChaosOptions{
+			Seed:          *chaosSeed,
+			ErrRate:       *chaosErrRate,
+			CrashFraction: *chaosCrashFrac,
+			CrashAtRound:  *chaosCrashRound,
+			NaNRate:       *chaosNaNRate,
+			Latency:       *chaosLatency,
+		}
+		fmt.Printf("chaos on: seed=%d err-rate=%g crash=%g%%@round%d nan-rate=%g latency=%v\n",
+			*chaosSeed, *chaosErrRate, 100**chaosCrashFrac, *chaosCrashRound, *chaosNaNRate, *chaosLatency)
+	}
 	var result *fedomd.Result
 	if *model == fedomd.FedOMD {
 		cfg := fedomd.DefaultConfig()
@@ -145,6 +200,24 @@ func main() {
 		result.BestValAcc, result.BestRound, result.TestAtBestVal)
 	fmt.Printf("traffic: %d bytes up, %d bytes down over %d rounds\n",
 		result.TotalBytesUp, result.TotalBytesDown, len(result.History))
+
+	if len(result.ClientFailures) > 0 {
+		degraded := 0
+		for _, h := range result.History {
+			if h.Degraded {
+				degraded++
+			}
+		}
+		names := make([]string, 0, len(result.ClientFailures))
+		for name := range result.ClientFailures {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("\nfailures tolerated (%d degraded rounds):\n", degraded)
+		for _, name := range names {
+			fmt.Printf("  %-12s %d\n", name, result.ClientFailures[name])
+		}
+	}
 
 	if tracer != nil {
 		if err := tracer.Close(); err != nil {

@@ -21,7 +21,9 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"time"
 
+	"fedomd/internal/chaos"
 	"fedomd/internal/core"
 	"fedomd/internal/dataset"
 	"fedomd/internal/experiments"
@@ -55,7 +57,34 @@ type (
 	TelemetryAggregator = telemetry.Aggregator
 	// TraceWriter is the JSONL trace-event Recorder.
 	TraceWriter = telemetry.JSONL
+	// FailurePolicy selects how the runtime reacts to a failing party
+	// (FailFast, DropRound, or Quarantine).
+	FailurePolicy = fed.FailurePolicy
+	// QuorumPolicy selects between aborting and skipping a round when fewer
+	// than MinClients parties survive it.
+	QuorumPolicy = fed.QuorumPolicy
+	// ChaosOptions schedules deterministic fault injection over the client
+	// fleet (see RunOptions.Chaos).
+	ChaosOptions = chaos.FleetConfig
 )
+
+// Failure and quorum policies, re-exported for RunOptions.
+const (
+	FailFast   = fed.FailFast
+	DropRound  = fed.DropRound
+	Quarantine = fed.Quarantine
+
+	QuorumAbort = fed.QuorumAbort
+	QuorumSkip  = fed.QuorumSkip
+)
+
+// ErrQuorumLost reports a run aborted because fewer than MinClients parties
+// survived a round; match with errors.Is.
+var ErrQuorumLost = fed.ErrQuorumLost
+
+// ParseFailurePolicy maps a flag spelling ("failfast", "drop-round",
+// "quarantine", …) to a FailurePolicy.
+func ParseFailurePolicy(s string) (FailurePolicy, error) { return fed.ParseFailurePolicy(s) }
 
 // NewTelemetryAggregator returns an in-memory telemetry sink whose Report
 // renders per-phase timing (count, total, mean, p50, p95) and comms totals.
@@ -163,6 +192,32 @@ type RunOptions struct {
 	// per-client train-duration histograms and communication counters
 	// (plus RPC metrics for distributed runs). Nil disables telemetry.
 	Recorder Recorder
+
+	// Policy selects the failure-handling mode; the zero value FailFast
+	// aborts on the first party error, exactly as before.
+	Policy FailurePolicy
+	// ClientTimeout bounds every individual party call; an expiry counts as
+	// a failure under Policy. 0 disables the bound.
+	ClientTimeout time.Duration
+	// MinClients is the per-round survivor quorum (values below 1 mean 1).
+	MinClients int
+	// QuorumPolicy picks between aborting (default) and skipping the round
+	// when quorum is lost.
+	QuorumPolicy QuorumPolicy
+	// MaxStrikes and CooldownRounds tune the Quarantine policy's benching.
+	MaxStrikes     int
+	CooldownRounds int
+
+	// CheckpointPath persists a server snapshot every CheckpointEvery rounds
+	// (default 10 when only the path is set); ResumePath restarts from one.
+	CheckpointPath  string
+	CheckpointEvery int
+	ResumePath      string
+
+	// Chaos, when set, wraps every client in a deterministic fault injector
+	// before the run starts (in-process runs only: TrainFedOMD and
+	// TrainFedOMDPrivate).
+	Chaos *ChaosOptions
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -170,6 +225,46 @@ func (o RunOptions) withDefaults() RunOptions {
 		o.Rounds = 200
 	}
 	return o
+}
+
+// fedConfig lowers the options to the runtime's Config, loading the resume
+// checkpoint and installing the file checkpointer when paths are set.
+func (o RunOptions) fedConfig() (fed.Config, error) {
+	cfg := fed.Config{
+		Rounds:          o.Rounds,
+		Patience:        o.Patience,
+		Sequential:      o.Sequential,
+		Recorder:        o.Recorder,
+		Policy:          o.Policy,
+		ClientTimeout:   o.ClientTimeout,
+		MinClients:      o.MinClients,
+		QuorumPolicy:    o.QuorumPolicy,
+		MaxStrikes:      o.MaxStrikes,
+		CooldownRounds:  o.CooldownRounds,
+		CheckpointEvery: o.CheckpointEvery,
+	}
+	if o.CheckpointPath != "" {
+		cfg.CheckpointWriter = fed.FileCheckpointer(o.CheckpointPath)
+		if cfg.CheckpointEvery <= 0 {
+			cfg.CheckpointEvery = 10
+		}
+	}
+	if o.ResumePath != "" {
+		ck, err := fed.LoadCheckpointFile(o.ResumePath)
+		if err != nil {
+			return cfg, fmt.Errorf("fedomd: loading resume checkpoint: %w", err)
+		}
+		cfg.Resume = ck
+	}
+	return cfg, nil
+}
+
+// wrapChaos applies the configured fault injection to the fleet.
+func (o RunOptions) wrapChaos(clients []fed.Client) []fed.Client {
+	if o.Chaos == nil {
+		return clients
+	}
+	return chaos.WrapFleet(clients, *o.Chaos)
 }
 
 // TrainFedOMD builds one FedOMD client per party and runs federated
@@ -192,7 +287,11 @@ func TrainFedOMD(parties []Party, cfg Config, opts RunOptions, seed int64) (*Res
 	if len(clients) == 0 {
 		return nil, fmt.Errorf("fedomd: no non-empty parties")
 	}
-	return fed.Run(fed.Config{Rounds: opts.Rounds, Patience: opts.Patience, Sequential: opts.Sequential, Recorder: opts.Recorder}, clients)
+	cfg2, err := opts.fedConfig()
+	if err != nil {
+		return nil, err
+	}
+	return fed.Run(cfg2, opts.wrapChaos(clients))
 }
 
 // DPConfig re-exports the Gaussian-mechanism configuration for private
@@ -224,7 +323,11 @@ func TrainFedOMDPrivate(parties []Party, cfg Config, dp DPConfig, opts RunOption
 	if len(clients) == 0 {
 		return nil, fmt.Errorf("fedomd: no non-empty parties")
 	}
-	return fed.Run(fed.Config{Rounds: opts.Rounds, Patience: opts.Patience, Sequential: opts.Sequential, Recorder: opts.Recorder}, clients)
+	fcfg, err := opts.fedConfig()
+	if err != nil {
+		return nil, err
+	}
+	return fed.Run(fcfg, opts.wrapChaos(clients))
 }
 
 // TrainBaseline trains one of the named comparison models (see Models) over
@@ -256,15 +359,17 @@ func ServeParty(addr, name string, party Party, cfg Config, seed int64) error {
 }
 
 // CoordinateFedOMD accepts n parties on ln and drives the federated protocol
-// (FedAvg + the 2-round moment exchange) over the network.
+// (FedAvg + the 2-round moment exchange) over the network. The failure
+// policy, timeout, quorum, and checkpoint options all apply; Chaos does not
+// (faults on a distributed run are injected at the link layer instead — see
+// internal/chaos's Conn and FlakyListener).
 func CoordinateFedOMD(ln net.Listener, n int, opts RunOptions) (*Result, error) {
 	opts = opts.withDefaults()
-	return fed.RunDistributed(fed.Config{
-		Rounds:     opts.Rounds,
-		Patience:   opts.Patience,
-		Sequential: opts.Sequential,
-		Recorder:   opts.Recorder,
-	}, ln, n)
+	cfg, err := opts.fedConfig()
+	if err != nil {
+		return nil, err
+	}
+	return fed.RunDistributed(cfg, ln, n)
 }
 
 // Experiments drives the regeneration of every paper table and figure.

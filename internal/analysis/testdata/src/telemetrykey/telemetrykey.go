@@ -9,6 +9,12 @@ const spanKey = "fixture/phase_seconds"
 func record(r telemetry.Recorder, dyn string) {
 	r.Count("fixture/rounds_total", 1)
 	r.Count(spanKey, 1)
+	// The fault-tolerance counters the federated runtime emits; all legal.
+	r.Count("fed/client_dropped", 1)
+	r.Count("fed/client_quarantined", 1)
+	r.Count("fed/round_degraded", 1)
+	r.Count("rpc/coord/retries", 1)
+	telemetry.StartSpan(r, "fed/phase/final_eval_seconds").End()
 	r.Count("fixture/sub/"+"leaf_total", 1) // constant folding keeps this checkable
 	r.Count(dyn, 1)                         // want `telemetry key passed to Count must be a compile-time constant`
 	r.Gauge("BadName", 1)                   // want `telemetry key "BadName" must match pkg/snake_case`

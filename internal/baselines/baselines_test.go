@@ -8,6 +8,7 @@ import (
 	"fedomd/internal/fed"
 	"fedomd/internal/graph"
 	"fedomd/internal/mat"
+	"fedomd/internal/nn"
 	"fedomd/internal/partition"
 )
 
@@ -91,12 +92,26 @@ func TestFedMLPFederates(t *testing.T) {
 	trainImproves(t, clients, g.NumClasses, 40)
 }
 
+// paramTap snapshots every upload the server reads from a client, so tests
+// can observe per-client post-training params: after the run the live params
+// hold the final broadcast global, identical across clients by construction.
+type paramTap struct {
+	*Client
+	lastUpload *nn.Params
+}
+
+func (p *paramTap) Params() *nn.Params {
+	up := p.Client.Params()
+	p.lastUpload = up.Clone()
+	return up
+}
+
 func TestFedProxTermShrinksDrift(t *testing.T) {
 	g := tinyGraph(t, 3)
 	parties := partiesOf(t, g, 2, 3)
 	drift := func(mu float64) float64 {
 		var clients []fed.Client
-		var raw []*Client
+		var raw []*paramTap
 		for i, p := range parties {
 			opts := quickOpts()
 			opts.ProxMu = mu
@@ -113,14 +128,16 @@ func TestFedProxTermShrinksDrift(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			clients = append(clients, c)
-			raw = append(raw, c)
+			tap := &paramTap{Client: c}
+			clients = append(clients, tap)
+			raw = append(raw, tap)
 		}
 		if _, err := fed.Run(fed.Config{Rounds: 6, Sequential: true}, clients); err != nil {
 			t.Fatal(err)
 		}
-		// Drift: distance between the two clients' post-training params.
-		d, err := raw[0].Params().L2Distance(raw[1].Params())
+		// Drift: distance between the two clients' last uploaded params —
+		// their post-training state before the final averaged broadcast.
+		d, err := raw[0].lastUpload.L2Distance(raw[1].lastUpload)
 		if err != nil {
 			t.Fatal(err)
 		}

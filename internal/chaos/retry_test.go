@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"fedomd/internal/fed"
+	"fedomd/internal/telemetry"
+)
+
+// TestRetryReconnectsThroughFlakyLinks drives a distributed round over links
+// that sever on the coordinator's first write for the first two connections.
+// With MaxRetries 3 and a Reconnect hook the run must complete, spending
+// exactly two retries — one per severed link.
+func TestRetryReconnectsThroughFlakyLinks(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	fln := NewFlakyListener(ln, 2)
+	addr := ln.Addr().String()
+
+	// The party redials whenever its connection drops, like a real deployment
+	// supervisor would, and exits cleanly on the coordinator's Shutdown.
+	partyDone := make(chan error, 1)
+	go func() {
+		stub := newStub("p0")
+		var last error
+		for attempt := 0; attempt < 10; attempt++ {
+			if last = fed.ServeClient(addr, stub); last == nil {
+				break
+			}
+		}
+		partyDone <- last
+	}()
+
+	agg := telemetry.NewAggregator()
+	res, err := fed.RunDistributedOpts(fed.Config{Rounds: 2, Recorder: agg}, fln, 1, fed.TransportOptions{
+		Recorder:     agg,
+		MaxRetries:   3,
+		RetryBackoff: 5 * time.Millisecond,
+		Reconnect:    func(string) (net.Conn, error) { return fln.Accept() },
+	})
+	if err != nil {
+		t.Fatalf("run failed despite retry budget: %v", err)
+	}
+	if len(res.History) != 2 {
+		t.Fatalf("completed %d rounds want 2", len(res.History))
+	}
+	if got := agg.Counter(fed.MetricRPCRetries); got != 2 {
+		t.Fatalf("retries = %d want exactly 2 (one per severed link)", got)
+	}
+	select {
+	case perr := <-partyDone:
+		if perr != nil {
+			t.Fatalf("party never reached a clean shutdown: %v", perr)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("party still running after the coordinator finished")
+	}
+}
+
+// TestNoRetryWithoutReconnect pins the default behavior: a severed link with
+// no Reconnect hook fails the call, and under FailFast the run.
+func TestNoRetryWithoutReconnect(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	fln := NewFlakyListener(ln, 1)
+	addr := ln.Addr().String()
+	go func() {
+		stub := newStub("p0")
+		for attempt := 0; attempt < 2; attempt++ {
+			if err := fed.ServeClient(addr, stub); err == nil {
+				return
+			}
+		}
+	}()
+	_, err = fed.RunDistributedOpts(fed.Config{Rounds: 1}, fln, 1, fed.TransportOptions{MaxRetries: 3})
+	if err == nil {
+		t.Fatal("severed link survived without a Reconnect hook")
+	}
+}

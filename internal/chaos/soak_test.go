@@ -1,0 +1,66 @@
+package chaos_test
+
+// The soak test lives in package chaos_test and drives the public fedomd
+// facade end to end: a Louvain-partitioned cora federation where 20% of the
+// parties crash permanently mid-run must, under the DropRound policy, still
+// complete every round and land within two accuracy points of the
+// fault-free run. Both runs are fully deterministic (fixed dataset, sampler,
+// and chaos seeds), so this is a regression test, not a statistical one.
+
+import (
+	"math"
+	"testing"
+
+	"fedomd"
+)
+
+func TestSoakDropRoundSurvivesCrashes(t *testing.T) {
+	g, err := fedomd.GenerateDataset("cora", 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties, err := fedomd.Partition(g, 5, 1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fedomd.DefaultConfig()
+	cfg.Hidden = 16
+	const rounds = 10
+
+	baseline, err := fedomd.TrainFedOMD(parties, cfg, fedomd.RunOptions{Rounds: rounds}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaotic, err := fedomd.TrainFedOMD(parties, cfg, fedomd.RunOptions{
+		Rounds: rounds,
+		Policy: fedomd.DropRound,
+		Chaos: &fedomd.ChaosOptions{
+			Seed:          11,
+			CrashFraction: 0.2,
+			CrashAtRound:  3,
+		},
+	}, 3)
+	if err != nil {
+		t.Fatalf("chaotic run aborted: %v", err)
+	}
+
+	if len(chaotic.History) != rounds {
+		t.Fatalf("chaotic run completed %d of %d rounds", len(chaotic.History), rounds)
+	}
+	if len(chaotic.ClientFailures) == 0 {
+		t.Fatal("no faults were injected — the soak proves nothing")
+	}
+	degraded := 0
+	for _, h := range chaotic.History {
+		degraded += h.Dropped
+	}
+	if degraded == 0 {
+		t.Fatal("crashed party was never dropped")
+	}
+	diff := math.Abs(chaotic.TestAtBestVal - baseline.TestAtBestVal)
+	if diff > 0.02 {
+		t.Fatalf("chaotic TestAtBestVal %v vs fault-free %v: drift %v exceeds 0.02",
+			chaotic.TestAtBestVal, baseline.TestAtBestVal, diff)
+	}
+}

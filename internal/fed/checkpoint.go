@@ -1,0 +1,162 @@
+package fed
+
+// checkpoint.go implements server-side checkpoint/resume: a gob snapshot of
+// the coordinator's state — next round, global model, sampler position,
+// history, best-so-far tracking, and failure-policy bookkeeping — taken
+// every Config.CheckpointEvery rounds through Config.CheckpointWriter. A
+// killed run resumed from its last snapshot over the same client fleet
+// replays into the same Result as an uninterrupted run (client-side
+// optimizer state is owned by the parties and is not part of the snapshot).
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+
+	"fedomd/internal/nn"
+)
+
+// Checkpoint is a gob-serializable snapshot of the coordinator's state,
+// taken after a completed round.
+type Checkpoint struct {
+	// Round is the next round to execute on resume.
+	Round int
+	// SamplerDraws counts the partial-participation permutations drawn so
+	// far; resume replays them to restore the sampler stream.
+	SamplerDraws int
+	// Global is the aggregated global model entering Round.
+	Global *wireParams
+	// History and the best-so-far tracking mirror the Result fields.
+	History        []RoundStats
+	BestValAcc     float64
+	TestAtBestVal  float64
+	BestRound      int
+	BadRounds      int
+	TotalBytesUp   int64
+	TotalBytesDown int64
+	// Failure-policy state, keyed by client name so a resumed fleet may be
+	// constructed in a different order.
+	Failures     map[string]int
+	Strikes      map[string]int
+	BenchedUntil map[string]int
+	BenchCount   map[string]int
+}
+
+// snapshot captures the coordinator state entering round nextRound.
+func (st *runState) snapshot(nextRound, samplerDraws int, global *nn.Params, res *Result, badRounds int) *Checkpoint {
+	ck := &Checkpoint{
+		Round:          nextRound,
+		SamplerDraws:   samplerDraws,
+		Global:         paramsToWire(global),
+		History:        append([]RoundStats(nil), res.History...),
+		BestValAcc:     res.BestValAcc,
+		TestAtBestVal:  res.TestAtBestVal,
+		BestRound:      res.BestRound,
+		BadRounds:      badRounds,
+		TotalBytesUp:   res.TotalBytesUp,
+		TotalBytesDown: res.TotalBytesDown,
+	}
+	if len(st.failures) > 0 {
+		ck.Failures = make(map[string]int, len(st.failures))
+		for name, n := range st.failures {
+			ck.Failures[name] = n
+		}
+	}
+	if st.policy == Quarantine {
+		ck.Strikes = make(map[string]int)
+		ck.BenchedUntil = make(map[string]int)
+		ck.BenchCount = make(map[string]int)
+		for i, c := range st.clients {
+			if st.strikes[i] != 0 {
+				ck.Strikes[c.Name()] = st.strikes[i]
+			}
+			if st.benchedUntil[i] != 0 {
+				ck.BenchedUntil[c.Name()] = st.benchedUntil[i]
+			}
+			if st.benchCount[i] != 0 {
+				ck.BenchCount[c.Name()] = st.benchCount[i]
+			}
+		}
+	}
+	return ck
+}
+
+// restore rebuilds the coordinator state from a checkpoint, returning the
+// global model to enter ck.Round with. The caller replays the sampler.
+func (st *runState) restore(ck *Checkpoint, res *Result, badRounds, startRound, samplerDraws *int) (*nn.Params, error) {
+	if ck.Global == nil {
+		return nil, errors.New("fed: resume checkpoint has no global model")
+	}
+	if ck.Round < 0 {
+		return nil, fmt.Errorf("fed: resume checkpoint has negative round %d", ck.Round)
+	}
+	global := paramsFromWire(ck.Global)
+	if err := st.clients[0].Params().Compatible(global); err != nil {
+		return nil, fmt.Errorf("fed: resume: checkpointed model incompatible with fleet: %w", err)
+	}
+	*startRound = ck.Round
+	*samplerDraws = ck.SamplerDraws
+	*badRounds = ck.BadRounds
+	res.History = append([]RoundStats(nil), ck.History...)
+	res.BestValAcc = ck.BestValAcc
+	res.TestAtBestVal = ck.TestAtBestVal
+	res.BestRound = ck.BestRound
+	res.TotalBytesUp = ck.TotalBytesUp
+	res.TotalBytesDown = ck.TotalBytesDown
+	byName := make(map[string]int, len(st.clients))
+	for i, c := range st.clients {
+		byName[c.Name()] = i
+	}
+	for name, n := range ck.Failures {
+		if _, known := byName[name]; known {
+			if st.failures == nil {
+				st.failures = make(map[string]int)
+			}
+			st.failures[name] = n
+		}
+	}
+	restoreInto := func(dst []int, src map[string]int) {
+		for name, v := range src {
+			if i, known := byName[name]; known {
+				dst[i] = v
+			}
+		}
+	}
+	restoreInto(st.strikes, ck.Strikes)
+	restoreInto(st.benchedUntil, ck.BenchedUntil)
+	restoreInto(st.benchCount, ck.BenchCount)
+	return global, nil
+}
+
+// FileCheckpointer returns a CheckpointWriter that persists each snapshot to
+// path with a write-to-temp-then-rename, so a crash mid-write never
+// corrupts the previous good checkpoint.
+func FileCheckpointer(path string) func(*Checkpoint) error {
+	return func(ck *Checkpoint) error {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+			return fmt.Errorf("encoding checkpoint: %w", err)
+		}
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		return os.Rename(tmp, path)
+	}
+}
+
+// LoadCheckpointFile reads a checkpoint written by FileCheckpointer.
+func LoadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var ck Checkpoint
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("fed: reading checkpoint %s: %w", path, err)
+	}
+	return &ck, nil
+}

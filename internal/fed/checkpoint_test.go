@@ -1,0 +1,180 @@
+package fed
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// roundTrainer's parameters depend on the round number, so every round
+// produces a distinct aggregate and any resume misalignment shows up in the
+// history comparison.
+type roundTrainer struct {
+	*fakeClient
+	base float64
+}
+
+func (r *roundTrainer) TrainLocal(round int) (float64, error) {
+	r.params.Get("w").Set(0, 0, r.base*float64(round+1))
+	return 0.1 * r.base, nil
+}
+
+// checkpointFleet builds four deterministic parties with distinct weights so
+// partial-participation cohorts matter.
+func checkpointFleet() []Client {
+	out := make([]Client, 4)
+	for i := range out {
+		f := newFakeClient([]string{"a", "b", "c", "d"}[i], i+1, 0)
+		out[i] = &roundTrainer{fakeClient: f, base: float64(i + 1)}
+	}
+	return out
+}
+
+// checkpointConfig exercises partial participation so resume must also
+// restore the sampler stream.
+func checkpointConfig() Config {
+	return Config{Rounds: 8, ClientFraction: 0.5, SampleSeed: 7, Sequential: true}
+}
+
+func assertSameResult(t *testing.T, full, resumed *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(full.History, resumed.History) {
+		t.Fatalf("history diverged:\nfull    %+v\nresumed %+v", full.History, resumed.History)
+	}
+	if full.BestValAcc != resumed.BestValAcc || full.TestAtBestVal != resumed.TestAtBestVal ||
+		full.BestRound != resumed.BestRound {
+		t.Fatalf("best tracking diverged: %v/%v/%d vs %v/%v/%d",
+			full.BestValAcc, full.TestAtBestVal, full.BestRound,
+			resumed.BestValAcc, resumed.TestAtBestVal, resumed.BestRound)
+	}
+	if full.TotalBytesUp != resumed.TotalBytesUp || full.TotalBytesDown != resumed.TotalBytesDown {
+		t.Fatal("traffic totals diverged")
+	}
+	if d, err := full.FinalParams.L2Distance(resumed.FinalParams); err != nil || d != 0 {
+		t.Fatalf("final params differ by %v (%v)", d, err)
+	}
+	if full.FinalValAcc != resumed.FinalValAcc || full.FinalTestAcc != resumed.FinalTestAcc {
+		t.Fatal("final scoring diverged")
+	}
+}
+
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	full, err := Run(checkpointConfig(), checkpointFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: killed after round 3, having snapshotted at rounds
+	// 2 and 4 is not possible (CheckpointEvery=4 fires once, after round 3).
+	var snap *Checkpoint
+	interrupted := checkpointConfig()
+	interrupted.Rounds = 4
+	interrupted.CheckpointEvery = 4
+	interrupted.CheckpointWriter = func(ck *Checkpoint) error { snap = ck; return nil }
+	if _, err := Run(interrupted, checkpointFleet()); err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("checkpoint writer never fired")
+	}
+	if snap.Round != 4 {
+		t.Fatalf("snapshot round = %d want 4", snap.Round)
+	}
+
+	resumedCfg := checkpointConfig()
+	resumedCfg.Resume = snap
+	resumed, err := Run(resumedCfg, checkpointFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, full, resumed)
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	full, err := Run(checkpointConfig(), checkpointFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "server.ckpt")
+	interrupted := checkpointConfig()
+	interrupted.Rounds = 6
+	interrupted.CheckpointEvery = 2 // overwritten in place; the last one wins
+	interrupted.CheckpointWriter = FileCheckpointer(path)
+	if _, err := Run(interrupted, checkpointFleet()); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Round != 6 {
+		t.Fatalf("loaded snapshot round = %d want 6", snap.Round)
+	}
+	resumedCfg := checkpointConfig()
+	resumedCfg.Resume = snap
+	resumed, err := Run(resumedCfg, checkpointFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, full, resumed)
+}
+
+func TestResumeRejectsIncompatibleModel(t *testing.T) {
+	var snap *Checkpoint
+	cfg := Config{Rounds: 2, CheckpointEvery: 2,
+		CheckpointWriter: func(ck *Checkpoint) error { snap = ck; return nil }}
+	if _, err := Run(cfg, []Client{newFakeClient("a", 1, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	// A fleet with a different parameter schema must be refused.
+	other := &momentFake{fakeClient: newFakeClient("a", 1, 0)}
+	other.params.Add("extra", other.params.Get("w").Clone())
+	if _, err := Run(Config{Rounds: 4, Resume: snap}, []Client{other}); err == nil {
+		t.Fatal("incompatible resume accepted")
+	}
+}
+
+func TestCheckpointCarriesQuarantineState(t *testing.T) {
+	// Party a fails rounds 0-1 with MaxStrikes 2 → benched for round 2.
+	// Resuming from the round-2 snapshot must keep it benched.
+	mk := func() []Client {
+		a := &flakyTrainer{fakeClient: newFakeClient("a", 1, 0), failRounds: map[int]bool{0: true, 1: true}}
+		return []Client{a, newFakeClient("b", 1, 0)}
+	}
+	cfg := Config{Rounds: 5, Policy: Quarantine, MaxStrikes: 2, Sequential: true}
+	full, err := Run(cfg, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snap *Checkpoint
+	interrupted := cfg
+	interrupted.Rounds = 2
+	interrupted.CheckpointEvery = 2
+	interrupted.CheckpointWriter = func(ck *Checkpoint) error { snap = ck; return nil }
+	if _, err := Run(interrupted, mk()); err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Strikes["a"] != 2 || snap.BenchedUntil["a"] == 0 {
+		t.Fatalf("quarantine state not checkpointed: %+v", snap)
+	}
+
+	fleet := mk()
+	resumedCfg := cfg
+	resumedCfg.Resume = snap
+	resumed, err := Run(resumedCfg, fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := fleet[0].(*flakyTrainer)
+	// Rounds 0-1 already ran before the snapshot: the resumed run must bench
+	// round 2 and probe at round 3, exactly like the uninterrupted schedule.
+	if want := []int{3, 4}; !reflect.DeepEqual(a.calls, want) {
+		t.Fatalf("resumed train rounds = %v want %v", a.calls, want)
+	}
+	if resumed.ClientFailures["a"] != full.ClientFailures["a"] {
+		t.Fatalf("failure tally = %d want %d", resumed.ClientFailures["a"], full.ClientFailures["a"])
+	}
+}

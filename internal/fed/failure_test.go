@@ -1,0 +1,353 @@
+package fed
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"fedomd/internal/mat"
+	"fedomd/internal/moments"
+	"fedomd/internal/nn"
+)
+
+// faultySite is a full-capability client (Client + Moment + Aux) that fails
+// exactly one protocol site: "broadcast", "means", "moments", "train",
+// "aux" (download), or "upload" (NaN-poisoned parameters). An empty site is
+// a healthy client.
+type faultySite struct {
+	*fakeClient
+	site string
+	data *mat.Dense
+}
+
+func newFaultySite(name, site string, trainVal float64) *faultySite {
+	d, _ := mat.NewFromRows([][]float64{{1}, {3}})
+	f := newFakeClient(name, 1, 0)
+	f.trainVal = trainVal
+	return &faultySite{fakeClient: f, site: site, data: d}
+}
+
+func (f *faultySite) SetParams(g *nn.Params) error {
+	if f.site == "broadcast" {
+		return errors.New("injected broadcast failure")
+	}
+	return f.fakeClient.SetParams(g)
+}
+
+func (f *faultySite) TrainLocal(round int) (float64, error) {
+	if f.site == "train" {
+		return 0, errors.New("injected train failure")
+	}
+	return f.fakeClient.TrainLocal(round)
+}
+
+func (f *faultySite) Params() *nn.Params {
+	if f.site == "upload" {
+		p := f.fakeClient.Params().Clone()
+		p.Get("w").Set(0, 0, math.NaN())
+		return p
+	}
+	return f.fakeClient.Params()
+}
+
+func (f *faultySite) LocalMeans() ([]*mat.Dense, int, error) {
+	if f.site == "means" {
+		return nil, 0, errors.New("injected means failure")
+	}
+	return []*mat.Dense{mat.MeanRows(f.data)}, f.data.Rows(), nil
+}
+
+func (f *faultySite) CentralAroundGlobal(gm []*mat.Dense) ([][]*mat.Dense, int, error) {
+	if f.site == "moments" {
+		return nil, 0, errors.New("injected moment failure")
+	}
+	return [][]*mat.Dense{moments.CentralAround(f.data, gm[0], 5)}, f.data.Rows(), nil
+}
+
+func (f *faultySite) SetGlobalStats([]*mat.Dense, [][]*mat.Dense) {}
+
+func (f *faultySite) UploadAux() *nn.Params {
+	p := nn.NewParams()
+	m := mat.New(1, 1)
+	m.Set(0, 0, 2)
+	p.Add("c", m)
+	return p
+}
+
+func (f *faultySite) DownloadAux(*nn.Params) error {
+	if f.site == "aux" {
+		return errors.New("injected aux failure")
+	}
+	return nil
+}
+
+// failureSites pairs each injection site with the error prefix FailFast must
+// surface for it.
+var failureSites = []struct{ site, wantSub string }{
+	{"broadcast", "fed: broadcast to a"},
+	{"means", "fed: means from a"},
+	{"moments", "fed: moments from a"},
+	{"train", "fed: client a round 0"},
+	{"aux", "fed: aux download to a"},
+	{"upload", "fed: upload from a"},
+}
+
+// faultyFleet builds two healthy parties and one failing at the given site.
+// The faulty party trains to 100 so any leakage into the aggregate is loud.
+func faultyFleet(site string) []Client {
+	return []Client{
+		newFaultySite("b", "", 1),
+		newFaultySite("c", "", 1),
+		newFaultySite("a", site, 100),
+	}
+}
+
+func TestFailFastAbortsAtEverySite(t *testing.T) {
+	for _, tc := range failureSites {
+		t.Run(tc.site, func(t *testing.T) {
+			_, err := Run(Config{Rounds: 1, Sequential: true}, faultyFleet(tc.site))
+			if err == nil {
+				t.Fatalf("site %s: failure swallowed", tc.site)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("site %s: error %q lacks %q", tc.site, err, tc.wantSub)
+			}
+			if tc.site == "upload" && !errors.Is(err, ErrNonFinite) {
+				t.Fatalf("NaN upload error %q does not wrap ErrNonFinite", err)
+			}
+		})
+	}
+}
+
+func TestDropRoundExcludesFailingParty(t *testing.T) {
+	for _, tc := range failureSites {
+		t.Run(tc.site, func(t *testing.T) {
+			res, err := Run(Config{Rounds: 1, Policy: DropRound}, faultyFleet(tc.site))
+			if err != nil {
+				t.Fatalf("site %s: DropRound aborted: %v", tc.site, err)
+			}
+			// The survivors both train to 1; any other aggregate means the
+			// failing party (trained to 100) leaked in.
+			if got := res.FinalParams.Get("w").At(0, 0); got != 1 {
+				t.Fatalf("site %s: aggregate = %v want 1", tc.site, got)
+			}
+			if res.ClientFailures["a"] != 1 {
+				t.Fatalf("site %s: failures = %v want a:1", tc.site, res.ClientFailures)
+			}
+			h := res.History[0]
+			if h.Dropped != 1 || !h.Degraded {
+				t.Fatalf("site %s: round stats %+v want Dropped=1 Degraded", tc.site, h)
+			}
+		})
+	}
+}
+
+func TestDropRoundReadmitsNextRound(t *testing.T) {
+	// The train site fails every round, but DropRound must still retry the
+	// party each round (no benching without Quarantine).
+	res, err := Run(Config{Rounds: 3, Policy: DropRound, Sequential: true}, faultyFleet("train"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClientFailures["a"] != 3 {
+		t.Fatalf("failures = %v want a:3 (retried every round)", res.ClientFailures)
+	}
+}
+
+func TestQuorumAbort(t *testing.T) {
+	a := newFaultySite("a", "broadcast", 1)
+	b := newFaultySite("b", "", 1)
+	_, err := Run(Config{Rounds: 2, Policy: DropRound, MinClients: 2}, []Client{a, b})
+	if !errors.Is(err, ErrQuorumLost) {
+		t.Fatalf("err = %v want ErrQuorumLost", err)
+	}
+}
+
+func TestQuorumSkipKeepsPreviousGlobal(t *testing.T) {
+	a := newFaultySite("a", "broadcast", 7)
+	b := newFaultySite("b", "", 7)
+	res, err := Run(Config{
+		Rounds: 2, Policy: DropRound, MinClients: 2, QuorumPolicy: QuorumSkip,
+	}, []Client{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 2 {
+		t.Fatalf("history rows = %d want 2", len(res.History))
+	}
+	for _, h := range res.History {
+		if !h.Degraded {
+			t.Fatalf("round %d not marked degraded", h.Round)
+		}
+	}
+	// Quorum was lost before training both rounds, so the initial global
+	// model (0) survives unchanged and the healthy party never trained.
+	if got := res.FinalParams.Get("w").At(0, 0); got != 0 {
+		t.Fatalf("global = %v want untouched 0", got)
+	}
+	if b.trainCalls != 0 {
+		t.Fatalf("trained %d times during skipped rounds", b.trainCalls)
+	}
+	// The final scoring pass still evaluates the (initial) model on the
+	// parties that can hold it.
+	if res.BestRound != 2 || res.FinalValAcc == 0 {
+		t.Fatalf("final scoring missing: best round %d, final val %v", res.BestRound, res.FinalValAcc)
+	}
+}
+
+// flakyTrainer fails TrainLocal on the configured rounds and records every
+// round it was asked to train — the quarantine schedule made observable.
+type flakyTrainer struct {
+	*fakeClient
+	failRounds map[int]bool
+	calls      []int
+}
+
+func (f *flakyTrainer) TrainLocal(round int) (float64, error) {
+	f.calls = append(f.calls, round)
+	if f.failRounds[round] {
+		return 0, errors.New("injected train failure")
+	}
+	return f.fakeClient.TrainLocal(round)
+}
+
+func TestQuarantineBenchesAndReadmits(t *testing.T) {
+	a := &flakyTrainer{fakeClient: newFakeClient("a", 1, 0), failRounds: map[int]bool{0: true, 1: true}}
+	b := newFakeClient("b", 1, 0)
+	res, err := Run(Config{
+		Rounds: 5, Policy: Quarantine, MaxStrikes: 2, Sequential: true,
+	}, []Client{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strikes after rounds 0 and 1 reach MaxStrikes: round 2 is benched,
+	// round 3 is the successful re-admission probe, round 4 is normal again.
+	if want := []int{0, 1, 3, 4}; !reflect.DeepEqual(a.calls, want) {
+		t.Fatalf("train rounds = %v want %v", a.calls, want)
+	}
+	if res.History[1].Quarantined != 1 {
+		t.Fatalf("round 1 quarantined = %d want 1", res.History[1].Quarantined)
+	}
+	if res.History[2].Dropped != 0 || res.History[2].Degraded {
+		t.Fatalf("benched round should be clean: %+v", res.History[2])
+	}
+	if res.ClientFailures["a"] != 2 {
+		t.Fatalf("failures = %v want a:2", res.ClientFailures)
+	}
+}
+
+// sleepyClient hangs in TrainLocal.
+type sleepyClient struct {
+	*fakeClient
+	sleep time.Duration
+}
+
+func (s *sleepyClient) TrainLocal(round int) (float64, error) {
+	time.Sleep(s.sleep)
+	return s.fakeClient.TrainLocal(round)
+}
+
+func TestClientTimeoutBoundsStraggler(t *testing.T) {
+	a := newFakeClient("a", 1, 0)
+	a.trainVal = 1
+	b := &sleepyClient{fakeClient: newFakeClient("b", 1, 0), sleep: 2 * time.Second}
+	start := time.Now()
+	res, err := Run(Config{
+		Rounds: 2, Policy: DropRound, ClientTimeout: 50 * time.Millisecond,
+	}, []Client{a, b})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed >= time.Second {
+		t.Fatalf("straggler stalled the run for %v", elapsed)
+	}
+	// Round 0 drops b on timeout; round 1 drops it again because its
+	// timed-out call is still running (the busy guard keeps the runtime from
+	// driving one client concurrently with itself).
+	if res.History[0].Dropped != 1 || res.History[1].Dropped != 1 {
+		t.Fatalf("dropped per round = %d/%d want 1/1",
+			res.History[0].Dropped, res.History[1].Dropped)
+	}
+	if res.ClientFailures["b"] != 2 {
+		t.Fatalf("failures = %v want b:2", res.ClientFailures)
+	}
+	if got := res.FinalParams.Get("w").At(0, 0); got != 1 {
+		t.Fatalf("aggregate = %v want survivor's 1", got)
+	}
+}
+
+func TestFailFastExplicitMatchesDefault(t *testing.T) {
+	mk := func() []Client {
+		a := newFakeClient("a", 2, 0)
+		a.trainVal = 1
+		b := newFakeClient("b", 3, 0)
+		b.trainVal = 4
+		return []Client{a, b}
+	}
+	def, err := Run(Config{Rounds: 3}, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := Run(Config{Rounds: 3, Policy: FailFast}, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(def.History, exp.History) {
+		t.Fatal("explicit FailFast diverges from the zero-value default")
+	}
+	if d, _ := def.FinalParams.L2Distance(exp.FinalParams); d != 0 {
+		t.Fatalf("final params differ by %v", d)
+	}
+}
+
+func TestParseFailurePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FailurePolicy
+	}{
+		{"failfast", FailFast}, {"Fail-Fast", FailFast},
+		{"droparound", DropRound}, {"drop-round", DropRound}, {"drop", DropRound},
+		{"QUARANTINE", Quarantine}, {"drop_round", DropRound},
+	} {
+		got, err := ParseFailurePolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseFailurePolicy(%q) = %v, %v want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseFailurePolicy("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+// progressClient's validation accuracy tracks its parameter value, so the
+// best model is always the latest aggregate — the shape of run where
+// skipping the final scoring pass loses the best result.
+type progressClient struct{ *fakeClient }
+
+func (p *progressClient) TrainLocal(round int) (float64, error) {
+	p.params.Get("w").Set(0, 0, float64(round+1))
+	return 0, nil
+}
+
+func (p *progressClient) EvalVal() (int, int) { return int(p.params.Get("w").At(0, 0)), 10 }
+
+func TestFinalAggregateIsScored(t *testing.T) {
+	a := &progressClient{newFakeClient("a", 1, 0)}
+	res, err := Run(Config{Rounds: 2}, []Client{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-loop evals see the round-0 broadcast (w=0 → 0.0) and the round-0
+	// aggregate (w=1 → 0.1); only the closing pass scores the round-1
+	// aggregate (w=2 → 0.2).
+	if res.FinalValAcc != 0.2 {
+		t.Fatalf("final val acc = %v want 0.2", res.FinalValAcc)
+	}
+	if res.BestValAcc != 0.2 || res.BestRound != 2 {
+		t.Fatalf("best = %v at round %d want 0.2 at 2 (the final aggregate)", res.BestValAcc, res.BestRound)
+	}
+}

@@ -3,7 +3,9 @@
 // parties (each client trains in its own goroutine within a round), the
 // 2-round mean/moment exchange of Algorithm 1, optional auxiliary-state
 // aggregation (SCAFFOLD control variates), byte-level communication
-// accounting, and early stopping with patience.
+// accounting, early stopping with patience, and fault tolerance (failure
+// policies, per-call timeouts, quorum guards — see failure.go — and server
+// checkpoint/resume, see checkpoint.go).
 package fed
 
 import (
@@ -14,6 +16,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"fedomd/internal/mat"
 	"fedomd/internal/moments"
@@ -92,6 +95,37 @@ type Config struct {
 	// train-duration histograms, and communication counters. Nil disables
 	// telemetry at zero cost.
 	Recorder telemetry.Recorder
+
+	// Policy selects the failure-handling mode. The zero value, FailFast,
+	// aborts the run on the first client error — the historical behavior.
+	Policy FailurePolicy
+	// ClientTimeout bounds every individual client call (broadcast, eval,
+	// statistics, training, upload). An expired call counts as a failure
+	// under the active Policy. 0 disables the bound: a hung party then
+	// stalls the synchronous round forever.
+	ClientTimeout time.Duration
+	// MinClients is the quorum: the minimum number of parties that must
+	// survive a round for its aggregation to happen. Values below 1 mean 1.
+	MinClients int
+	// QuorumPolicy selects between aborting the run (default) and skipping
+	// the round's aggregation when quorum is lost.
+	QuorumPolicy QuorumPolicy
+	// MaxStrikes is the number of consecutive failed rounds after which
+	// Quarantine benches a party (default 3 when unset).
+	MaxStrikes int
+	// CooldownRounds is the base bench duration under Quarantine (default
+	// 1); it doubles on each re-bench of the same party.
+	CooldownRounds int
+
+	// CheckpointEvery snapshots the server state every N completed rounds
+	// through CheckpointWriter; 0 disables checkpointing.
+	CheckpointEvery int
+	// CheckpointWriter persists a snapshot (see FileCheckpointer for the
+	// on-disk writer). A writer error aborts the run.
+	CheckpointWriter func(*Checkpoint) error
+	// Resume restarts a run from a snapshot taken by an identically
+	// configured run over the same client fleet (see LoadCheckpointFile).
+	Resume *Checkpoint
 }
 
 // Telemetry metric names emitted by Run. Phase spans are histograms of
@@ -104,6 +138,7 @@ const (
 	MetricTrainSeconds     = "fed/phase/train_seconds"
 	MetricAuxSeconds       = "fed/phase/aux_seconds"
 	MetricAggregateSeconds = "fed/phase/aggregate_seconds"
+	MetricFinalEvalSeconds = "fed/phase/final_eval_seconds"
 	MetricClientTrainSecs  = "fed/client/train_seconds"
 	MetricBytesUp          = "fed/bytes_up"
 	MetricBytesDown        = "fed/bytes_down"
@@ -111,6 +146,10 @@ const (
 	MetricActiveClients    = "fed/active_clients"
 	MetricValAcc           = "fed/val_acc"
 	MetricTestAcc          = "fed/test_acc"
+	// Fault-tolerance counters (see failure.go).
+	MetricClientDropped     = "fed/client_dropped"
+	MetricClientQuarantined = "fed/client_quarantined"
+	MetricRoundDegraded     = "fed/round_degraded"
 )
 
 // RoundStats is one row of the training history (Figure 5 data).
@@ -121,19 +160,35 @@ type RoundStats struct {
 	TestAcc   float64
 	BytesUp   int64
 	BytesDown int64
+	// Dropped counts parties excluded from this round by the failure
+	// policy; Quarantined counts parties benched at its end.
+	Dropped     int
+	Quarantined int
+	// Degraded marks a round that lost at least one party or skipped its
+	// aggregation on lost quorum.
+	Degraded bool
 }
 
 // Result summarises a run.
 type Result struct {
 	History []RoundStats
 	// BestValAcc is the best validation accuracy seen and TestAtBestVal the
-	// test accuracy at that round — the reported metric.
+	// test accuracy at that round — the reported metric. The final
+	// aggregate is scored too: BestRound equals the round count when the
+	// final model wins.
 	BestValAcc    float64
 	TestAtBestVal float64
 	BestRound     int
+	// FinalValAcc and FinalTestAcc score the last aggregated global model
+	// (the one in FinalParams), measured after the round loop.
+	FinalValAcc  float64
+	FinalTestAcc float64
 	// FinalParams is the last aggregated global model.
 	FinalParams                  *nn.Params
 	TotalBytesUp, TotalBytesDown int64
+	// ClientFailures tallies failures per client name over the whole run
+	// (nil when no failures were tolerated).
+	ClientFailures map[string]int
 }
 
 // Run executes synchronous federated training over the clients. All clients
@@ -152,6 +207,9 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 	}
 	if cfg.ClientFraction < 0 || cfg.ClientFraction > 1 {
 		return nil, fmt.Errorf("fed: ClientFraction must be 0 (full participation) or in (0, 1], got %v", cfg.ClientFraction)
+	}
+	if cfg.Policy < FailFast || cfg.Policy > Quarantine {
+		return nil, fmt.Errorf("fed: unknown failure policy %d", int(cfg.Policy))
 	}
 	rec := telemetry.Or(cfg.Recorder)
 	allMoment := true
@@ -177,124 +235,257 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 	res := &Result{BestRound: -1}
 	badRounds := 0
 	sampler := rand.New(rand.NewSource(cfg.SampleSeed))
+	st := newRunState(&cfg, clients, weights, rec)
 
-	for round := 0; round < cfg.Rounds; round++ {
+	startRound, samplerDraws := 0, 0
+	if cfg.Resume != nil {
+		g, err := st.restore(cfg.Resume, res, &badRounds, &startRound, &samplerDraws)
+		if err != nil {
+			return nil, err
+		}
+		global = g
+		for i := 0; i < samplerDraws; i++ {
+			sampler.Perm(len(clients)) // replay the sampler to its saved state
+		}
+	}
+
+	for round := startRound; round < cfg.Rounds; round++ {
 		stats := RoundStats{Round: round}
 		roundSpan := telemetry.StartSpan(rec, MetricRoundSeconds)
+		st.beginRound()
 
-		// Partial participation: the round's active cohort.
-		active := clients
-		activeWeights := weights
+		reach := st.reachable(round)
+
+		// Partial participation: the round's active cohort, the first
+		// ⌈fraction·M⌉ reachable clients in permutation order (identical to
+		// the historical perm[:k] when nothing is benched).
+		activeIdx := reach
 		if cfg.ClientFraction > 0 && cfg.ClientFraction < 1 {
 			k := ceilFraction(cfg.ClientFraction, len(clients))
-			perm := sampler.Perm(len(clients))[:k]
-			sort.Ints(perm)
-			active = make([]Client, k)
-			activeWeights = make([]float64, k)
-			for i, idx := range perm {
-				active[i] = clients[idx]
-				activeWeights[i] = weights[idx]
+			perm := sampler.Perm(len(clients))
+			samplerDraws++
+			sel := make([]int, 0, k)
+			for _, idx := range perm {
+				if st.benched(idx, round) {
+					continue
+				}
+				sel = append(sel, idx)
+				if len(sel) == k {
+					break
+				}
 			}
+			sort.Ints(sel)
+			activeIdx = sel
 		}
 
-		// Broadcast global weights (Phase 1/3 of §3).
-		sp := telemetry.StartSpan(rec, MetricBroadcastSeconds)
-		for _, c := range clients {
-			if err := c.SetParams(global); err != nil {
-				return nil, fmt.Errorf("fed: broadcast to %s: %w", c.Name(), err)
+		roundErr := func() error {
+			if err := st.quorum(round, len(reach)); err != nil {
+				return err
 			}
-			stats.BytesDown += int64(global.Bytes())
-		}
-		sp.End()
 
-		// Evaluate the freshly broadcast global model.
-		if round%evalEvery == 0 || round == cfg.Rounds-1 {
-			sp = telemetry.StartSpan(rec, MetricEvalSeconds)
-			stats.ValAcc, stats.TestAcc = evaluate(clients, cfg.Sequential)
+			// Broadcast global weights (Phase 1/3 of §3) to every
+			// reachable client.
+			sp := telemetry.StartSpan(rec, MetricBroadcastSeconds)
+			for _, i := range reach {
+				c := clients[i]
+				st.touched[i] = true
+				if err := st.call(i, func() error { return c.SetParams(global) }); err != nil {
+					if ferr := st.fail(i, fmt.Errorf("fed: broadcast to %s: %w", c.Name(), err)); ferr != nil {
+						sp.End()
+						return ferr
+					}
+					continue
+				}
+				stats.BytesDown += int64(global.Bytes())
+			}
 			sp.End()
-			rec.Gauge(MetricValAcc, stats.ValAcc)
-			rec.Gauge(MetricTestAcc, stats.TestAcc)
-			if stats.ValAcc > res.BestValAcc || res.BestRound < 0 {
-				res.BestValAcc = stats.ValAcc
-				res.TestAtBestVal = stats.TestAcc
-				res.BestRound = round
-				badRounds = 0
+			if err := st.quorum(round, len(st.aliveOf(activeIdx))); err != nil {
+				return err
+			}
+
+			// Evaluate the freshly broadcast global model.
+			if round%evalEvery == 0 || round == cfg.Rounds-1 {
+				sp = telemetry.StartSpan(rec, MetricEvalSeconds)
+				stats.ValAcc, stats.TestAcc = st.evaluate(st.aliveOf(reach), cfg.Sequential)
+				sp.End()
+				rec.Gauge(MetricValAcc, stats.ValAcc)
+				rec.Gauge(MetricTestAcc, stats.TestAcc)
+				if stats.ValAcc > res.BestValAcc || res.BestRound < 0 {
+					res.BestValAcc = stats.ValAcc
+					res.TestAtBestVal = stats.TestAcc
+					res.BestRound = round
+					badRounds = 0
+				} else {
+					badRounds++
+				}
+			}
+
+			// FedOMD statistics exchange (Algorithm 1 lines 3-18), over the
+			// round's active cohort.
+			if allMoment {
+				sp = telemetry.StartSpan(rec, MetricMomentsSeconds)
+				up, down, err := st.momentExchange(round, st.aliveOf(activeIdx))
+				sp.End()
+				if err != nil {
+					return err
+				}
+				stats.BytesUp += up
+				stats.BytesDown += down
+			}
+
+			// Local training, concurrently across surviving active parties.
+			sp = telemetry.StartSpan(rec, MetricTrainSeconds)
+			trainIdx := st.aliveOf(activeIdx)
+			losses := make([]float64, len(trainIdx))
+			sub := st.clientsAt(trainIdx)
+			errs := forEachClient(sub, cfg.Sequential, st.policy == FailFast, func(s int, c Client) error {
+				clientSpan := telemetry.StartSpan(rec, MetricClientTrainSecs)
+				var loss float64
+				err := st.call(trainIdx[s], func() error {
+					l, e := c.TrainLocal(round)
+					loss = l
+					return e
+				})
+				clientSpan.End()
+				if err != nil {
+					return fmt.Errorf("fed: client %s round %d: %w", c.Name(), round, err)
+				}
+				losses[s] = loss
+				return nil
+			})
+			sp.End()
+			if st.policy == FailFast {
+				if err := collapseErrs(errs, cfg.Sequential || len(sub) == 1); err != nil {
+					return err
+				}
 			} else {
-				badRounds++
+				for s, e := range errs {
+					if e != nil {
+						_ = st.fail(trainIdx[s], e)
+					}
+				}
 			}
-		}
+			var lossSum, wSum float64
+			for s, i := range trainIdx {
+				if st.dropped[i] {
+					continue
+				}
+				lossSum += weights[i] * losses[s]
+				wSum += weights[i]
+			}
+			if wSum > 0 {
+				stats.TrainLoss = lossSum / wSum
+			}
 
-		// FedOMD statistics exchange (Algorithm 1 lines 3-18), over the
-		// round's active cohort.
-		if allMoment {
-			sp = telemetry.StartSpan(rec, MetricMomentsSeconds)
-			up, down, err := momentExchange(active)
+			// Auxiliary state aggregation (e.g. SCAFFOLD control variates).
+			sp = telemetry.StartSpan(rec, MetricAuxSeconds)
+			err := st.auxExchange(st.aliveOf(activeIdx), &stats)
 			sp.End()
 			if err != nil {
-				return nil, err
+				return err
 			}
-			stats.BytesUp += up
-			stats.BytesDown += down
-		}
 
-		// Local training, concurrently across active parties.
-		sp = telemetry.StartSpan(rec, MetricTrainSeconds)
-		losses := make([]float64, len(active))
-		if err := forEachClient(active, cfg.Sequential, func(i int, c Client) error {
-			clientSpan := telemetry.StartSpan(rec, MetricClientTrainSecs)
-			loss, err := c.TrainLocal(round)
-			clientSpan.End()
+			// Upload and FedAvg (eq. 2 / Algorithm 1 lines 26-29) over the
+			// survivors; nn.Average renormalizes their weights.
+			sp = telemetry.StartSpan(rec, MetricAggregateSeconds)
+			defer sp.End()
+			aggIdx := st.aliveOf(activeIdx)
+			sets := make([]*nn.Params, 0, len(aggIdx))
+			aggWeights := make([]float64, 0, len(aggIdx))
+			for _, i := range aggIdx {
+				c := clients[i]
+				var p *nn.Params
+				err := st.call(i, func() error { p = c.Params(); return nil })
+				if err == nil && !finiteParams(p) {
+					err = ErrNonFinite
+				}
+				if err == nil && st.policy != FailFast {
+					// Screen shape mismatches per client so one bad upload
+					// cannot abort the whole aggregation. FailFast keeps the
+					// historical aggregate-time error below.
+					err = global.Compatible(p)
+				}
+				if err != nil {
+					if ferr := st.fail(i, fmt.Errorf("fed: upload from %s: %w", c.Name(), err)); ferr != nil {
+						return ferr
+					}
+					continue
+				}
+				sets = append(sets, p)
+				aggWeights = append(aggWeights, weights[i])
+				stats.BytesUp += int64(p.Bytes())
+			}
+			if err := st.quorum(round, len(sets)); err != nil {
+				return err
+			}
+			agg, err := nn.Average(sets, aggWeights)
 			if err != nil {
-				return fmt.Errorf("fed: client %s round %d: %w", c.Name(), round, err)
+				return fmt.Errorf("fed: aggregation: %w", err)
 			}
-			losses[i] = loss
+			global = agg
 			return nil
-		}); err != nil {
-			return nil, err
+		}()
+		if roundErr != nil {
+			if !errors.Is(roundErr, ErrQuorumLost) || cfg.QuorumPolicy != QuorumSkip {
+				return nil, roundErr
+			}
+			// QuorumSkip: abandon the round's aggregation, keep the
+			// previous global model, and carry on.
+			stats.Degraded = true
 		}
-		sp.End()
-		var lossSum, wSum float64
-		for i, l := range losses {
-			lossSum += activeWeights[i] * l
-			wSum += activeWeights[i]
-		}
-		stats.TrainLoss = lossSum / wSum
 
-		// Auxiliary state aggregation (e.g. SCAFFOLD control variates).
-		sp = telemetry.StartSpan(rec, MetricAuxSeconds)
-		if err := auxExchange(active, &stats); err != nil {
-			return nil, err
-		}
-		sp.End()
-
-		// Upload and FedAvg (eq. 2 / Algorithm 1 lines 26-29).
-		sp = telemetry.StartSpan(rec, MetricAggregateSeconds)
-		sets := make([]*nn.Params, len(active))
-		for i, c := range active {
-			sets[i] = c.Params()
-			stats.BytesUp += int64(sets[i].Bytes())
-		}
-		agg, err := nn.Average(sets, activeWeights)
-		if err != nil {
-			return nil, fmt.Errorf("fed: aggregation: %w", err)
-		}
-		global = agg
-		sp.End()
-
+		st.endRound(round, &stats)
 		roundSpan.End()
 		rec.Count(MetricRounds, 1)
-		rec.Count(MetricActiveClients, int64(len(active)))
+		rec.Count(MetricActiveClients, int64(len(activeIdx)))
 		rec.Count(MetricBytesUp, stats.BytesUp)
 		rec.Count(MetricBytesDown, stats.BytesDown)
 
 		res.History = append(res.History, stats)
 		res.TotalBytesUp += stats.BytesUp
 		res.TotalBytesDown += stats.BytesDown
+
+		if cfg.CheckpointEvery > 0 && cfg.CheckpointWriter != nil && (round+1)%cfg.CheckpointEvery == 0 {
+			if err := cfg.CheckpointWriter(st.snapshot(round+1, samplerDraws, global, res, badRounds)); err != nil {
+				return nil, fmt.Errorf("fed: checkpoint after round %d: %w", round, err)
+			}
+		}
 		if cfg.Patience > 0 && badRounds >= cfg.Patience {
 			break
 		}
 	}
 	res.FinalParams = global
+	res.ClientFailures = st.failures
+
+	// Score the final aggregate: the last nn.Average output was never
+	// installed or evaluated inside the loop, so without this pass the best
+	// model could silently be missed. This is a scoring pass outside the
+	// round accounting — no history row, no byte counters.
+	sp := telemetry.StartSpan(rec, MetricFinalEvalSeconds)
+	finalIdx := make([]int, 0, len(clients))
+	for i := range clients {
+		c := clients[i]
+		if err := st.call(i, func() error { return c.SetParams(global) }); err != nil {
+			if st.policy == FailFast {
+				sp.End()
+				return nil, fmt.Errorf("fed: final broadcast to %s: %w", c.Name(), err)
+			}
+			continue // score the final model on the parties that can hold it
+		}
+		finalIdx = append(finalIdx, i)
+	}
+	if len(finalIdx) > 0 {
+		res.FinalValAcc, res.FinalTestAcc = st.evaluate(finalIdx, cfg.Sequential)
+	}
+	sp.End()
+	if res.FinalValAcc > res.BestValAcc || res.BestRound < 0 {
+		res.BestValAcc = res.FinalValAcc
+		res.TestAtBestVal = res.FinalTestAcc
+		res.BestRound = 0
+		if n := len(res.History); n > 0 {
+			res.BestRound = res.History[n-1].Round + 1
+		}
+	}
 	return res, nil
 }
 
@@ -314,14 +505,14 @@ func RunLocalOnly(cfg Config, clients []Client) (*Result, error) {
 	for round := 0; round < cfg.Rounds; round++ {
 		stats := RoundStats{Round: round}
 		losses := make([]float64, len(clients))
-		if err := forEachClient(clients, cfg.Sequential, func(i int, c Client) error {
+		if err := collapseErrs(forEachClient(clients, cfg.Sequential, true, func(i int, c Client) error {
 			loss, err := c.TrainLocal(round)
 			if err != nil {
 				return fmt.Errorf("fed: local client %s round %d: %w", c.Name(), round, err)
 			}
 			losses[i] = loss
 			return nil
-		}); err != nil {
+		}), cfg.Sequential || len(clients) == 1); err != nil {
 			return nil, err
 		}
 		for _, l := range losses {
@@ -342,77 +533,175 @@ func RunLocalOnly(cfg Config, clients []Client) (*Result, error) {
 			break
 		}
 	}
+	// Local-only training evaluates after every round, so the last row
+	// already scores the final models.
+	if n := len(res.History); n > 0 {
+		res.FinalValAcc = res.History[n-1].ValAcc
+		res.FinalTestAcc = res.History[n-1].TestAcc
+	}
 	res.FinalParams = clients[0].Params().Clone()
 	return res, nil
 }
 
-// momentExchange runs Algorithm 1's two upload/download rounds and installs
-// the global statistics on every client. It returns the bytes moved.
-func momentExchange(clients []Client) (up, down int64, err error) {
-	m := len(clients)
-	allMeans := make([][]*mat.Dense, m) // [client][layer]
+// momentExchange runs Algorithm 1's two upload/download rounds over the
+// indexed clients and installs the global statistics on the survivors. A
+// party failing either stage — including a non-finite upload — is handled
+// by the failure policy, and both aggregations renormalize over whoever is
+// left. It returns the bytes moved.
+func (st *runState) momentExchange(round int, idx []int) (up, down int64, err error) {
+	m := len(idx)
+	if m == 0 {
+		return 0, 0, nil
+	}
+	allMeans := make([][]*mat.Dense, m) // [slot][layer]
 	counts := make([]int, m)
-	for i, c := range clients {
+	ok := make([]bool, m)
+	for s, i := range idx {
+		c := st.clients[i]
 		mc := c.(MomentClient)
-		means, n, err := mc.LocalMeans()
-		if err != nil {
-			return up, down, fmt.Errorf("fed: means from %s: %w", c.Name(), err)
+		var means []*mat.Dense
+		var n int
+		cerr := st.call(i, func() error {
+			var e error
+			means, n, e = mc.LocalMeans()
+			return e
+		})
+		if cerr == nil && !finiteVecs(means) {
+			cerr = ErrNonFinite
 		}
-		allMeans[i] = means
-		counts[i] = n
+		if cerr != nil {
+			if ferr := st.fail(i, fmt.Errorf("fed: means from %s: %w", c.Name(), cerr)); ferr != nil {
+				return up, down, ferr
+			}
+			continue
+		}
+		allMeans[s] = means
+		counts[s] = n
+		ok[s] = true
 		up += bytesOfVecs(means) + 8
 	}
-	layers := len(allMeans[0])
-	for i := range allMeans {
-		if len(allMeans[i]) != layers {
-			return up, down, fmt.Errorf("fed: client %s reports %d layers, want %d", clients[i].Name(), len(allMeans[i]), layers)
+	layers := -1
+	for s := range idx {
+		if !ok[s] {
+			continue
 		}
+		if layers < 0 {
+			layers = len(allMeans[s])
+			continue
+		}
+		if len(allMeans[s]) != layers {
+			mismatch := fmt.Errorf("fed: client %s reports %d layers, want %d", st.clients[idx[s]].Name(), len(allMeans[s]), layers)
+			if ferr := st.fail(idx[s], mismatch); ferr != nil {
+				return up, down, ferr
+			}
+			ok[s] = false
+		}
+	}
+	if layers < 0 {
+		return up, down, nil // no party survived the first stage
 	}
 	globalMeans := make([]*mat.Dense, layers)
 	for l := 0; l < layers; l++ {
-		layerMeans := make([]*mat.Dense, m)
-		for i := range allMeans {
-			layerMeans[i] = allMeans[i][l]
+		var layerMeans []*mat.Dense
+		var cnt []int
+		for s := range idx {
+			if ok[s] {
+				layerMeans = append(layerMeans, allMeans[s][l])
+				cnt = append(cnt, counts[s])
+			}
 		}
-		gm, err := moments.AggregateMeans(layerMeans, counts)
+		gm, err := moments.AggregateMeans(layerMeans, cnt)
 		if err != nil {
 			return up, down, fmt.Errorf("fed: aggregating layer %d means: %w", l, err)
 		}
 		globalMeans[l] = gm
 	}
 	// Download global means, upload moments centred on them.
-	allMoms := make([][][]*mat.Dense, m) // [client][layer][order]
-	for i, c := range clients {
+	allMoms := make([][][]*mat.Dense, m) // [slot][layer][order]
+	for s, i := range idx {
+		if !ok[s] {
+			continue
+		}
+		c := st.clients[i]
 		mc := c.(MomentClient)
 		down += bytesOfVecs(globalMeans)
-		moms, n, err := mc.CentralAroundGlobal(globalMeans)
-		if err != nil {
-			return up, down, fmt.Errorf("fed: moments from %s: %w", c.Name(), err)
+		var moms [][]*mat.Dense
+		var n int
+		cerr := st.call(i, func() error {
+			var e error
+			moms, n, e = mc.CentralAroundGlobal(globalMeans)
+			return e
+		})
+		if cerr == nil && !finiteMoms(moms) {
+			cerr = ErrNonFinite
 		}
-		allMoms[i] = moms
-		counts[i] = n
+		if cerr != nil {
+			if ferr := st.fail(i, fmt.Errorf("fed: moments from %s: %w", c.Name(), cerr)); ferr != nil {
+				return up, down, ferr
+			}
+			ok[s] = false
+			continue
+		}
+		allMoms[s] = moms
+		counts[s] = n
 		for _, layer := range moms {
 			up += bytesOfVecs(layer)
 		}
 		up += 8
 	}
+	for s := range idx {
+		if !ok[s] {
+			continue
+		}
+		if len(allMoms[s]) != layers {
+			mismatch := fmt.Errorf("fed: client %s moment layers %d, want %d", st.clients[idx[s]].Name(), len(allMoms[s]), layers)
+			if ferr := st.fail(idx[s], mismatch); ferr != nil {
+				return up, down, ferr
+			}
+			ok[s] = false
+		}
+	}
+	survivors := 0
+	for s := range idx {
+		if ok[s] {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		return up, down, nil
+	}
 	globalCentral := make([][]*mat.Dense, layers)
 	for l := 0; l < layers; l++ {
-		perClient := make([][]*mat.Dense, m)
-		for i := range allMoms {
-			if len(allMoms[i]) != layers {
-				return up, down, fmt.Errorf("fed: client %s moment layers %d, want %d", clients[i].Name(), len(allMoms[i]), layers)
+		perClient := make([][]*mat.Dense, 0, survivors)
+		cnt := make([]int, 0, survivors)
+		for s := range idx {
+			if ok[s] {
+				perClient = append(perClient, allMoms[s][l])
+				cnt = append(cnt, counts[s])
 			}
-			perClient[i] = allMoms[i][l]
 		}
-		gc, err := moments.AggregateCentral(perClient, counts)
+		gc, err := moments.AggregateCentral(perClient, cnt)
 		if err != nil {
 			return up, down, fmt.Errorf("fed: aggregating layer %d moments: %w", l, err)
 		}
 		globalCentral[l] = gc
 	}
-	for _, c := range clients {
-		c.(MomentClient).SetGlobalStats(globalMeans, globalCentral)
+	for s, i := range idx {
+		if !ok[s] {
+			continue
+		}
+		c := st.clients[i]
+		mc := c.(MomentClient)
+		cerr := st.call(i, func() error {
+			mc.SetGlobalStats(globalMeans, globalCentral)
+			return nil
+		})
+		if cerr != nil {
+			if ferr := st.fail(i, fmt.Errorf("fed: global stats to %s: %w", c.Name(), cerr)); ferr != nil {
+				return up, down, ferr
+			}
+			continue
+		}
 		for _, layer := range globalCentral {
 			down += bytesOfVecs(layer)
 		}
@@ -420,20 +709,33 @@ func momentExchange(clients []Client) (up, down int64, err error) {
 	return up, down, nil
 }
 
-// auxExchange averages any auxiliary uploads and redistributes them.
-func auxExchange(clients []Client, stats *RoundStats) error {
+// auxExchange averages any auxiliary uploads from the indexed clients and
+// redistributes them, excluding parties the failure policy drops mid-phase.
+func (st *runState) auxExchange(idx []int, stats *RoundStats) error {
 	var auxSets []*nn.Params
-	var auxClients []AuxClient
-	for _, c := range clients {
-		if ac, ok := c.(AuxClient); ok {
-			aux := ac.UploadAux()
-			if aux == nil {
-				continue
-			}
-			auxSets = append(auxSets, aux)
-			auxClients = append(auxClients, ac)
-			stats.BytesUp += int64(aux.Bytes())
+	var auxIdx []int
+	for _, i := range idx {
+		ac, isAux := st.clients[i].(AuxClient)
+		if !isAux {
+			continue
 		}
+		var aux *nn.Params
+		cerr := st.call(i, func() error { aux = ac.UploadAux(); return nil })
+		if cerr == nil && aux != nil && !finiteParams(aux) {
+			cerr = ErrNonFinite
+		}
+		if cerr != nil {
+			if ferr := st.fail(i, fmt.Errorf("fed: aux upload from %s: %w", ac.Name(), cerr)); ferr != nil {
+				return ferr
+			}
+			continue
+		}
+		if aux == nil {
+			continue
+		}
+		auxSets = append(auxSets, aux)
+		auxIdx = append(auxIdx, i)
+		stats.BytesUp += int64(aux.Bytes())
 	}
 	if len(auxSets) == 0 {
 		return nil
@@ -446,9 +748,14 @@ func auxExchange(clients []Client, stats *RoundStats) error {
 	if err != nil {
 		return fmt.Errorf("fed: aux aggregation: %w", err)
 	}
-	for _, ac := range auxClients {
-		if err := ac.DownloadAux(globalAux); err != nil {
-			return fmt.Errorf("fed: aux download to %s: %w", ac.Name(), err)
+	for _, i := range auxIdx {
+		ac := st.clients[i].(AuxClient)
+		cerr := st.call(i, func() error { return ac.DownloadAux(globalAux) })
+		if cerr != nil {
+			if ferr := st.fail(i, fmt.Errorf("fed: aux download to %s: %w", ac.Name(), cerr)); ferr != nil {
+				return ferr
+			}
+			continue
 		}
 		stats.BytesDown += int64(globalAux.Bytes())
 	}
@@ -459,7 +766,7 @@ func auxExchange(clients []Client, stats *RoundStats) error {
 func evaluate(clients []Client, sequential bool) (valAcc, testAcc float64) {
 	type counts struct{ vc, vt, tc, tt int }
 	results := make([]counts, len(clients))
-	_ = forEachClient(clients, sequential, func(i int, c Client) error {
+	forEachClient(clients, sequential, false, func(i int, c Client) error {
 		vc, vt := c.EvalVal()
 		tc, tt := c.EvalTest()
 		results[i] = counts{vc, vt, tc, tt}
@@ -482,18 +789,23 @@ func evaluate(clients []Client, sequential bool) (valAcc, testAcc float64) {
 }
 
 // forEachClient runs f over clients, concurrently unless sequential, with at
-// most GOMAXPROCS workers. The first error wins.
-func forEachClient(clients []Client, sequential bool, f func(int, Client) error) error {
+// most GOMAXPROCS workers. It returns one error slot per client so callers
+// can attribute each failure to the party that caused it (the DropRound and
+// Quarantine policies need the index, not just a joined error). In
+// sequential mode stopEarly short-circuits at the first failure — the
+// historical fail-fast order; concurrent mode always drives every client.
+func forEachClient(clients []Client, sequential, stopEarly bool, f func(int, Client) error) []error {
+	errs := make([]error, len(clients))
 	if sequential || len(clients) == 1 {
 		for i, c := range clients {
-			if err := f(i, c); err != nil {
-				return err
+			errs[i] = f(i, c)
+			if errs[i] != nil && stopEarly {
+				break
 			}
 		}
-		return nil
+		return errs
 	}
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	errs := make([]error, len(clients))
 	var wg sync.WaitGroup
 	for i, c := range clients {
 		wg.Add(1)
@@ -505,7 +817,7 @@ func forEachClient(clients []Client, sequential bool, f func(int, Client) error)
 		}(i, c)
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	return errs
 }
 
 // ceilFraction returns ⌈f·m⌉ clamped to [1, m] — the partial-participation

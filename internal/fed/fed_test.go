@@ -94,9 +94,10 @@ func TestRunBroadcastsAggregate(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Round 0 broadcast is the initial model (0); round 1 broadcast is the
-	// round-0 aggregate (3).
-	if len(a.received) != 2 || a.received[0] != 0 || a.received[1] != 3 {
-		t.Fatalf("broadcast values = %v want [0 3]", a.received)
+	// round-0 aggregate (3); the final install delivers the round-1
+	// aggregate (3 again) for the closing scoring pass.
+	if len(a.received) != 3 || a.received[0] != 0 || a.received[1] != 3 || a.received[2] != 3 {
+		t.Fatalf("broadcast values = %v want [0 3 3]", a.received)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,23 @@ type TransportOptions struct {
 	ReadTimeout time.Duration
 	// WriteTimeout bounds each request write. 0 means no deadline.
 	WriteTimeout time.Duration
+	// MaxRetries is how many times a failed request is retried after
+	// reconnecting. 0 disables retry. Retries require Reconnect: a gob
+	// stream cannot be resumed on a connection that failed mid-message, so
+	// every retry runs on a fresh connection. Application-level errors
+	// (the party handled the request and said no), deadline expiries (left
+	// to the failure policy), and Shutdown are never retried.
+	MaxRetries int
+	// RetryBackoff is the initial backoff before the first retry; it
+	// doubles per attempt, is capped at 5s, and carries a deterministic
+	// ±50% jitter derived from RetrySeed and the party name. 0 means 50ms.
+	RetryBackoff time.Duration
+	// RetrySeed seeds the jitter so chaotic runs stay reproducible.
+	RetrySeed int64
+	// Reconnect returns a fresh connection to the named party. The
+	// transport completes the hello handshake on it and verifies the name
+	// before reissuing the request.
+	Reconnect func(name string) (net.Conn, error)
 }
 
 // ServeOptions configures the party side of the RPC transport.
@@ -186,6 +204,15 @@ func opMetricSuffix(op string) string {
 	}
 	return "unknown"
 }
+
+// MetricRPCRetries counts coordinator-side RPC retries after reconnects.
+const MetricRPCRetries = "rpc/coord/retries"
+
+// appError is an application-level error relayed verbatim from the party.
+// The request was delivered and handled, so the transport never retries it.
+type appError string
+
+func (e appError) Error() string { return string(e) }
 
 // hello is the first message a party sends after connecting.
 type hello struct {
@@ -369,11 +396,100 @@ type remoteClient struct {
 	opts    TransportOptions
 }
 
-// call performs one request/response exchange, applying the configured
+// call performs one request/response exchange with bounded retry: a
+// transport-level failure triggers up to MaxRetries reconnect-and-reissue
+// attempts under exponential backoff with deterministic jitter. Application
+// errors, deadline expiries (handled by the failure policy, which knows the
+// party is slow rather than unreachable), and Shutdown pass through
+// unretried.
+func (r *remoteClient) call(req rpcRequest) (rpcResponse, error) {
+	resp, err := r.callOnce(req)
+	if err == nil || r.opts.MaxRetries <= 0 || r.opts.Reconnect == nil || req.Op == opShutdown {
+		return resp, err
+	}
+	for attempt := 1; attempt <= r.opts.MaxRetries; attempt++ {
+		if !retryable(err) {
+			return resp, err
+		}
+		time.Sleep(r.backoff(attempt))
+		if rerr := r.reconnect(); rerr != nil {
+			return resp, fmt.Errorf("fed: reconnect to %s: %w (after %v)", r.name, rerr, err)
+		}
+		r.rec.Count(MetricRPCRetries, 1)
+		resp, err = r.callOnce(req)
+		if err == nil {
+			return resp, nil
+		}
+	}
+	return resp, err
+}
+
+// retryable reports whether err is a transport fault a fresh connection can
+// fix. Application errors and timeouts are final.
+func retryable(err error) bool {
+	var ae appError
+	if errors.As(err, &ae) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return false
+	}
+	return true
+}
+
+// backoff returns the pre-retry sleep for the given attempt: RetryBackoff
+// doubled per attempt, capped at 5s, scaled by a deterministic jitter in
+// [0.5, 1.5) derived from the party name, seed, and attempt number.
+func (r *remoteClient) backoff(attempt int) time.Duration {
+	base := r.opts.RetryBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	d := base << (attempt - 1)
+	if d > 5*time.Second || d <= 0 {
+		d = 5 * time.Second
+	}
+	h := fnv.New64a()
+	h.Write([]byte(r.name))
+	mix := h.Sum64() ^ uint64(r.opts.RetrySeed) ^ uint64(attempt)*0x9e3779b97f4a7c15
+	frac := 0.5 + float64(mix%1024)/1024.0
+	return time.Duration(float64(d) * frac)
+}
+
+// reconnect replaces the broken connection with a fresh one from the
+// Reconnect hook and re-runs the hello handshake, verifying the same party
+// answered.
+func (r *remoteClient) reconnect() error {
+	_ = r.conn.Close()
+	conn, err := r.opts.Reconnect(r.name)
+	if err != nil {
+		return err
+	}
+	cc := &countingConn{Conn: conn}
+	enc := gob.NewEncoder(cc)
+	dec := gob.NewDecoder(cc)
+	if r.opts.ReadTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(r.opts.ReadTimeout))
+	}
+	var h hello
+	if err := dec.Decode(&h); err != nil {
+		conn.Close()
+		return fmt.Errorf("handshake: %w", err)
+	}
+	if h.Name != r.name {
+		conn.Close()
+		return fmt.Errorf("expected party %s, got %s", r.name, h.Name)
+	}
+	r.conn, r.enc, r.dec = cc, enc, dec
+	return nil
+}
+
+// callOnce performs one request/response exchange, applying the configured
 // per-request deadlines and recording latency and payload sizes per op. A
 // deadline expiry surfaces as an error naming the party (via the "to/from
 // %s" wrapping) that satisfies net.Error with Timeout() == true.
-func (r *remoteClient) call(req rpcRequest) (rpcResponse, error) {
+func (r *remoteClient) callOnce(req rpcRequest) (rpcResponse, error) {
 	var (
 		sp       telemetry.Span
 		tx0, rx0 int64
@@ -401,7 +517,7 @@ func (r *remoteClient) call(req rpcRequest) (rpcResponse, error) {
 		r.rec.Count("rpc/coord/bytes_rx/"+opMetricSuffix(req.Op), r.conn.rx.Load()-rx0) //fedomdvet:ignore per-op series over the closed opMetricSuffix set; base key and suffixes are constants
 	}
 	if resp.Err != "" {
-		return resp, errors.New(resp.Err)
+		return resp, appError(resp.Err)
 	}
 	return resp, nil
 }

@@ -121,6 +121,13 @@ func (p *Params) L2Distance(q *Params) (float64, error) {
 	return math.Sqrt(s), nil
 }
 
+// Compatible reports whether q has the same parameter names, order, and
+// shapes as p (nil when it does) — the precondition for CopyFrom, AXPY, and
+// Average. The federated runtime uses it to screen a client's upload before
+// aggregation so one malformed parameter set fails that client, not the
+// whole round.
+func (p *Params) Compatible(q *Params) error { return p.compatible(q) }
+
 func (p *Params) compatible(q *Params) error {
 	if len(p.names) != len(q.names) {
 		return fmt.Errorf("nn: parameter sets differ in length %d vs %d", len(p.names), len(q.names))
