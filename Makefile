@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet lint race bench bench-step chaos
+.PHONY: build test check fmt vet lint race bench bench-step bench-comms chaos
 
 # Formatting checks skip testdata: it holds deliberately corrupt analyzer
 # fixtures that gofmt cannot parse.
@@ -53,7 +53,13 @@ check:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/benchstep -out BENCH_step_allocs.json
+	$(GO) run ./cmd/benchcomms -out BENCH_comms.json
 
 # Regenerate only the pooled-vs-unpooled training-step artefact.
 bench-step:
 	$(GO) run ./cmd/benchstep -out BENCH_step_allocs.json
+
+# Regenerate the per-codec communication artefact: bytes on the wire,
+# compression ratios, codec CPU cost, and accuracy drift per tier.
+bench-comms:
+	$(GO) run ./cmd/benchcomms -out BENCH_comms.json

@@ -1,0 +1,166 @@
+// Command benchcomms measures the communication codecs end to end: it trains
+// the same federated FedOMD configuration once per codec tier (raw, delta,
+// float32, q8, q4, q8+top-10%) and reports, per tier, the bytes that would
+// cross the wire, the compression ratio against raw float64 payloads, the
+// codec CPU cost, and the accuracy drift against the raw run. `make
+// bench-comms` runs it to produce BENCH_comms.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	fedomd "fedomd"
+	"fedomd/internal/codec"
+	"fedomd/internal/dataset"
+)
+
+// tierSpec names one codec arm of the sweep.
+type tierSpec struct {
+	label     string
+	codecName string
+	quantBits int
+	topK      float64
+}
+
+// tierResult is one arm's measurement.
+type tierResult struct {
+	Tier string `json:"tier"`
+	// Lossless marks the tiers guaranteed bit-identical to raw (raw itself
+	// and delta); the others trade bounded accuracy drift for compression.
+	Lossless bool `json:"lossless"`
+	// BytesUp/BytesDown are the run's accounted traffic (encoded sizes once
+	// a codec is on).
+	BytesUp   int64 `json:"bytes_up"`
+	BytesDown int64 `json:"bytes_down"`
+	// BytesRaw vs BytesEncoded compare every upload's raw float64 size with
+	// what the codec produced; Compression is their ratio (1 for raw) — the
+	// ≥4× upload-reduction gate reads this pair. The Down pair covers the
+	// always-lossless delta broadcasts.
+	BytesRaw         int64   `json:"codec_bytes_raw"`
+	BytesEncoded     int64   `json:"codec_bytes_encoded"`
+	BytesRawDown     int64   `json:"codec_bytes_raw_down"`
+	BytesEncodedDown int64   `json:"codec_bytes_encoded_down"`
+	Compression      float64 `json:"upload_compression_ratio"`
+	EncodeNs         int64   `json:"encode_ns"`
+	DecodeNs         int64   `json:"decode_ns"`
+	// TestAtBestVal is the headline accuracy; DriftVsRaw is its signed
+	// difference from the raw tier's (the lossy tiers' cost).
+	TestAtBestVal float64 `json:"test_at_best_val"`
+	FinalTestAcc  float64 `json:"final_test_acc"`
+	DriftVsRaw    float64 `json:"acc_drift_vs_raw"`
+}
+
+type report struct {
+	Benchmark string       `json:"benchmark"`
+	Dataset   string       `json:"dataset"`
+	Divisor   int          `json:"divisor"`
+	Parties   int          `json:"parties"`
+	Rounds    int          `json:"rounds"`
+	Hidden    int          `json:"hidden"`
+	Seed      int64        `json:"seed"`
+	Tiers     []tierResult `json:"tiers"`
+}
+
+func run(spec tierSpec, parties []fedomd.Party, cfg fedomd.Config, rounds int, seed int64) (tierResult, error) {
+	agg := fedomd.NewTelemetryAggregator()
+	res, err := fedomd.TrainFedOMD(parties, cfg, fedomd.RunOptions{
+		Rounds:    rounds,
+		Recorder:  agg,
+		Codec:     spec.codecName,
+		QuantBits: spec.quantBits,
+		TopK:      spec.topK,
+	}, seed)
+	if err != nil {
+		return tierResult{}, fmt.Errorf("tier %s: %w", spec.label, err)
+	}
+	tr := tierResult{
+		Tier:             spec.label,
+		Lossless:         spec.codecName == "" || spec.codecName == "delta",
+		BytesUp:          res.TotalBytesUp,
+		BytesDown:        res.TotalBytesDown,
+		BytesRaw:         agg.Counter(codec.MetricBytesRaw),
+		BytesEncoded:     agg.Counter(codec.MetricBytesEncoded),
+		BytesRawDown:     agg.Counter(codec.MetricBytesRawDown),
+		BytesEncodedDown: agg.Counter(codec.MetricBytesEncodedDown),
+		EncodeNs:         agg.Counter(codec.MetricEncodeNs),
+		DecodeNs:         agg.Counter(codec.MetricDecodeNs),
+		TestAtBestVal:    res.TestAtBestVal,
+		FinalTestAcc:     res.FinalTestAcc,
+	}
+	if tr.BytesEncoded > 0 {
+		tr.Compression = float64(tr.BytesRaw) / float64(tr.BytesEncoded)
+	} else {
+		tr.Compression = 1
+	}
+	return tr, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_comms.json", "output JSON path")
+	ds := flag.String("dataset", dataset.Cora, "dataset preset")
+	divisor := flag.Int("divisor", 12, "dataset scale divisor (higher = smaller graph)")
+	nParties := flag.Int("parties", 5, "number of federated parties")
+	rounds := flag.Int("rounds", 20, "communication rounds per tier")
+	hidden := flag.Int("hidden", 16, "hidden width")
+	seed := flag.Int64("seed", 1, "random seed (shared by every tier)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchcomms:", err)
+		os.Exit(1)
+	}
+
+	g, err := fedomd.GenerateDataset(*ds, *divisor, *seed)
+	if err != nil {
+		fail(err)
+	}
+	parties, err := fedomd.Partition(g, *nParties, 1.0, *seed+1)
+	if err != nil {
+		fail(err)
+	}
+	cfg := fedomd.DefaultConfig()
+	cfg.Hidden = *hidden
+
+	tiers := []tierSpec{
+		{label: "raw", codecName: ""},
+		{label: "delta", codecName: "delta"},
+		{label: "float32", codecName: "float32"},
+		{label: "q8", codecName: "q8"},
+		{label: "q4", codecName: "q4"},
+		{label: "q8_top10", codecName: "q8", topK: 0.1},
+	}
+	r := report{
+		Benchmark: "fedomd_comms_codecs",
+		Dataset:   *ds,
+		Divisor:   *divisor,
+		Parties:   *nParties,
+		Rounds:    *rounds,
+		Hidden:    *hidden,
+		Seed:      *seed,
+	}
+	for _, spec := range tiers {
+		tr, err := run(spec, parties, cfg, *rounds, *seed+2)
+		if err != nil {
+			fail(err)
+		}
+		if len(r.Tiers) > 0 {
+			tr.DriftVsRaw = tr.TestAtBestVal - r.Tiers[0].TestAtBestVal
+		}
+		r.Tiers = append(r.Tiers, tr)
+		fmt.Printf("benchcomms: %-9s %8d B up, %8d B down, %5.2fx upload compression, acc %.4f (drift %+.4f)\n",
+			tr.Tier, tr.BytesUp, tr.BytesDown, tr.Compression, tr.TestAtBestVal, tr.DriftVsRaw)
+	}
+
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("benchcomms: report written to %s\n", *out)
+}

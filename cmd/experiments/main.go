@@ -23,6 +23,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id: table2..table7, figure4..figure7, or all")
 	scale := flag.String("scale", "quick", "run scale: smoke, quick or paper")
 	seed := flag.Int64("seed", 1, "base random seed")
+	jobs := flag.Int("jobs", 0, "max concurrent grid cells (0 = GOMAXPROCS); results are identical at any value")
 	flag.Parse()
 
 	runner, err := fedomd.NewExperiments(*scale, *seed)
@@ -30,6 +31,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	runner.Jobs = *jobs
 
 	drivers := map[string]func() error{
 		"table2":  func() error { return runner.Table2(os.Stdout) },

@@ -18,6 +18,12 @@
 //	fedomd -checkpoint run.ckpt -checkpoint-every 10  # snapshot the server
 //	fedomd -resume run.ckpt                           # restart a killed run
 //	fedomd -chaos -chaos-crash-frac 0.2 -policy drop-round  # fault-injection soak
+//
+// Communication:
+//
+//	fedomd -codec delta                 # lossless delta compression
+//	fedomd -codec q8 -report            # 8-bit quantization + error feedback
+//	fedomd -codec q8 -topk 0.1          # ... plus top-10% sparsification
 package main
 
 import (
@@ -63,6 +69,9 @@ func main() {
 	chaosCrashRound := flag.Int("chaos-crash-round", 3, "round the chosen parties crash at (with -chaos)")
 	chaosNaNRate := flag.Float64("chaos-nan-rate", 0, "per-upload NaN-poisoning probability (with -chaos)")
 	chaosLatency := flag.Duration("chaos-latency", 0, "injected per-call latency (with -chaos)")
+	codecName := flag.String("codec", "", "parameter-payload codec: raw (default), delta (lossless), float32, quant, q8, q4")
+	quantBits := flag.Int("quant-bits", 0, "quantization width with -codec quant (8 or 4; 0 = 8)")
+	topK := flag.Float64("topk", 0, "keep only this fraction of delta entries per tensor (0 = off; needs a non-raw -codec)")
 	list := flag.Bool("list", false, "list models and datasets, then exit")
 	report := flag.Bool("report", false, "print a per-phase timing and comms report after the run")
 	trace := flag.String("trace", "", "write machine-readable JSONL telemetry events to this file")
@@ -149,6 +158,12 @@ func main() {
 		CheckpointPath:  *checkpoint,
 		CheckpointEvery: *checkpointEvery,
 		ResumePath:      *resume,
+		Codec:           *codecName,
+		QuantBits:       *quantBits,
+		TopK:            *topK,
+	}
+	if *codecName != "" {
+		fmt.Printf("codec: %s\n", *codecName)
 	}
 	if *skipQuorum {
 		opts.QuorumPolicy = fedomd.QuorumSkip

@@ -1,0 +1,118 @@
+package fedomd
+
+// End-to-end codec soaks over the public facade, mirroring the chaos soak's
+// scale (cora at 1/12, five Louvain parties, ten rounds): the Delta tier must
+// be provably invisible — bit-identical parameters and accuracy history — and
+// the 8-bit quantized tier must buy its ≥4× upload reduction for at most
+// 0.02 of final test accuracy. Both runs are fully deterministic, so these
+// are regression tests, not statistical ones.
+
+import (
+	"math"
+	"testing"
+
+	"fedomd/internal/codec"
+)
+
+func soakParties(t *testing.T) []Party {
+	t.Helper()
+	g, err := GenerateDataset("cora", 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties, err := Partition(g, 5, 1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parties
+}
+
+func TestCodecDeltaParityEndToEnd(t *testing.T) {
+	parties := soakParties(t)
+	cfg := DefaultConfig()
+	cfg.Hidden = 16
+	const rounds = 10
+
+	raw, err := TrainFedOMD(parties, cfg, RunOptions{Rounds: rounds}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := TrainFedOMD(parties, cfg, RunOptions{Rounds: rounds, Codec: "delta"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(raw.History) != len(delta.History) {
+		t.Fatalf("history length %d vs %d", len(raw.History), len(delta.History))
+	}
+	for i := range raw.History {
+		r, d := raw.History[i], delta.History[i]
+		if r.TrainLoss != d.TrainLoss || r.ValAcc != d.ValAcc || r.TestAcc != d.TestAcc {
+			t.Fatalf("round %d diverged: raw %+v delta %+v", i, r, d)
+		}
+	}
+	if raw.BestValAcc != delta.BestValAcc || raw.TestAtBestVal != delta.TestAtBestVal {
+		t.Fatal("delta codec changed the accuracy outcome")
+	}
+	names := raw.FinalParams.Names()
+	if len(names) != len(delta.FinalParams.Names()) {
+		t.Fatal("delta codec changed the parameter set")
+	}
+	for _, name := range names {
+		if !raw.FinalParams.Get(name).Equal(delta.FinalParams.Get(name)) {
+			t.Fatalf("tensor %s is not bit-identical under the delta codec", name)
+		}
+	}
+	if delta.TotalBytesUp >= raw.TotalBytesUp {
+		t.Fatalf("delta codec did not shrink uploads: %d vs %d", delta.TotalBytesUp, raw.TotalBytesUp)
+	}
+}
+
+func TestCodecQuantSoakAccuracyAndReduction(t *testing.T) {
+	parties := soakParties(t)
+	cfg := DefaultConfig()
+	cfg.Hidden = 16
+	const rounds = 10
+
+	raw, err := TrainFedOMD(parties, cfg, RunOptions{Rounds: rounds}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewTelemetryAggregator()
+	q8, err := TrainFedOMD(parties, cfg, RunOptions{Rounds: rounds, Codec: "q8", Recorder: agg}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(q8.History) != rounds {
+		t.Fatalf("quantized run completed %d of %d rounds", len(q8.History), rounds)
+	}
+	if drift := math.Abs(q8.TestAtBestVal - raw.TestAtBestVal); drift > 0.02 {
+		t.Fatalf("q8 test@best drifted %.4f from raw (limit 0.02)", drift)
+	}
+	if drift := math.Abs(q8.FinalTestAcc - raw.FinalTestAcc); drift > 0.02 {
+		t.Fatalf("q8 final test accuracy drifted %.4f from raw (limit 0.02)", drift)
+	}
+	rawB, encB := agg.Counter(codec.MetricBytesRaw), agg.Counter(codec.MetricBytesEncoded)
+	if encB == 0 {
+		t.Fatal("upload byte counters missing")
+	}
+	if ratio := float64(rawB) / float64(encB); ratio < 4 {
+		t.Fatalf("q8 upload reduction %.2fx, want >= 4x (%d raw, %d encoded)", ratio, rawB, encB)
+	}
+}
+
+func TestRunOptionsCodecValidation(t *testing.T) {
+	parties := soakParties(t)
+	cfg := DefaultConfig()
+	cfg.Hidden = 16
+	if _, err := TrainFedOMD(parties, cfg, RunOptions{Rounds: 1, Codec: "zstd"}, 3); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+	if _, err := TrainFedOMD(parties, cfg, RunOptions{Rounds: 1, Codec: "delta", QuantBits: 8}, 3); err == nil {
+		t.Fatal("quant-bits accepted without the quant codec")
+	}
+	if _, err := TrainBaseline(FedGCN, parties, RunOptions{Rounds: 1, Codec: "nope"}, 3); err == nil {
+		t.Fatal("unknown codec accepted by TrainBaseline")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"fedomd/internal/chaos"
+	"fedomd/internal/codec"
 	"fedomd/internal/core"
 	"fedomd/internal/dataset"
 	"fedomd/internal/experiments"
@@ -218,6 +219,20 @@ type RunOptions struct {
 	// before the run starts (in-process runs only: TrainFedOMD and
 	// TrainFedOMDPrivate).
 	Chaos *ChaosOptions
+
+	// Codec selects the parameter-payload compression tier: "" or "raw"
+	// (off), "delta" (lossless XOR-delta; bit-identical results), "float32",
+	// "quant", or the shorthands "q8"/"q4" (uniform quantization with error
+	// feedback). Lossy tiers trade a bounded accuracy drift for a 4–8×
+	// traffic cut; see DESIGN.md §10.
+	Codec string
+	// QuantBits is the quantization width for Codec == "quant" (8 or 4;
+	// 0 means 8). The "q8"/"q4" spellings set it implicitly.
+	QuantBits int
+	// TopK, when in (0, 1), additionally keeps only that fraction of each
+	// tensor's delta entries per round (largest by magnitude); the remainder
+	// rides the error-feedback residual into later rounds.
+	TopK float64
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -243,6 +258,11 @@ func (o RunOptions) fedConfig() (fed.Config, error) {
 		CooldownRounds:  o.CooldownRounds,
 		CheckpointEvery: o.CheckpointEvery,
 	}
+	co, err := codec.Parse(o.Codec, o.QuantBits, o.TopK)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Codec = co
 	if o.CheckpointPath != "" {
 		cfg.CheckpointWriter = fed.FileCheckpointer(o.CheckpointPath)
 		if cfg.CheckpointEvery <= 0 {
@@ -343,6 +363,11 @@ func TrainBaseline(model string, parties []Party, opts RunOptions, seed int64) (
 		Hidden:         64,
 		LocalEpochs:    1,
 	}, seed).WithRecorder(opts.Recorder)
+	co, err := codec.Parse(opts.Codec, opts.QuantBits, opts.TopK)
+	if err != nil {
+		return nil, err
+	}
+	runner.Codec = co
 	return runner.RunModelPublic(model, parties, seed, opts.Sequential)
 }
 

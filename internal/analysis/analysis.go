@@ -222,6 +222,7 @@ const modulePath = "fedomd"
 var (
 	pathMat       = modulePath + "/internal/mat"
 	pathAd        = modulePath + "/internal/ad"
+	pathNn        = modulePath + "/internal/nn"
 	pathSparse    = modulePath + "/internal/sparse"
 	pathTelemetry = modulePath + "/internal/telemetry"
 )

@@ -27,6 +27,10 @@ var PoolPair = &Analyzer{
 var (
 	fnGetDense = pathMat + ".GetDense"
 	fnPutDense = pathMat + ".PutDense"
+	// fnParamsAdd is an owning sink: a pooled Dense stored into an nn.Params
+	// set belongs to whoever releases the set (codec.PutParams, the fed
+	// aggregation pool), not to the scope that allocated it.
+	fnParamsAdd = pathNn + ".Params.Add"
 )
 
 func runPoolPair(p *Pass) {
@@ -507,7 +511,8 @@ func (w *poolWalker) markAliasEscape(e ast.Expr, env *poolEnv) {
 // markEscapes scans an expression subtree for ownership-transferring uses of
 // tracked buffers: composite literals, append, address-of, closures and
 // goroutine arguments. Plain calls borrow their arguments and do not
-// transfer ownership.
+// transfer ownership — except the known owning sinks (nn.Params.Add), which
+// keep the buffer alive past the call.
 func (w *poolWalker) markEscapes(n ast.Node, env *poolEnv) {
 	if n == nil {
 		return
@@ -524,6 +529,11 @@ func (w *poolWalker) markEscapes(n ast.Node, env *poolEnv) {
 			}
 		case *ast.CallExpr:
 			if isBuiltin(info, n, "append") {
+				for _, a := range n.Args {
+					w.markAliasEscape(a, env)
+				}
+			}
+			if funcFullName(calleeFunc(info, n)) == fnParamsAdd {
 				for _, a := range n.Args {
 					w.markAliasEscape(a, env)
 				}

@@ -7,6 +7,7 @@ import (
 	"errors"
 
 	"fedomd/internal/mat"
+	"fedomd/internal/nn"
 )
 
 // --- triggering cases ---
@@ -97,6 +98,13 @@ func transferByStruct() *holder {
 func transferByAppend(sink [][]*mat.Dense) [][]*mat.Dense {
 	buf := mat.GetDense(1, 1)
 	return append(sink, []*mat.Dense{buf})
+}
+
+func transferIntoParams() *nn.Params {
+	out := nn.NewParams()
+	buf := mat.GetDense(2, 2)
+	out.Add("w", buf) // owning sink: released by whoever releases the set
+	return out
 }
 
 func panicIsNotALeak(bad bool) {

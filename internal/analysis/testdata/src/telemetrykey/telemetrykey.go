@@ -14,6 +14,13 @@ func record(r telemetry.Recorder, dyn string) {
 	r.Count("fed/client_quarantined", 1)
 	r.Count("fed/round_degraded", 1)
 	r.Count("rpc/coord/retries", 1)
+	// The wire-codec counters (uplink pair, downlink pair, CPU cost).
+	r.Count("codec/bytes_raw", 1)
+	r.Count("codec/bytes_encoded", 1)
+	r.Count("codec/bytes_raw_down", 1)
+	r.Count("codec/bytes_encoded_down", 1)
+	r.Count("codec/encode_ns", 1)
+	r.Count("codec/decode_ns", 1)
 	telemetry.StartSpan(r, "fed/phase/final_eval_seconds").End()
 	r.Count("fixture/sub/"+"leaf_total", 1) // constant folding keeps this checkable
 	r.Count(dyn, 1)                         // want `telemetry key passed to Count must be a compile-time constant`

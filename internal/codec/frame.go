@@ -1,0 +1,346 @@
+package codec
+
+// frame.go is the byte layer of the v1 wire format. A blob is:
+//
+//	offset  size  field
+//	0       1     magic 0xFD
+//	1       1     version (1)
+//	2       1     codec kind
+//	3       1     quantization bits (0 unless kind == Quant)
+//	4       4     tensor count, uint32 LE
+//	8       8     reference checksum, uint64 LE (0 = absolute blob)
+//
+// followed by one frame per tensor:
+//
+//	offset  size  field
+//	0       4     body length, uint32 LE (bytes after the name)
+//	4       4     rows, uint32 LE
+//	8       4     cols, uint32 LE
+//	12      1     frame mode
+//	13      1     name length
+//	14      n     name bytes
+//	14+n    …     body
+//
+// Frame modes: 0 raw float64 (absolute values — also the non-finite escape
+// hatch inside delta blobs), 1 XOR delta, 2 float32 delta, 3 quantized
+// delta, 4 top-k sparse delta. All integers are little-endian.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"fedomd/internal/sparse"
+)
+
+const (
+	blobMagic      = 0xFD
+	blobVersion    = 1
+	blobHeaderLen  = 16
+	frameHeaderLen = 14
+)
+
+// Frame modes.
+const (
+	modeRawF64 byte = 0
+	modeXor    byte = 1
+	modeF32    byte = 2
+	modeQuant  byte = 3
+	modeTopK   byte = 4
+)
+
+func appendU32(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
+func appendU64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// appendRawF64Body writes absolute float64 values verbatim.
+func appendRawF64Body(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		dst = appendF64(dst, v)
+	}
+	return dst
+}
+
+func decodeRawF64Body(body []byte, out []float64) error {
+	if len(body) != 8*len(out) {
+		return fmt.Errorf("codec: raw body is %d bytes, want %d", len(body), 8*len(out))
+	}
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return nil
+}
+
+// appendXorBody writes the XOR of cur's and ref's IEEE-754 bit patterns with
+// leading zero bytes suppressed: a nibble array holds each element's
+// significant-byte count (low nibble = even index), then the significant
+// bytes follow low-byte first. Identical elements cost half a byte; after a
+// few rounds most weights agree in sign, exponent, and high mantissa bytes,
+// so typical cost is 3-5 bytes per element instead of 8.
+func appendXorBody(dst []byte, cur, ref []float64) []byte {
+	n := len(cur)
+	nibOff := len(dst)
+	dst = append(dst, make([]byte, (n+1)/2)...)
+	for i := 0; i < n; i++ {
+		x := math.Float64bits(cur[i]) ^ math.Float64bits(ref[i])
+		sig := (71 - bits.LeadingZeros64(x)) / 8 // 0..8 significant bytes
+		if i&1 == 0 {
+			dst[nibOff+i/2] |= byte(sig)
+		} else {
+			dst[nibOff+i/2] |= byte(sig) << 4
+		}
+		for j := 0; j < sig; j++ {
+			dst = append(dst, byte(x>>(8*j)))
+		}
+	}
+	return dst
+}
+
+func decodeXorBody(body []byte, ref, out []float64) error {
+	n := len(out)
+	nib := (n + 1) / 2
+	if len(body) < nib {
+		return fmt.Errorf("codec: xor body truncated: %d bytes, need %d-byte nibble table", len(body), nib)
+	}
+	pos := nib
+	for i := 0; i < n; i++ {
+		var sig int
+		if i&1 == 0 {
+			sig = int(body[i/2] & 0x0F)
+		} else {
+			sig = int(body[i/2] >> 4)
+		}
+		if pos+sig > len(body) {
+			return fmt.Errorf("codec: xor body truncated at element %d", i)
+		}
+		var x uint64
+		for j := 0; j < sig; j++ {
+			x |= uint64(body[pos+j]) << (8 * j)
+		}
+		pos += sig
+		out[i] = math.Float64frombits(math.Float64bits(ref[i]) ^ x)
+	}
+	if pos != len(body) {
+		return fmt.Errorf("codec: %d trailing bytes after xor body", len(body)-pos)
+	}
+	return nil
+}
+
+// appendF32Body writes delta values downcast to float32. When recon is
+// non-nil it receives the value the decoder will reconstruct, for error
+// feedback.
+func appendF32Body(dst []byte, vals, recon []float64) []byte {
+	for i, v := range vals {
+		f := float32(v)
+		dst = appendU32(dst, math.Float32bits(f))
+		if recon != nil {
+			recon[i] = float64(f)
+		}
+	}
+	return dst
+}
+
+func decodeF32Body(body []byte, out []float64) error {
+	if len(body) != 4*len(out) {
+		return fmt.Errorf("codec: float32 body is %d bytes, want %d", len(body), 4*len(out))
+	}
+	for i := range out {
+		out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:])))
+	}
+	return nil
+}
+
+// appendQuantBody writes vals under q-bit uniform quantization: a float64
+// offset (lo) and step (scale) head the body, then one index per value —
+// one byte at 8 bits, packed two-per-byte (low nibble first) at 4 bits.
+// Quantization error per element is at most scale/2. recon, when non-nil,
+// receives the dequantized values for error feedback.
+func appendQuantBody(dst []byte, vals []float64, qbits int, recon []float64) []byte {
+	if len(vals) == 0 {
+		return appendF64(appendF64(dst, 0), 0)
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	levels := float64(uint64(1)<<qbits - 1)
+	scale := (hi - lo) / levels
+	dst = appendF64(dst, lo)
+	dst = appendF64(dst, scale)
+	quantize := func(v float64) uint64 {
+		if scale <= 0 {
+			return 0
+		}
+		q := math.Round((v - lo) / scale)
+		if q < 0 {
+			q = 0
+		} else if q > levels {
+			q = levels
+		}
+		return uint64(q)
+	}
+	if qbits == 8 {
+		for i, v := range vals {
+			q := quantize(v)
+			dst = append(dst, byte(q))
+			if recon != nil {
+				recon[i] = lo + scale*float64(q)
+			}
+		}
+		return dst
+	}
+	for i := 0; i < len(vals); i += 2 {
+		q0 := quantize(vals[i])
+		b := byte(q0)
+		if recon != nil {
+			recon[i] = lo + scale*float64(q0)
+		}
+		if i+1 < len(vals) {
+			q1 := quantize(vals[i+1])
+			b |= byte(q1) << 4
+			if recon != nil {
+				recon[i+1] = lo + scale*float64(q1)
+			}
+		}
+		dst = append(dst, b)
+	}
+	return dst
+}
+
+func quantBodyLen(n, qbits int) int {
+	if qbits == 8 {
+		return 16 + n
+	}
+	return 16 + (n+1)/2
+}
+
+func decodeQuantBody(body []byte, qbits int, out []float64) error {
+	if len(body) != quantBodyLen(len(out), qbits) {
+		return fmt.Errorf("codec: quant body is %d bytes, want %d", len(body), quantBodyLen(len(out), qbits))
+	}
+	lo := math.Float64frombits(binary.LittleEndian.Uint64(body))
+	scale := math.Float64frombits(binary.LittleEndian.Uint64(body[8:]))
+	idx := body[16:]
+	if qbits == 8 {
+		for i := range out {
+			out[i] = lo + scale*float64(idx[i])
+		}
+		return nil
+	}
+	for i := range out {
+		b := idx[i/2]
+		if i&1 == 0 {
+			b &= 0x0F
+		} else {
+			b >>= 4
+		}
+		out[i] = lo + scale*float64(b)
+	}
+	return nil
+}
+
+// topKSelect returns the k entries of vals largest by magnitude as COO
+// coordinates, ordered by ascending flat index. Ties break toward the lower
+// index so the selection — and therefore the wire bytes — is deterministic.
+func topKSelect(vals []float64, cols, k int) []sparse.Coord {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := math.Abs(vals[idx[a]]), math.Abs(vals[idx[b]])
+		if va != vb {
+			return va > vb
+		}
+		return idx[a] < idx[b]
+	})
+	idx = idx[:k]
+	sort.Ints(idx)
+	coords := make([]sparse.Coord, k)
+	for i, flat := range idx {
+		coords[i] = sparse.Coord{Row: flat / cols, Col: flat % cols, Val: vals[flat]}
+	}
+	return coords
+}
+
+// appendTopKBody writes a sparse delta: an inner-mode byte (rawF64, f32, or
+// quant), the kept-entry count, the ascending flat indices as uint32, and
+// the kept values under the inner encoding. recon, when non-nil, must be
+// zeroed by the caller; kept positions receive their reconstructed values
+// (dropped positions stay zero, so the residual update absorbs them).
+func appendTopKBody(dst []byte, coords []sparse.Coord, cols int, inner byte, qbits int, recon []float64) []byte {
+	dst = append(dst, inner)
+	dst = appendU32(dst, uint32(len(coords)))
+	kept := make([]float64, len(coords))
+	for i, c := range coords {
+		dst = appendU32(dst, uint32(c.Row*cols+c.Col))
+		kept[i] = c.Val
+	}
+	var keptRecon []float64
+	if recon != nil {
+		keptRecon = make([]float64, len(kept))
+	}
+	switch inner {
+	case modeRawF64:
+		dst = appendRawF64Body(dst, kept)
+		copy(keptRecon, kept)
+	case modeF32:
+		dst = appendF32Body(dst, kept, keptRecon)
+	case modeQuant:
+		dst = appendQuantBody(dst, kept, qbits, keptRecon)
+	}
+	if recon != nil {
+		for i, c := range coords {
+			recon[c.Row*cols+c.Col] = keptRecon[i]
+		}
+	}
+	return dst
+}
+
+// decodeTopKBody fills out (which the caller zeroes) with the kept delta
+// values at their flat indices.
+func decodeTopKBody(body []byte, qbits int, out []float64) error {
+	if len(body) < 5 {
+		return fmt.Errorf("codec: top-k body is %d bytes, want at least 5", len(body))
+	}
+	inner := body[0]
+	k := int(binary.LittleEndian.Uint32(body[1:]))
+	if k > len(out) {
+		return fmt.Errorf("codec: top-k keeps %d of %d entries", k, len(out))
+	}
+	if len(body) < 5+4*k {
+		return fmt.Errorf("codec: top-k index table truncated")
+	}
+	vals := make([]float64, k)
+	var err error
+	switch inner {
+	case modeRawF64:
+		err = decodeRawF64Body(body[5+4*k:], vals)
+	case modeF32:
+		err = decodeF32Body(body[5+4*k:], vals)
+	case modeQuant:
+		err = decodeQuantBody(body[5+4*k:], qbits, vals)
+	default:
+		err = fmt.Errorf("codec: unknown top-k inner mode %d", inner)
+	}
+	if err != nil {
+		return err
+	}
+	for i := 0; i < k; i++ {
+		flat := int(binary.LittleEndian.Uint32(body[5+4*i:]))
+		if flat >= len(out) {
+			return fmt.Errorf("codec: top-k index %d out of range %d", flat, len(out))
+		}
+		out[flat] = vals[i]
+	}
+	return nil
+}

@@ -157,6 +157,47 @@ func TestFigure7Smoke(t *testing.T) {
 	}
 }
 
+// The worker pool must not change any number: a grid evaluated with one
+// worker and with many must render byte-identical tables, because every cell
+// draws all randomness from the seed schedule.
+func TestParallelGridMatchesSerial(t *testing.T) {
+	render := func(jobs int) string {
+		t.Helper()
+		var b strings.Builder
+		r := smokeRunner().WithJobs(jobs)
+		if err := r.Table4(&b, []string{dataset.Cora}, []int{2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Figure7(&b, []string{dataset.Cora}, []float64{1, 20}); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("parallel grid diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// A failing cell must surface as the first error in spec order, regardless of
+// which worker hits it first.
+func TestRunCellsErrorPropagation(t *testing.T) {
+	r := smokeRunner().WithJobs(4)
+	specs := []cellSpec{
+		{label: "ok", model: ModelFedMLP, ds: dataset.Cora, m: 2, resolution: 1.0},
+		{label: "first-bad", model: "NotAModel", ds: dataset.Cora, m: 2, resolution: 1.0},
+		{label: "second-bad", model: "AlsoNotAModel", ds: dataset.Cora, m: 2, resolution: 1.0},
+	}
+	_, err := r.runCells(specs)
+	if err == nil {
+		t.Fatal("runCells swallowed the failure")
+	}
+	if !strings.Contains(err.Error(), "first-bad") {
+		t.Fatalf("expected the first failing spec's label, got: %v", err)
+	}
+}
+
 func TestScalesValid(t *testing.T) {
 	for _, s := range []Scale{QuickScale(), SmokeScale(), PaperScale()} {
 		if s.Rounds <= 0 || s.Seeds <= 0 || s.Hidden <= 0 || s.DatasetDivisor <= 0 {

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"fedomd/internal/dataset"
+	"fedomd/internal/fed"
 	"fedomd/internal/gaussian"
 	"fedomd/internal/metrics"
 	"fedomd/internal/partition"
@@ -93,17 +95,48 @@ func (r *Runner) Figure5(w io.Writer, ds string, m int, models []string) error {
 		models = ModelNames()
 	}
 	progress(w, "== Figure 5: convergence on %s with M=%d (scale=%s) ==", ds, m, r.Scale.Name)
-	g, err := r.loadGraph(ds, r.BaseSeed)
-	if err != nil {
-		return err
+	curves := *r
+	curves.Scale.Patience = 0 // full-length curves share an x-axis
+
+	// Each model's curve is independent, so train them under the same worker
+	// pool as the table grids. Workers regenerate the graph and partition
+	// from the shared seed schedule instead of sharing one instance: the
+	// regeneration is deterministic (identical cut in every worker) and
+	// keeps each run's memory private.
+	histories := make([][]fed.RoundStats, len(models))
+	errs := make([]error, len(models))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, r.jobs())
+	for i, model := range models {
+		wg.Add(1)
+		go func(i int, model string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			g, err := curves.loadGraph(ds, curves.BaseSeed)
+			if err != nil {
+				errs[i] = fmt.Errorf("figure5 %s: %w", model, err)
+				return
+			}
+			parties, err := curves.parties(g, m, defaultResolution(ds), curves.BaseSeed+7)
+			if err != nil {
+				errs[i] = fmt.Errorf("figure5 %s: %w", model, err)
+				return
+			}
+			res, err := curves.runModel(model, parties, curves.BaseSeed+13, buildOpts{})
+			if err != nil {
+				errs[i] = fmt.Errorf("figure5 %s: %w", model, err)
+				return
+			}
+			histories[i] = res.History
+		}(i, model)
 	}
-	parties, err := r.parties(g, m, defaultResolution(ds), r.BaseSeed+7)
-	if err != nil {
-		return err
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
-	saved := r.Scale.Patience
-	r.Scale.Patience = 0 // full-length curves
-	defer func() { r.Scale.Patience = saved }()
 
 	// Sample ~10 evenly spaced rounds for the printed series.
 	step := maxInt(1, r.Scale.Rounds/10)
@@ -112,15 +145,11 @@ func (r *Runner) Figure5(w io.Writer, ds string, m int, models []string) error {
 		header = append(header, fmt.Sprintf("r%d", round))
 	}
 	tbl := metrics.NewTable(header...)
-	for _, model := range models {
-		res, err := r.runModel(model, parties, r.BaseSeed+13, buildOpts{})
-		if err != nil {
-			return fmt.Errorf("figure5 %s: %w", model, err)
-		}
+	for i, model := range models {
 		row := []string{model}
 		for round := 0; round < r.Scale.Rounds; round += step {
-			if round < len(res.History) {
-				row = append(row, fmt.Sprintf("%.3f", res.History[round].TestAcc))
+			if round < len(histories[i]) {
+				row = append(row, fmt.Sprintf("%.3f", histories[i][round].TestAcc))
 			} else {
 				row = append(row, "-")
 			}
@@ -141,6 +170,24 @@ func (r *Runner) Figure6(w io.Writer, datasets []string, alphas, betas []float64
 	if len(betas) == 0 {
 		betas = []float64{0.1, 1, 10, 100}
 	}
+	var specs []cellSpec
+	for _, ds := range datasets {
+		for _, a := range alphas {
+			for _, b := range betas {
+				av, bv := a, b
+				specs = append(specs, cellSpec{
+					label: fmt.Sprintf("figure6 %s a=%v b=%v", ds, a, b),
+					model: ModelFedOMD, ds: ds, m: 3, resolution: defaultResolution(ds),
+					bo: buildOpts{alpha: &av, beta: &bv},
+				})
+			}
+		}
+	}
+	cells, err := r.runCells(specs)
+	if err != nil {
+		return err
+	}
+	next := 0
 	for _, ds := range datasets {
 		progress(w, "== Figure 6: (alpha, beta) sensitivity on %s, M=3 (scale=%s) ==", ds, r.Scale.Name)
 		header := []string{"alpha \\ beta"}
@@ -150,13 +197,9 @@ func (r *Runner) Figure6(w io.Writer, datasets []string, alphas, betas []float64
 		tbl := metrics.NewTable(header...)
 		for _, a := range alphas {
 			row := []string{trimFloat(a)}
-			for _, b := range betas {
-				av, bv := a, b
-				cell, err := r.cell(ModelFedOMD, ds, 3, defaultResolution(ds), buildOpts{alpha: &av, beta: &bv})
-				if err != nil {
-					return fmt.Errorf("figure6 %s a=%v b=%v: %w", ds, a, b, err)
-				}
-				row = append(row, fmt.Sprintf("%.2f", 100*cell.Mean()))
+			for range betas {
+				row = append(row, fmt.Sprintf("%.2f", 100*cells[next].Mean()))
+				next++
 			}
 			tbl.AddRow(row...)
 		}
@@ -182,15 +225,26 @@ func (r *Runner) Figure7(w io.Writer, datasets []string, resolutions []float64) 
 	for _, res := range resolutions {
 		header = append(header, trimFloat(res))
 	}
+	var specs []cellSpec
+	for _, ds := range datasets {
+		for _, res := range resolutions {
+			specs = append(specs, cellSpec{
+				label: fmt.Sprintf("figure7 %s res=%v", ds, res),
+				model: ModelFedOMD, ds: ds, m: 3, resolution: res,
+			})
+		}
+	}
+	cells, err := r.runCells(specs)
+	if err != nil {
+		return err
+	}
 	tbl := metrics.NewTable(header...)
+	next := 0
 	for _, ds := range datasets {
 		row := []string{ds}
-		for _, res := range resolutions {
-			cell, err := r.cell(ModelFedOMD, ds, 3, res, buildOpts{})
-			if err != nil {
-				return fmt.Errorf("figure7 %s res=%v: %w", ds, res, err)
-			}
-			row = append(row, fmt.Sprintf("%.2f", 100*cell.Mean()))
+		for range resolutions {
+			row = append(row, fmt.Sprintf("%.2f", 100*cells[next].Mean()))
+			next++
 		}
 		tbl.AddRow(row...)
 	}

@@ -9,10 +9,13 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"fedomd/internal/baselines"
+	"fedomd/internal/codec"
 	"fedomd/internal/core"
 	"fedomd/internal/dataset"
 	"fedomd/internal/fed"
@@ -94,6 +97,15 @@ type Runner struct {
 	// wall-time histograms ("exp/cell_seconds/<model>/<dataset>") so
 	// experiment tables can report wall-time columns. Nil disables.
 	Recorder telemetry.Recorder
+	// Jobs bounds how many grid cells run concurrently (0 or negative means
+	// GOMAXPROCS). Every cell derives all of its randomness from the seed
+	// schedule — never from the scheduler — so the tables are byte-identical
+	// at any Jobs value.
+	Jobs int
+	// Codec is threaded into every federated run this runner drives (the
+	// zero value leaves payloads raw). The Delta tier is lossless, so even
+	// accuracy tables are unchanged by it.
+	Codec codec.Options
 }
 
 // NewRunner returns a Runner with the given scale and base seed.
@@ -105,6 +117,20 @@ func NewRunner(s Scale, baseSeed int64) *Runner {
 func (r *Runner) WithRecorder(rec telemetry.Recorder) *Runner {
 	r.Recorder = rec
 	return r
+}
+
+// WithJobs sets the cell-level concurrency bound and returns the runner for
+// chaining.
+func (r *Runner) WithJobs(jobs int) *Runner {
+	r.Jobs = jobs
+	return r
+}
+
+func (r *Runner) jobs() int {
+	if r.Jobs > 0 {
+		return r.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // loadGraph generates the (scaled) named dataset and applies the paper's
@@ -226,7 +252,7 @@ func (r *Runner) RunModelPublic(model string, parties []partition.Party, seed in
 	if err != nil {
 		return nil, err
 	}
-	cfg := fed.Config{Rounds: r.Scale.Rounds, Patience: r.Scale.Patience, Sequential: sequential, Recorder: r.Recorder}
+	cfg := fed.Config{Rounds: r.Scale.Rounds, Patience: r.Scale.Patience, Sequential: sequential, Recorder: r.Recorder, Codec: r.Codec}
 	if localOnly {
 		return fed.RunLocalOnly(cfg, clients)
 	}
@@ -239,7 +265,7 @@ func (r *Runner) runModel(model string, parties []partition.Party, seed int64, b
 	if err != nil {
 		return nil, err
 	}
-	cfg := fed.Config{Rounds: r.Scale.Rounds, Patience: r.Scale.Patience, Recorder: r.Recorder}
+	cfg := fed.Config{Rounds: r.Scale.Rounds, Patience: r.Scale.Patience, Recorder: r.Recorder, Codec: r.Codec}
 	if localOnly {
 		return fed.RunLocalOnly(cfg, clients)
 	}
@@ -275,6 +301,76 @@ func (r *Runner) cell(model, ds string, m int, resolution float64, bo buildOpts)
 		c.Add(res.TestAtBestVal)
 	}
 	return c, nil
+}
+
+// cellSpec identifies one table cell to evaluate. label is the error context
+// ("table4 cora/FedOMD/M=3") a failing cell is reported under.
+type cellSpec struct {
+	label      string
+	model, ds  string
+	m          int
+	resolution float64
+	bo         buildOpts
+}
+
+// runCells evaluates every spec with a pool of at most jobs() workers and
+// returns the cells in spec order. Each cell is a pure function of (spec,
+// Scale, BaseSeed) — graphs, partitions, and clients are all rebuilt from the
+// seed schedule inside the cell — so the result is identical to a serial
+// sweep no matter how the scheduler interleaves the workers. On failure every
+// in-flight cell is drained and the first error in spec order is returned.
+func (r *Runner) runCells(specs []cellSpec) ([]metrics.Cell, error) {
+	cells := make([]metrics.Cell, len(specs))
+	workers := r.jobs()
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i, sp := range specs {
+			c, err := r.cell(sp.model, sp.ds, sp.m, sp.resolution, sp.bo)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", sp.label, err)
+			}
+			cells[i] = c
+		}
+		return cells, nil
+	}
+	var (
+		idx  = make(chan int)
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs = make(map[int]error)
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				sp := specs[i]
+				c, err := r.cell(sp.model, sp.ds, sp.m, sp.resolution, sp.bo)
+				if err != nil {
+					mu.Lock()
+					errs[i] = fmt.Errorf("%s: %w", sp.label, err)
+					mu.Unlock()
+					continue
+				}
+				cells[i] = c
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if len(errs) > 0 {
+		for i := range specs {
+			if err, ok := errs[i]; ok {
+				return nil, err
+			}
+		}
+	}
+	return cells, nil
 }
 
 // metricSegment sanitizes a model or dataset name into one snake_case

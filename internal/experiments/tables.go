@@ -107,6 +107,22 @@ func (r *Runner) Table4(w io.Writer, datasets []string, parties []int) error {
 	if len(parties) == 0 {
 		parties = []int{3, 5, 7, 9}
 	}
+	var specs []cellSpec
+	for _, ds := range datasets {
+		for _, model := range ModelNames() {
+			for _, m := range parties {
+				specs = append(specs, cellSpec{
+					label: fmt.Sprintf("table4 %s/%s/M=%d", ds, model, m),
+					model: model, ds: ds, m: m, resolution: defaultResolution(ds),
+				})
+			}
+		}
+	}
+	cells, err := r.runCells(specs)
+	if err != nil {
+		return err
+	}
+	next := 0
 	for _, ds := range datasets {
 		progress(w, "== Table 4: %s (scale=%s) ==", ds, r.Scale.Name)
 		header := []string{"Model"}
@@ -116,12 +132,9 @@ func (r *Runner) Table4(w io.Writer, datasets []string, parties []int) error {
 		tbl := metrics.NewTable(header...)
 		for _, model := range ModelNames() {
 			row := []string{model}
-			for _, m := range parties {
-				cell, err := r.cell(model, ds, m, defaultResolution(ds), buildOpts{})
-				if err != nil {
-					return fmt.Errorf("table4 %s/%s/M=%d: %w", ds, model, m, err)
-				}
-				row = append(row, cell.String())
+			for range parties {
+				row = append(row, cells[next].String())
+				next++
 			}
 			tbl.AddRow(row...)
 		}
@@ -144,15 +157,27 @@ func (r *Runner) Table5(w io.Writer, parties []int) error {
 	for _, m := range parties {
 		header = append(header, fmt.Sprintf("M=%d", m))
 	}
+	var specs []cellSpec
+	for _, model := range ModelNames() {
+		for _, m := range parties {
+			specs = append(specs, cellSpec{
+				label: fmt.Sprintf("table5 %s/M=%d", model, m),
+				model: model, ds: dataset.CoauthorCS, m: m,
+				resolution: defaultResolution(dataset.CoauthorCS),
+			})
+		}
+	}
+	cells, err := r.runCells(specs)
+	if err != nil {
+		return err
+	}
 	tbl := metrics.NewTable(header...)
+	next := 0
 	for _, model := range ModelNames() {
 		row := []string{model}
-		for _, m := range parties {
-			cell, err := r.cell(model, dataset.CoauthorCS, m, defaultResolution(dataset.CoauthorCS), buildOpts{})
-			if err != nil {
-				return fmt.Errorf("table5 %s/M=%d: %w", model, m, err)
-			}
-			row = append(row, cell.String())
+		for range parties {
+			row = append(row, cells[next].String())
+			next++
 		}
 		tbl.AddRow(row...)
 	}
@@ -177,6 +202,23 @@ func (r *Runner) Table6(w io.Writer, datasets []string, parties []int) error {
 		{"CMD only", &fls, &tru},
 		{"Ortho+CMD", &tru, &tru},
 	}
+	var specs []cellSpec
+	for _, ds := range datasets {
+		for _, v := range variants {
+			for _, m := range parties {
+				specs = append(specs, cellSpec{
+					label: fmt.Sprintf("table6 %s/%s/M=%d", ds, v.label, m),
+					model: ModelFedOMD, ds: ds, m: m, resolution: defaultResolution(ds),
+					bo: buildOpts{useOrtho: v.useOrtho, useCMD: v.useCMD},
+				})
+			}
+		}
+	}
+	cells, err := r.runCells(specs)
+	if err != nil {
+		return err
+	}
+	next := 0
 	for _, ds := range datasets {
 		progress(w, "== Table 6: ablation on %s (scale=%s) ==", ds, r.Scale.Name)
 		header := []string{"Variant"}
@@ -186,13 +228,9 @@ func (r *Runner) Table6(w io.Writer, datasets []string, parties []int) error {
 		tbl := metrics.NewTable(header...)
 		for _, v := range variants {
 			row := []string{v.label}
-			for _, m := range parties {
-				cell, err := r.cell(ModelFedOMD, ds, m, defaultResolution(ds),
-					buildOpts{useOrtho: v.useOrtho, useCMD: v.useCMD})
-				if err != nil {
-					return fmt.Errorf("table6 %s/%s/M=%d: %w", ds, v.label, m, err)
-				}
-				row = append(row, cell.String())
+			for range parties {
+				row = append(row, cells[next].String())
+				next++
 			}
 			tbl.AddRow(row...)
 		}
@@ -216,6 +254,29 @@ func (r *Runner) Table7(w io.Writer, datasets []string, parties []int, depths []
 	if len(depths) == 0 {
 		depths = []int{2, 4, 6, 8, 10}
 	}
+	var specs []cellSpec
+	for _, ds := range datasets {
+		for _, depth := range depths {
+			for _, m := range parties {
+				specs = append(specs, cellSpec{
+					label: fmt.Sprintf("table7 %s/depth=%d/M=%d", ds, depth, m),
+					model: ModelFedOMD, ds: ds, m: m, resolution: defaultResolution(ds),
+					bo: buildOpts{hiddenLayers: depth},
+				})
+			}
+		}
+		for _, m := range parties {
+			specs = append(specs, cellSpec{
+				label: fmt.Sprintf("table7 %s/fedgcn/M=%d", ds, m),
+				model: ModelFedGCN, ds: ds, m: m, resolution: defaultResolution(ds),
+			})
+		}
+	}
+	cells, err := r.runCells(specs)
+	if err != nil {
+		return err
+	}
+	next := 0
 	for _, ds := range datasets {
 		progress(w, "== Table 7: depth study on %s (scale=%s) ==", ds, r.Scale.Name)
 		header := []string{"Model/Layers"}
@@ -225,22 +286,16 @@ func (r *Runner) Table7(w io.Writer, datasets []string, parties []int, depths []
 		tbl := metrics.NewTable(header...)
 		for _, depth := range depths {
 			row := []string{fmt.Sprintf("FedOMD %d-hidden", depth)}
-			for _, m := range parties {
-				cell, err := r.cell(ModelFedOMD, ds, m, defaultResolution(ds), buildOpts{hiddenLayers: depth})
-				if err != nil {
-					return fmt.Errorf("table7 %s/depth=%d/M=%d: %w", ds, depth, m, err)
-				}
-				row = append(row, cell.String())
+			for range parties {
+				row = append(row, cells[next].String())
+				next++
 			}
 			tbl.AddRow(row...)
 		}
 		row := []string{"FedGCN 2-GCNConv"}
-		for _, m := range parties {
-			cell, err := r.cell(ModelFedGCN, ds, m, defaultResolution(ds), buildOpts{})
-			if err != nil {
-				return fmt.Errorf("table7 %s/fedgcn/M=%d: %w", ds, m, err)
-			}
-			row = append(row, cell.String())
+		for range parties {
+			row = append(row, cells[next].String())
+			next++
 		}
 		tbl.AddRow(row...)
 		if err := tbl.Render(w); err != nil {

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"fedomd/internal/codec"
 	"fedomd/internal/mat"
 	"fedomd/internal/moments"
 	"fedomd/internal/nn"
@@ -35,7 +36,9 @@ type Client interface {
 	// Params exposes the live local parameter set; the server reads it after
 	// local training to aggregate.
 	Params() *nn.Params
-	// SetParams overwrites the local model with the global weights.
+	// SetParams overwrites the local model with the global weights. The
+	// argument must not be retained past the call: the runtime may recycle
+	// its backing buffers (all in-tree clients copy via Params.CopyFrom).
 	SetParams(global *nn.Params) error
 	// TrainLocal runs the negotiated local epochs for one round and returns
 	// the final local training loss.
@@ -95,6 +98,13 @@ type Config struct {
 	// train-duration histograms, and communication counters. Nil disables
 	// telemetry at zero cost.
 	Recorder telemetry.Recorder
+	// Codec selects the wire codec applied to parameter payloads (see
+	// internal/codec): uploads travel encoded against the last broadcast
+	// global and are decoded before aggregation, so lossy tiers affect the
+	// aggregate exactly as a wire deployment would, and BytesUp/BytesDown
+	// report encoded sizes. The zero value keeps the historical raw-float64
+	// accounting. Statistics payloads (moments, aux) are not encoded.
+	Codec codec.Options
 
 	// Policy selects the failure-handling mode. The zero value, FailFast,
 	// aborts the run on the first client error — the historical behavior.
@@ -211,7 +221,14 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 	if cfg.Policy < FailFast || cfg.Policy > Quarantine {
 		return nil, fmt.Errorf("fed: unknown failure policy %d", int(cfg.Policy))
 	}
+	if err := cfg.Codec.Validate(); err != nil {
+		return nil, fmt.Errorf("fed: %w", err)
+	}
 	rec := telemetry.Or(cfg.Recorder)
+	var cs *codecState
+	if cfg.Codec.Enabled() {
+		cs = newCodecState(cfg.Codec, len(clients), rec)
+	}
 	allMoment := true
 	for _, c := range clients {
 		if c == nil {
@@ -253,6 +270,9 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 		stats := RoundStats{Round: round}
 		roundSpan := telemetry.StartSpan(rec, MetricRoundSeconds)
 		st.beginRound()
+		if cs != nil {
+			cs.beginRound()
+		}
 
 		reach := st.reachable(round)
 
@@ -296,7 +316,16 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 					}
 					continue
 				}
-				stats.BytesDown += int64(global.Bytes())
+				if cs != nil && !transportCoded(c) {
+					n, err := cs.broadcast(i, global)
+					if err != nil {
+						sp.End()
+						return err
+					}
+					stats.BytesDown += n
+				} else {
+					stats.BytesDown += int64(global.Bytes())
+				}
 			}
 			sp.End()
 			if err := st.quorum(round, len(st.aliveOf(activeIdx))); err != nil {
@@ -392,10 +421,31 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 			aggIdx := st.aliveOf(activeIdx)
 			sets := make([]*nn.Params, 0, len(aggIdx))
 			aggWeights := make([]float64, 0, len(aggIdx))
+			// Decoded uploads borrow pooled matrices; they are consumed by
+			// nn.Average (which writes a fresh aggregate), so release them
+			// when the phase ends, on success and error paths alike.
+			var pooled []*nn.Params
+			defer func() {
+				for _, p := range pooled {
+					codec.PutParams(p)
+				}
+			}()
 			for _, i := range aggIdx {
 				c := clients[i]
 				var p *nn.Params
 				err := st.call(i, func() error { p = c.Params(); return nil })
+				var encBytes int64 = -1
+				if err == nil && cs != nil && !transportCoded(c) {
+					// Round-trip the upload through the codec: the server
+					// aggregates what the wire delivers, so lossy tiers
+					// shape the aggregate here exactly as in deployment.
+					var dec *nn.Params
+					dec, encBytes, err = cs.upload(i, p)
+					if err == nil {
+						p = dec
+						pooled = append(pooled, dec)
+					}
+				}
 				if err == nil && !finiteParams(p) {
 					err = ErrNonFinite
 				}
@@ -413,7 +463,11 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 				}
 				sets = append(sets, p)
 				aggWeights = append(aggWeights, weights[i])
-				stats.BytesUp += int64(p.Bytes())
+				if encBytes >= 0 {
+					stats.BytesUp += encBytes
+				} else {
+					stats.BytesUp += int64(p.Bytes())
+				}
 			}
 			if err := st.quorum(round, len(sets)); err != nil {
 				return err

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fedomd/internal/codec"
 	"fedomd/internal/mat"
 	"fedomd/internal/nn"
 	"fedomd/internal/telemetry"
@@ -54,6 +55,14 @@ type TransportOptions struct {
 	// transport completes the hello handshake on it and verifies the name
 	// before reissuing the request.
 	Reconnect func(name string) (net.Conn, error)
+	// Codec requests a wire codec for parameter payloads. During the hello
+	// handshake each party advertises the protocol versions it speaks; a
+	// party advertising v1 is sent the codec choice and both sides switch
+	// SetParams/GetParams to length-delimited codec blobs (see
+	// internal/codec). A party advertising nothing — an old binary — keeps
+	// the v0 raw-gob format on its connection; the two formats coexist
+	// per-connection. The zero value disables negotiation entirely.
+	Codec codec.Options
 }
 
 // ServeOptions configures the party side of the RPC transport.
@@ -103,14 +112,19 @@ func toWire(m *mat.Dense) wireDense {
 	if m == nil {
 		return wireDense{}
 	}
-	return wireDense{Rows: m.Rows(), Cols: m.Cols(), Data: append([]float64(nil), m.Data()...)}
+	// gob serialises Data inside Encode and holds no reference afterwards,
+	// and the encode completes before the call returns, so the wire struct
+	// can alias the matrix's backing array — no copy.
+	return wireDense{Rows: m.Rows(), Cols: m.Cols(), Data: m.Data()}
 }
 
 func fromWire(w wireDense) *mat.Dense {
 	if w.Rows == 0 && w.Cols == 0 {
 		return mat.New(0, 0)
 	}
-	return mat.NewFromData(w.Rows, w.Cols, append([]float64(nil), w.Data...))
+	// Every message decodes into a fresh zero-valued struct, so gob
+	// allocated Data specifically for this matrix: wrap it — no copy.
+	return mat.NewFromData(w.Rows, w.Cols, w.Data)
 }
 
 // wireParams is the gob form of a parameter set.
@@ -170,6 +184,7 @@ const (
 	opUploadAux      = "UploadAux"
 	opDownloadAux    = "DownloadAux"
 	opShutdown       = "Shutdown"
+	opNegotiateCodec = "NegotiateCodec"
 )
 
 // opMetricSuffix maps an rpc op code to the snake_case segment used in
@@ -201,6 +216,8 @@ func opMetricSuffix(op string) string {
 		return "download_aux"
 	case opShutdown:
 		return "shutdown"
+	case opNegotiateCodec:
+		return "negotiate_codec"
 	}
 	return "unknown"
 }
@@ -215,11 +232,18 @@ type appError string
 func (e appError) Error() string { return string(e) }
 
 // hello is the first message a party sends after connecting.
+//
+// Field evolution is safe under gob: an old coordinator skips fields it does
+// not know, and an old party simply never sets them — which is exactly the
+// negotiation fallback (no Codecs advertised → v0 raw format).
 type hello struct {
 	Name       string
 	NumSamples int
 	Moment     bool // implements MomentClient
 	Aux        bool // implements AuxClient
+	// Codecs advertises the wire protocol versions this party speaks
+	// (codec.WireVersions). Empty on v0 binaries.
+	Codecs []uint8
 }
 
 // rpcRequest is a coordinator→party message.
@@ -229,6 +253,13 @@ type rpcRequest struct {
 	Params  *wireParams
 	Means   []wireDense
 	Central [][]wireDense
+	// Blob carries a codec-encoded parameter payload for opSetParams once a
+	// codec is negotiated; Params stays nil then.
+	Blob []byte
+	// CodecKind/CodecBits/CodecTopK carry the coordinator's codec choice in
+	// an opNegotiateCodec request.
+	CodecKind, CodecBits uint8
+	CodecTopK            float64
 }
 
 // rpcResponse is a party→coordinator reply.
@@ -240,6 +271,9 @@ type rpcResponse struct {
 	Means          []wireDense
 	Central        [][]wireDense
 	N              int
+	// Blob carries the codec-encoded upload for opGetParams once a codec is
+	// negotiated; Params stays nil then.
+	Blob []byte
 }
 
 // ServeClient connects to the coordinator at addr and serves the local
@@ -279,9 +313,18 @@ func ServeClientConnOpts(conn net.Conn, c Client, opts ServeOptions) error {
 	dec := gob.NewDecoder(cc)
 	mc, isMoment := c.(MomentClient)
 	ac, isAux := c.(AuxClient)
-	if err := enc.Encode(hello{Name: c.Name(), NumSamples: c.NumSamples(), Moment: isMoment, Aux: isAux}); err != nil {
+	if err := enc.Encode(hello{Name: c.Name(), NumSamples: c.NumSamples(), Moment: isMoment, Aux: isAux,
+		Codecs: codec.WireVersions()}); err != nil {
 		return fmt.Errorf("fed: handshake: %w", err)
 	}
+	// Wire-codec state, armed by opNegotiateCodec: the uplink encoder (which
+	// owns this party's error-feedback residuals) and the reference state —
+	// the last global this party decoded, which both directions encode
+	// against. The coordinator tracks the mirror of this state per party and
+	// falls back to absolute blobs whenever either side loses it (fresh
+	// connection, failed broadcast), so a desync heals within one exchange.
+	var wcEnc *codec.Encoder
+	var wcRef *nn.Params
 	for {
 		if opts.ReadTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(opts.ReadTimeout))
@@ -300,8 +343,35 @@ func ServeClientConnOpts(conn net.Conn, c Client, opts ServeOptions) error {
 				_ = conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
 			}
 			return enc.Encode(rpcResponse{})
+		case opNegotiateCodec:
+			nopts := codec.Options{Kind: codec.Kind(req.CodecKind), Bits: int(req.CodecBits), TopK: req.CodecTopK}
+			if err := nopts.Validate(); err != nil {
+				resp.Err = err.Error() // app error: the coordinator falls back to raw
+				break
+			}
+			wcEnc = codec.NewEncoder(nopts)
+			codec.PutParams(wcRef)
+			wcRef = nil
 		case opSetParams:
-			if err := c.SetParams(paramsFromWire(req.Params)); err != nil {
+			p := req.Params
+			if req.Blob != nil {
+				dec, err := codec.DecodeParams(req.Blob, wcRef)
+				if err != nil {
+					// Reference desync: drop our side so the coordinator's
+					// absolute re-broadcast can resynchronise both.
+					codec.PutParams(wcRef)
+					wcRef = nil
+					resp.Err = err.Error()
+					break
+				}
+				if err := c.SetParams(dec); err != nil {
+					resp.Err = err.Error()
+				}
+				codec.PutParams(wcRef)
+				wcRef = dec // the model copied the values; keep the set as reference
+				break
+			}
+			if err := c.SetParams(paramsFromWire(p)); err != nil {
 				resp.Err = err.Error()
 			}
 		case opTrainLocal:
@@ -315,6 +385,20 @@ func ServeClientConnOpts(conn net.Conn, c Client, opts ServeOptions) error {
 		case opEvalTest:
 			resp.Correct, resp.Total = c.EvalTest()
 		case opGetParams:
+			if wcEnc != nil {
+				p := c.Params()
+				blob, err := wcEnc.EncodeParams(nil, p, wcRef)
+				if err != nil {
+					resp.Err = err.Error()
+					break
+				}
+				resp.Blob = blob
+				if rec.Enabled() {
+					rec.Count(codec.MetricBytesRaw, int64(p.Bytes()))
+					rec.Count(codec.MetricBytesEncoded, int64(len(blob)))
+				}
+				break
+			}
 			resp.Params = paramsToWire(c.Params())
 		case opLocalMeans:
 			if !isMoment {
@@ -394,7 +478,21 @@ type remoteClient struct {
 	conn    *countingConn
 	rec     telemetry.Recorder
 	opts    TransportOptions
+	// codecOn is set once the party accepted an opNegotiateCodec request;
+	// SetParams/GetParams then exchange codec blobs instead of raw gob.
+	codecOn bool
+	// downEnc encodes broadcasts (always the lossless Delta tier — the
+	// global must arrive exactly). lastSent is the reference state the
+	// party is known to hold: the last global it confirmed receiving. Any
+	// failed exchange resets it to nil, forcing the next broadcast to be
+	// an absolute blob, which re-synchronises both ends.
+	downEnc  *codec.Encoder
+	lastSent *nn.Params
 }
+
+// wireCodecNegotiated lets fed.Run's in-process codec layer skip clients
+// whose connection already encodes payloads (see wireCodecClient).
+func (r *remoteClient) wireCodecNegotiated() bool { return r.codecOn }
 
 // call performs one request/response exchange with bounded retry: a
 // transport-level failure triggers up to MaxRetries reconnect-and-reissue
@@ -403,6 +501,17 @@ type remoteClient struct {
 // party is slow rather than unreachable), and Shutdown pass through
 // unretried.
 func (r *remoteClient) call(req rpcRequest) (rpcResponse, error) {
+	return r.callBuild(func() (rpcRequest, error) { return req, nil })
+}
+
+// callBuild is call with the request built per attempt: a reconnect resets
+// the codec reference state, so a retried SetParams must re-encode its blob
+// against the fresh (nil) reference rather than reissue stale bytes.
+func (r *remoteClient) callBuild(build func() (rpcRequest, error)) (rpcResponse, error) {
+	req, err := build()
+	if err != nil {
+		return rpcResponse{}, err
+	}
 	resp, err := r.callOnce(req)
 	if err == nil || r.opts.MaxRetries <= 0 || r.opts.Reconnect == nil || req.Op == opShutdown {
 		return resp, err
@@ -416,6 +525,9 @@ func (r *remoteClient) call(req rpcRequest) (rpcResponse, error) {
 			return resp, fmt.Errorf("fed: reconnect to %s: %w (after %v)", r.name, rerr, err)
 		}
 		r.rec.Count(MetricRPCRetries, 1)
+		if req, err = build(); err != nil {
+			return resp, err
+		}
 		resp, err = r.callOnce(req)
 		if err == nil {
 			return resp, nil
@@ -482,7 +594,37 @@ func (r *remoteClient) reconnect() error {
 		return fmt.Errorf("expected party %s, got %s", r.name, h.Name)
 	}
 	r.conn, r.enc, r.dec = cc, enc, dec
+	// The party restarted its serve loop, so its codec reference and
+	// error-feedback residuals are gone. Renegotiate and start from an
+	// absolute broadcast.
+	r.lastSent = nil
+	if r.codecOn {
+		if !wireSupported(h.Codecs, codec.WireV1) {
+			r.conn.Close()
+			return fmt.Errorf("party %s no longer advertises wire v1", r.name)
+		}
+		if _, err := r.callOnce(negotiateRequest(r.opts.Codec)); err != nil {
+			r.conn.Close()
+			return fmt.Errorf("codec renegotiation with %s: %w", r.name, err)
+		}
+	}
 	return nil
+}
+
+// negotiateRequest packs a codec choice into an opNegotiateCodec request.
+func negotiateRequest(o codec.Options) rpcRequest {
+	return rpcRequest{Op: opNegotiateCodec,
+		CodecKind: uint8(o.Kind), CodecBits: uint8(o.Bits), CodecTopK: o.TopK}
+}
+
+// wireSupported reports whether the advertised protocol versions include v.
+func wireSupported(versions []uint8, v uint8) bool {
+	for _, got := range versions {
+		if got == v {
+			return true
+		}
+	}
+	return false
 }
 
 // callOnce performs one request/response exchange, applying the configured
@@ -532,12 +674,45 @@ func (r *remoteClient) Params() *nn.Params {
 		// aggregation with a shape mismatch.
 		return nn.NewParams()
 	}
+	if resp.Blob != nil {
+		p, derr := codec.DecodeParams(resp.Blob, r.lastSent)
+		if derr != nil {
+			r.lastSent = nil // desync: force an absolute re-broadcast
+			return nn.NewParams()
+		}
+		if r.rec.Enabled() {
+			r.rec.Count(codec.MetricBytesRaw, int64(p.Bytes()))
+			r.rec.Count(codec.MetricBytesEncoded, int64(len(resp.Blob)))
+		}
+		return p
+	}
 	return paramsFromWire(resp.Params)
 }
 
 func (r *remoteClient) SetParams(global *nn.Params) error {
-	_, err := r.call(rpcRequest{Op: opSetParams, Params: paramsToWire(global)})
-	return err
+	if !r.codecOn {
+		_, err := r.call(rpcRequest{Op: opSetParams, Params: paramsToWire(global)})
+		return err
+	}
+	_, err := r.callBuild(func() (rpcRequest, error) {
+		blob, eerr := r.downEnc.EncodeParams(nil, global, r.lastSent)
+		if eerr != nil {
+			return rpcRequest{}, fmt.Errorf("fed: codec encode for %s: %w", r.name, eerr)
+		}
+		if r.rec.Enabled() {
+			r.rec.Count(codec.MetricBytesRawDown, int64(global.Bytes()))
+			r.rec.Count(codec.MetricBytesEncodedDown, int64(len(blob)))
+		}
+		return rpcRequest{Op: opSetParams, Blob: blob}, nil
+	})
+	if err != nil {
+		// The party may or may not have applied the blob; assume nothing
+		// and resynchronise with an absolute broadcast next time.
+		r.lastSent = nil
+		return err
+	}
+	r.lastSent = global
+	return nil
 }
 
 func (r *remoteClient) TrainLocal(round int) (float64, error) {
@@ -638,6 +813,20 @@ func AcceptClientsOpts(ln net.Listener, n int, opts TransportOptions) ([]Client,
 		}
 		base := remoteClient{name: h.Name, samples: h.NumSamples, enc: enc, dec: dec,
 			conn: cc, rec: telemetry.Or(opts.Recorder), opts: opts}
+		if opts.Codec.Enabled() && wireSupported(h.Codecs, codec.WireV1) {
+			if _, err := base.callOnce(negotiateRequest(opts.Codec)); err != nil {
+				var ae appError
+				if !errors.As(err, &ae) {
+					conn.Close()
+					return nil, fmt.Errorf("fed: codec negotiation with %s: %w", h.Name, err)
+				}
+				// The party understood the request and refused the codec
+				// (e.g. an options set its build rejects): stay on v0 raw.
+			} else {
+				base.codecOn = true
+				base.downEnc = codec.NewEncoder(codec.Options{Kind: codec.Delta})
+			}
+		}
 		switch {
 		case h.Moment:
 			clients = append(clients, &remoteMomentClient{base})
@@ -656,7 +845,7 @@ func AcceptClientsOpts(ln net.Listener, n int, opts TransportOptions) ([]Client,
 // down cleanly when the run finishes. cfg.Recorder, when set, also receives
 // the transport's RPC metrics.
 func RunDistributed(cfg Config, ln net.Listener, n int) (*Result, error) {
-	return RunDistributedOpts(cfg, ln, n, TransportOptions{Recorder: cfg.Recorder})
+	return RunDistributedOpts(cfg, ln, n, TransportOptions{Recorder: cfg.Recorder, Codec: cfg.Codec})
 }
 
 // RunDistributedOpts is RunDistributed with explicit transport options
@@ -664,6 +853,12 @@ func RunDistributed(cfg Config, ln net.Listener, n int) (*Result, error) {
 func RunDistributedOpts(cfg Config, ln net.Listener, n int, opts TransportOptions) (*Result, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("fed: RunDistributed needs a positive party count, got %d", n)
+	}
+	if !opts.Codec.Enabled() {
+		// A codec chosen on the run config applies to the transport: the
+		// negotiated wire layer subsumes the in-process simulation (Run
+		// skips proxies that report wireCodecNegotiated).
+		opts.Codec = cfg.Codec
 	}
 	clients, err := AcceptClientsOpts(ln, n, opts)
 	if err != nil {
