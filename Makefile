@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet lint race bench bench-step bench-comms chaos
+.PHONY: build test check fmt vet lint race bench bench-step bench-comms bench-obs chaos obslint dash-demo
 
 # Formatting checks skip testdata: it holds deliberately corrupt analyzer
 # fixtures that gofmt cannot parse.
@@ -48,12 +48,27 @@ check:
 	else echo "FAIL fedomdvet"; fail=1; fi; \
 	if $(GO) test -race -count=1 ./...; then echo "ok   go test -race"; \
 	else echo "FAIL go test -race"; fail=1; fi; \
+	if $(GO) run ./cmd/obslint; then echo "ok   obslint"; \
+	else echo "FAIL obslint"; fail=1; fi; \
 	exit $$fail
+
+# Exposition lint in isolation: run a short chaos-injected round trip and
+# validate the resulting Prometheus text exposition.
+obslint:
+	$(GO) run ./cmd/obslint
+
+# Serve the live run dashboard on a longer seeded run for eyeballing:
+# http://localhost:8600/ (SSE round feed) and /metrics on the same mux.
+dash-demo:
+	$(GO) run ./cmd/fedomd -divisor 8 -rounds 20 -policy drop-round \
+		-chaos -chaos-seed 11 -chaos-nan-rate 0.1 -chaos-latency 30ms \
+		-dash-addr localhost:8600
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/benchstep -out BENCH_step_allocs.json
 	$(GO) run ./cmd/benchcomms -out BENCH_comms.json
+	$(GO) run ./cmd/benchobs -out BENCH_obs.json
 
 # Regenerate only the pooled-vs-unpooled training-step artefact.
 bench-step:
@@ -63,3 +78,8 @@ bench-step:
 # compression ratios, codec CPU cost, and accuracy drift per tier.
 bench-comms:
 	$(GO) run ./cmd/benchcomms -out BENCH_comms.json
+
+# Regenerate the observability-overhead artefact: per-round cost with the
+# tracing plane armed vs disabled, gated at ≤2% overhead when enabled.
+bench-obs:
+	$(GO) run ./cmd/benchobs -out BENCH_obs.json

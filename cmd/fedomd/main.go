@@ -9,8 +9,9 @@
 // Observability:
 //
 //	fedomd -report                  # per-phase timing table + comms totals
-//	fedomd -trace out.jsonl         # machine-readable per-event trace
-//	fedomd -debug-addr :6060        # live pprof + expvar while training
+//	fedomd -trace out.jsonl         # distributed trace: spans + events, JSONL
+//	fedomd -debug-addr :6060        # live pprof + expvar + /metrics (Prometheus)
+//	fedomd -dash-addr :8080         # live run dashboard (SSE) + /metrics
 //
 // Robustness:
 //
@@ -74,8 +75,9 @@ func main() {
 	topK := flag.Float64("topk", 0, "keep only this fraction of delta entries per tensor (0 = off; needs a non-raw -codec)")
 	list := flag.Bool("list", false, "list models and datasets, then exit")
 	report := flag.Bool("report", false, "print a per-phase timing and comms report after the run")
-	trace := flag.String("trace", "", "write machine-readable JSONL telemetry events to this file")
-	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. :6060) for live profiling")
+	trace := flag.String("trace", "", "write machine-readable JSONL telemetry events and trace spans to this file")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. :6060) for live profiling")
+	dashAddr := flag.String("dash-addr", "", "serve the live run dashboard and /metrics on this address (e.g. :8080)")
 	flag.Parse()
 
 	if *list {
@@ -89,37 +91,83 @@ func main() {
 		os.Exit(1)
 	}
 
-	// Telemetry sinks: an in-memory aggregator for -report and -debug-addr,
-	// a JSONL writer for -trace. With none requested the runtime sees the
-	// zero-cost no-op recorder.
+	// Telemetry sinks: an in-memory aggregator for -report, -debug-addr and
+	// -dash-addr (/metrics renders from it), a JSONL writer for -trace. With
+	// none requested the runtime sees the zero-cost no-op recorder.
 	var sinks []fedomd.Recorder
 	var agg *fedomd.TelemetryAggregator
-	if *report || *debugAddr != "" {
+	if *report || *debugAddr != "" || *dashAddr != "" {
 		agg = fedomd.NewTelemetryAggregator()
 		sinks = append(sinks, agg)
 	}
-	var tracer *fedomd.TraceWriter
+	var traceFile *fedomd.TraceWriter
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {
 			fail(err)
 		}
-		tracer = fedomd.NewTraceWriter(f)
-		sinks = append(sinks, tracer)
+		traceFile = fedomd.NewTraceWriter(f)
+		sinks = append(sinks, traceFile)
 	}
 	recorder := fedomd.MultiRecorder(sinks...)
+
+	// The observability plane: build info for exposition, a Tracer over the
+	// JSONL stream, the health rule engine, and (optionally) the dashboard.
+	codecLabel := *codecName
+	if codecLabel == "" {
+		codecLabel = "raw"
+	}
+	build := fedomd.CollectBuildInfo(codecLabel, *policy)
+	tracer := fedomd.NewTracer(traceFile) // nil (inert) without -trace
+	var health *fedomd.Health
+	observers := []fedomd.RoundObserver{}
+	if *report || *trace != "" || *debugAddr != "" || *dashAddr != "" {
+		health = fedomd.NewHealthMonitor(fedomd.HealthConfig{}, tracer, recorder)
+		observers = append(observers, health)
+	}
+	var dash *fedomd.Dashboard
+	if *dashAddr != "" {
+		// Health first: the dashboard attributes freshly raised events to
+		// the round it is fed, so it must observe after the rule engine.
+		dash = fedomd.NewDashboard(health)
+		observers = append(observers, dash)
+		mux := http.NewServeMux()
+		mux.Handle("/", dash.Handler())
+		mux.Handle("/metrics", fedomd.MetricsHandler(agg, &build))
+		go func() {
+			if err := http.ListenAndServe(*dashAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "fedomd: dashboard server:", err)
+			}
+		}()
+		fmt.Printf("dashboard on http://%s/ (/metrics for Prometheus)\n", *dashAddr)
+	}
+
+	runID := fedomd.NewRunID()
+	if traceFile != nil {
+		traceFile.WriteHeader(runID, map[string]string{
+			"module":  build.Module,
+			"version": build.Version,
+			"go":      build.GoVersion,
+			"model":   *model,
+			"dataset": *ds,
+			"codec":   codecLabel,
+			"policy":  *policy,
+		})
+	}
 
 	if *debugAddr != "" {
 		// expvar's import (via the facade) registers /debug/vars and the
 		// pprof import /debug/pprof on the default mux; publish the live
-		// telemetry counters there and serve.
+		// telemetry counters and build info there, add /metrics, and serve.
 		fedomd.PublishTelemetryExpvar(agg)
+		build.PublishExpvar()
+		http.Handle("/metrics", fedomd.MetricsHandler(agg, &build))
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "fedomd: debug server:", err)
 			}
 		}()
-		fmt.Printf("debug server on %s (/debug/pprof, /debug/vars)\n", *debugAddr)
+		fmt.Printf("debug server on %s (/debug/pprof, /debug/vars, /metrics)\n", *debugAddr)
 	}
 
 	g, err := fedomd.GenerateDataset(*ds, *divisor, *seed)
@@ -161,6 +209,11 @@ func main() {
 		Codec:           *codecName,
 		QuantBits:       *quantBits,
 		TopK:            *topK,
+		Tracer:          tracer,
+		RunID:           runID,
+	}
+	if len(observers) > 0 {
+		opts.Observer = fedomd.MultiObserver(observers...)
 	}
 	if *codecName != "" {
 		fmt.Printf("codec: %s\n", *codecName)
@@ -234,14 +287,28 @@ func main() {
 		}
 	}
 
+	if health != nil {
+		if events := health.Events(); len(events) > 0 {
+			fmt.Printf("\nhealth events (%d):\n", len(events))
+			for _, e := range events {
+				fmt.Printf("  %s\n", e)
+			}
+		}
+	}
+
 	if tracer != nil {
-		if err := tracer.Close(); err != nil {
+		spans, events := tracer.Counts()
+		fmt.Printf("\nrun %s traced: %d spans, %d events\n", result.RunID, spans, events)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
 			fail(err)
 		}
 		fmt.Printf("trace written to %s\n", *trace)
 	}
 	if *report {
 		fmt.Println("\ntelemetry report")
+		fmt.Println(build.String())
 		agg.Report(os.Stdout)
 	}
 }

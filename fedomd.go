@@ -21,6 +21,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"net/http"
 	"time"
 
 	"fedomd/internal/chaos"
@@ -30,6 +31,7 @@ import (
 	"fedomd/internal/experiments"
 	"fedomd/internal/fed"
 	"fedomd/internal/graph"
+	"fedomd/internal/obs"
 	"fedomd/internal/partition"
 	"fedomd/internal/telemetry"
 )
@@ -67,6 +69,28 @@ type (
 	// ChaosOptions schedules deterministic fault injection over the client
 	// fleet (see RunOptions.Chaos).
 	ChaosOptions = chaos.FleetConfig
+	// Tracer emits distributed-tracing spans (rounds, phases, per-party
+	// train/upload, codec encode/decode, RPC calls) onto a trace stream.
+	// A nil *Tracer is inert — every method is a no-op.
+	Tracer = obs.Tracer
+	// SpanContext identifies a span (trace ID + span ID) for parenting.
+	SpanContext = obs.SpanContext
+	// RoundObserver receives one RoundObservation after every completed
+	// round (see RunOptions.Observer); Health and Dashboard implement it.
+	RoundObserver = obs.RoundObserver
+	// RoundObservation is the per-round digest handed to observers.
+	RoundObservation = obs.RoundObservation
+	// Health is the run-health rule engine (non-finite screens, accuracy
+	// regression, straggler skew, quarantine growth, codec resets).
+	Health = obs.Health
+	// HealthConfig tunes the health rules' thresholds.
+	HealthConfig = obs.HealthConfig
+	// HealthEvent is one warn/critical finding from the health monitors.
+	HealthEvent = obs.HealthEvent
+	// Dashboard serves the live run dashboard (SSE-fed single page).
+	Dashboard = obs.Dashboard
+	// BuildInfo captures version/toolchain/run metadata for exposition.
+	BuildInfo = obs.BuildInfo
 )
 
 // Failure and quorum policies, re-exported for RunOptions.
@@ -102,6 +126,56 @@ func MultiRecorder(rs ...Recorder) Recorder { return telemetry.Multi(rs...) }
 // PublishTelemetryExpvar exposes the aggregator (and the process-global
 // autodiff/SpMM counters) on expvar's /debug/vars for live profiling.
 func PublishTelemetryExpvar(a *TelemetryAggregator) { telemetry.PublishExpvar(a) }
+
+// NewTracer returns a Tracer streaming span and event records to the trace
+// writer (interleaved with its telemetry events). A nil writer returns a nil
+// Tracer, which is valid and free everywhere a *Tracer is accepted.
+func NewTracer(sink *TraceWriter) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return obs.NewTracer(sink)
+}
+
+// NewRunID returns a fresh random run identifier (16 hex digits) for
+// RunOptions.RunID and trace headers.
+func NewRunID() string { return obs.NewRunID() }
+
+// NewHealthMonitor returns the default run-health rule engine. Events are
+// emitted onto the tracer's stream (when non-nil), counted on the recorder
+// ("obs/health_warn", "obs/health_critical"), and retained for Events().
+func NewHealthMonitor(cfg HealthConfig, tr *Tracer, rec Recorder) *Health {
+	return obs.NewHealth(cfg, tr, rec)
+}
+
+// NewDashboard returns the live-run dashboard observer; serve its Handler and
+// register it (after the health monitor) via MultiObserver.
+func NewDashboard(h *Health) *Dashboard { return obs.NewDashboard(h) }
+
+// MultiObserver fans round observations out to several observers in order
+// (put Health before Dashboard so the page sees fresh events).
+func MultiObserver(os ...RoundObserver) RoundObserver { return obs.MultiRoundObserver(os) }
+
+// CollectBuildInfo captures the binary's module version and toolchain plus
+// the run's codec and failure-policy settings.
+func CollectBuildInfo(codecName, policy string) BuildInfo {
+	return obs.CollectBuildInfo(codecName, policy)
+}
+
+// MetricsHandler serves the aggregator (plus process-global counters) in
+// Prometheus text exposition format. build may be nil.
+func MetricsHandler(a *TelemetryAggregator, build *BuildInfo) http.Handler {
+	return obs.MetricsHandler(a, build)
+}
+
+// WriteExposition renders the aggregator's state as Prometheus text format.
+func WriteExposition(w io.Writer, a *TelemetryAggregator, build *BuildInfo) {
+	obs.WriteExposition(w, a, build)
+}
+
+// LintExposition validates Prometheus text-format output (names, duplicate
+// series, histogram bucket invariants), returning one message per problem.
+func LintExposition(r io.Reader) []string { return obs.LintExposition(r) }
 
 // Model names accepted by TrainBaseline, in the paper's table order.
 const (
@@ -193,6 +267,17 @@ type RunOptions struct {
 	// per-client train-duration histograms and communication counters
 	// (plus RPC metrics for distributed runs). Nil disables telemetry.
 	Recorder Recorder
+	// Tracer emits distributed-tracing spans for the run (round, phases,
+	// per-party train/upload, codec encode/decode; RPC spans on distributed
+	// runs). Nil disables tracing for free.
+	Tracer *Tracer
+	// Observer receives a RoundObservation after every completed round —
+	// typically MultiObserver(NewHealthMonitor(...), NewDashboard(...)).
+	// Nil disables observation.
+	Observer RoundObserver
+	// RunID tags the run's Result, trace spans, and JSONL header; empty
+	// means a fresh NewRunID is generated.
+	RunID string
 
 	// Policy selects the failure-handling mode; the zero value FailFast
 	// aborts on the first party error, exactly as before.
@@ -257,6 +342,9 @@ func (o RunOptions) fedConfig() (fed.Config, error) {
 		MaxStrikes:      o.MaxStrikes,
 		CooldownRounds:  o.CooldownRounds,
 		CheckpointEvery: o.CheckpointEvery,
+		Tracer:          o.Tracer,
+		Observer:        o.Observer,
+		RunID:           o.RunID,
 	}
 	co, err := codec.Parse(o.Codec, o.QuantBits, o.TopK)
 	if err != nil {
@@ -279,12 +367,17 @@ func (o RunOptions) fedConfig() (fed.Config, error) {
 	return cfg, nil
 }
 
-// wrapChaos applies the configured fault injection to the fleet.
+// wrapChaos applies the configured fault injection to the fleet, defaulting
+// the injectors' trace annotations onto the run's tracer.
 func (o RunOptions) wrapChaos(clients []fed.Client) []fed.Client {
 	if o.Chaos == nil {
 		return clients
 	}
-	return chaos.WrapFleet(clients, *o.Chaos)
+	cc := *o.Chaos
+	if cc.Tracer == nil {
+		cc.Tracer = o.Tracer
+	}
+	return chaos.WrapFleet(clients, cc)
 }
 
 // TrainFedOMD builds one FedOMD client per party and runs federated
@@ -376,11 +469,21 @@ func TrainBaseline(model string, parties []Party, opts RunOptions, seed int64) (
 // when the coordinator shuts the federation down. Raw features never leave
 // the process: only weights and moment statistics cross the wire.
 func ServeParty(addr, name string, party Party, cfg Config, seed int64) error {
+	return ServePartyOpts(addr, name, party, cfg, seed, PartyOptions{})
+}
+
+// PartyOptions controls a served party's transport: deadlines, a Recorder
+// for per-op handling telemetry, and a Tracer whose spans parent under the
+// trace context the coordinator stamps into each request frame.
+type PartyOptions = fed.ServeOptions
+
+// ServePartyOpts is ServeParty with explicit transport options.
+func ServePartyOpts(addr, name string, party Party, cfg Config, seed int64, opts PartyOptions) error {
 	c, err := core.NewClient(name, party.Graph, cfg, seed)
 	if err != nil {
 		return err
 	}
-	return fed.ServeClient(addr, c)
+	return fed.ServeClientOpts(addr, c, opts)
 }
 
 // CoordinateFedOMD accepts n parties on ln and drives the federated protocol

@@ -225,6 +225,7 @@ var (
 	pathNn        = modulePath + "/internal/nn"
 	pathSparse    = modulePath + "/internal/sparse"
 	pathTelemetry = modulePath + "/internal/telemetry"
+	pathObs       = modulePath + "/internal/obs"
 )
 
 // calleeFunc resolves the *types.Func a call expression invokes, or nil for
@@ -321,3 +322,8 @@ func usesIdentOf(info *types.Info, n ast.Node, objs map[types.Object]bool) bool 
 // snakeKeyRE is the pkg/snake_case convention for telemetry metric names:
 // two or more slash-separated segments of [a-z0-9_]+.
 var snakeKeyRE = regexp.MustCompile(`^[a-z0-9_]+(/[a-z0-9_]+)+$`)
+
+// attrKeyRE is the convention for trace span/event attribute keys: one
+// snake_case segment, no slashes (attributes qualify a span, whose name
+// already carries the pkg/ prefix).
+var attrKeyRE = regexp.MustCompile(`^[a-z0-9_]+$`)

@@ -3,16 +3,21 @@ package analysis
 import (
 	"go/ast"
 	"go/constant"
+	"regexp"
 )
 
-// TelemetryKey checks every metric/span name handed to internal/telemetry:
-// the name must be a compile-time constant (dashboards, the expvar publisher
-// and the JSONL trace schema key on exact strings — a name computed at run
-// time silently forks a metric series) and must follow the pkg/snake_case
-// convention used by every existing fed/*, rpc/*, ad/* and mat/* key.
+// TelemetryKey checks every metric/span name handed to internal/telemetry
+// and internal/obs: the name must be a compile-time constant (dashboards,
+// the expvar publisher, the Prometheus exposition mapping and the JSONL
+// trace schema key on exact strings — a name computed at run time silently
+// forks a metric series) and must follow the pkg/snake_case convention used
+// by every existing fed/*, rpc/*, ad/* and mat/* key. Trace span attribute
+// keys (obs.KV, Span.SetAttr) must likewise be constants, in single-segment
+// snake_case — the span name already carries the pkg/ prefix.
 //
-// The telemetry package itself is exempt: its fan-out plumbing (multi,
-// Span.End) forwards caller-supplied names through variables by design.
+// The telemetry and obs packages themselves are exempt: their fan-out
+// plumbing (multi, Span.End, Tracer.start) forwards caller-supplied names
+// through variables by design.
 var TelemetryKey = &Analyzer{
 	Name: "telemetrykey",
 	Doc:  "telemetry counter/span names must be pkg/snake_case compile-time constants",
@@ -29,8 +34,23 @@ var telemetryNameArg = map[string]int{
 	"Observe":    0,
 }
 
+// obsNameArg maps the obs trace entry points to the index of their span or
+// event name parameter.
+var obsNameArg = map[string]int{
+	"Root":  0,
+	"Start": 1,
+	"Event": 1,
+}
+
+// obsAttrArg maps the obs attribute entry points to the index of their
+// attribute-key parameter.
+var obsAttrArg = map[string]int{
+	"KV":      0,
+	"SetAttr": 0,
+}
+
 func runTelemetryKey(p *Pass) {
-	if p.Pkg.Path() == pathTelemetry {
+	if p.Pkg.Path() == pathTelemetry || p.Pkg.Path() == pathObs {
 		return
 	}
 	for _, f := range p.Files {
@@ -40,26 +60,46 @@ func runTelemetryKey(p *Pass) {
 				return true
 			}
 			fn := calleeFunc(p.Info, call)
-			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pathTelemetry {
+			if fn == nil || fn.Pkg() == nil {
 				return true
 			}
-			idx, ok := telemetryNameArg[fn.Name()]
-			if !ok || idx >= len(call.Args) {
-				return true
-			}
-			arg := call.Args[idx]
-			tv, ok := p.Info.Types[arg]
-			if !ok {
-				return true
-			}
-			if tv.Value == nil {
-				p.Reportf(arg.Pos(), "telemetry key passed to %s must be a compile-time constant, got %s", fn.Name(), exprString(arg))
-				return true
-			}
-			if key := constant.StringVal(tv.Value); !snakeKeyRE.MatchString(key) {
-				p.Reportf(arg.Pos(), "telemetry key %q must match pkg/snake_case (two or more /-separated [a-z0-9_]+ segments)", key)
+			switch fn.Pkg().Path() {
+			case pathTelemetry:
+				if idx, ok := telemetryNameArg[fn.Name()]; ok {
+					checkKeyArg(p, call, fn.Name(), idx, "telemetry key", snakeKeyRE,
+						"pkg/snake_case (two or more /-separated [a-z0-9_]+ segments)")
+				}
+			case pathObs:
+				if idx, ok := obsNameArg[fn.Name()]; ok {
+					checkKeyArg(p, call, fn.Name(), idx, "trace span name", snakeKeyRE,
+						"pkg/snake_case (two or more /-separated [a-z0-9_]+ segments)")
+				}
+				if idx, ok := obsAttrArg[fn.Name()]; ok {
+					checkKeyArg(p, call, fn.Name(), idx, "span attribute key", attrKeyRE,
+						"single-segment snake_case ([a-z0-9_]+, no slashes)")
+				}
 			}
 			return true
 		})
+	}
+}
+
+// checkKeyArg verifies one name argument is a compile-time constant matching
+// the convention re, reporting under the given kind label.
+func checkKeyArg(p *Pass, call *ast.CallExpr, fnName string, idx int, kind string, re *regexp.Regexp, want string) {
+	if idx >= len(call.Args) {
+		return
+	}
+	arg := call.Args[idx]
+	tv, ok := p.Info.Types[arg]
+	if !ok {
+		return
+	}
+	if tv.Value == nil {
+		p.Reportf(arg.Pos(), "%s passed to %s must be a compile-time constant, got %s", kind, fnName, exprString(arg))
+		return
+	}
+	if key := constant.StringVal(tv.Value); !re.MatchString(key) {
+		p.Reportf(arg.Pos(), "%s %q must match %s", kind, key, want)
 	}
 }

@@ -1,8 +1,13 @@
 // Package telemetrykey exercises the telemetrykey analyzer: metric names
-// handed to internal/telemetry must be pkg/snake_case compile-time constants.
+// handed to internal/telemetry must be pkg/snake_case compile-time
+// constants, and trace span names / attribute keys handed to internal/obs
+// likewise (attribute keys are single-segment).
 package telemetrykey
 
-import "fedomd/internal/telemetry"
+import (
+	"fedomd/internal/obs"
+	"fedomd/internal/telemetry"
+)
 
 const spanKey = "fixture/phase_seconds"
 
@@ -29,4 +34,24 @@ func record(r telemetry.Recorder, dyn string) {
 	telemetry.StartSpan(r, spanKey).End()
 	telemetry.StartSpan(r, "fixture/"+dyn).End() // want `telemetry key passed to StartSpan must be a compile-time constant`
 	telemetry.NewCounter("fixture/ops_total").Add(1)
+}
+
+const traceSpanKey = "fixture/phase"
+
+func traced(tr *obs.Tracer, dyn string) {
+	// The observability plane's span and health-event names; all legal.
+	root := tr.Root("fed/run")
+	sp := tr.Start(root.Context(), traceSpanKey)
+	sp.SetAttr("party", 3)
+	sp.SetAttr(obs.AttrRound, 1)
+	tr.Event(root.Context(), "obs/health", "warn", obs.KV("rule", "non_finite"))
+	tr.Event(root.Context(), "chaos/fault", "warn", obs.KV(obs.AttrParty, dyn)) // attr values may be dynamic
+	tr.Start(root.Context(), dyn)                                               // want `trace span name passed to Start must be a compile-time constant`
+	tr.Root("run")                                                              // want `trace span name "run" must match pkg/snake_case`
+	tr.Event(root.Context(), "obs/"+dyn, "warn")                                // want `trace span name passed to Event must be a compile-time constant`
+	sp.SetAttr(dyn, 1)                                                          // want `span attribute key passed to SetAttr must be a compile-time constant`
+	sp.SetAttr("bytes/raw", 1)                                                  // want `span attribute key "bytes/raw" must match single-segment snake_case`
+	_ = obs.KV("CamelCase", 1)                                                  // want `span attribute key "CamelCase" must match single-segment snake_case`
+	sp.End()
+	root.End()
 }

@@ -17,6 +17,7 @@ import (
 	"fedomd/internal/fed"
 	"fedomd/internal/mat"
 	"fedomd/internal/nn"
+	"fedomd/internal/obs"
 )
 
 // ClientConfig schedules the faults one wrapped client injects.
@@ -38,6 +39,10 @@ type ClientConfig struct {
 	// ten sleeps 10×Latency, modeling a straggler.
 	Latency   time.Duration
 	HeavyTail bool
+	// Tracer, when set, annotates every injected fault as a "chaos/fault"
+	// trace event under the tracer's active context (the current round or
+	// request span), so chaos shows up inline on the causal timeline.
+	Tracer *obs.Tracer
 }
 
 // Client wraps a fed.Client with the configured fault schedule. Use Wrap to
@@ -83,17 +88,38 @@ func (c *Client) disturb(op string) error {
 		sleep *= 10
 	}
 	var err error
+	kind := ""
 	switch {
 	case c.cfg.CrashAtRound > 0 && c.round >= c.cfg.CrashAtRound:
 		err = fmt.Errorf("chaos: %s: party %s crashed at round %d", op, c.inner.Name(), c.cfg.CrashAtRound)
+		kind = "crash"
 	case c.cfg.ErrRate > 0 && c.rng.Float64() < c.cfg.ErrRate:
 		err = fmt.Errorf("chaos: %s: injected transient fault at party %s", op, c.inner.Name())
+		kind = "transient"
 	}
 	c.mu.Unlock()
+	if err != nil {
+		c.annotate(kind, op, sleep)
+	}
 	if sleep > 0 {
 		time.Sleep(sleep)
 	}
 	return err
+}
+
+// annotate emits one injected fault as a trace event under the tracer's
+// active context.
+func (c *Client) annotate(kind, op string, sleep time.Duration) {
+	tr := c.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	tr.Event(tr.Active(), obs.MetricChaosFault, "warn",
+		obs.KV(obs.AttrParty, c.inner.Name()),
+		obs.KV(obs.AttrKind, kind),
+		obs.KV(obs.AttrOp, op),
+		obs.KV(obs.AttrDelaySec, sleep.Seconds()),
+	)
 }
 
 // delay applies only the latency schedule (for operations with no error
@@ -143,6 +169,7 @@ func (c *Client) Params() *nn.Params {
 	if poison && p.Len() > 0 {
 		p = p.Clone()
 		p.At(0).Set(0, 0, math.NaN())
+		c.annotate("nan_poison", "get_params", 0)
 	}
 	return p
 }
@@ -252,6 +279,9 @@ type FleetConfig struct {
 	NaNRate   float64
 	Latency   time.Duration
 	HeavyTail bool
+	// Tracer annotates every injected fault on the trace stream (see
+	// ClientConfig.Tracer); it is shared by the whole fleet.
+	Tracer *obs.Tracer
 }
 
 // WrapFleet wraps every client with a fault schedule derived from cfg,
@@ -276,6 +306,7 @@ func WrapFleet(clients []fed.Client, cfg FleetConfig) []fed.Client {
 			NaNRate:   cfg.NaNRate,
 			Latency:   cfg.Latency,
 			HeavyTail: cfg.HeavyTail,
+			Tracer:    cfg.Tracer,
 		}
 		if crashers[i] {
 			cc.CrashAtRound = cfg.CrashAtRound

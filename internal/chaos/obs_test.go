@@ -1,0 +1,86 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fedomd/internal/fed"
+	"fedomd/internal/obs"
+	"fedomd/internal/telemetry"
+)
+
+// TestFaultsAnnotateTrace drives a fault-injected run with a tracer on the
+// fleet config: every injected fault must surface as a "chaos/fault" event
+// in the trace stream, parented inside the run's causal timeline, and the
+// run itself must still complete under DropRound.
+func TestFaultsAnnotateTrace(t *testing.T) {
+	var buf bytes.Buffer
+	jl := telemetry.NewJSONL(&buf)
+	tr := obs.NewTracer(jl)
+
+	clients := WrapFleet([]fed.Client{
+		newStub("a"), newStub("b"), newStub("c"), newStub("d"),
+	}, FleetConfig{Seed: 7, NaNRate: 0.25, ErrRate: 0.1, Tracer: tr})
+
+	res, err := fed.Run(fed.Config{
+		Rounds:     4,
+		Sequential: true,
+		Policy:     fed.DropRound,
+		Tracer:     tr,
+	}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ClientFailures) == 0 {
+		t.Fatal("chaos at these rates should have produced failures")
+	}
+	if err := jl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	stream := buf.String()
+	if !strings.Contains(stream, `"name":"`+obs.MetricChaosFault+`"`) {
+		t.Fatal("no chaos/fault events in the trace stream")
+	}
+	// The NaN-poison path must be annotated with its own fault kind — it
+	// bypasses disturb, so it is easy to lose.
+	if !strings.Contains(stream, `"kind":"nan_poison"`) {
+		t.Fatal("NaN poisoning left no trace annotation")
+	}
+	// Fault events carry the party and operation they hit.
+	var faultLines int
+	for _, line := range strings.Split(stream, "\n") {
+		if !strings.Contains(line, `"name":"`+obs.MetricChaosFault+`"`) {
+			continue
+		}
+		faultLines++
+		if !strings.Contains(line, `"party":`) || !strings.Contains(line, `"op":`) {
+			t.Fatalf("fault event missing party/op attrs: %s", line)
+		}
+		if !strings.Contains(line, `"trace":`) {
+			t.Fatalf("fault event not attached to a trace: %s", line)
+		}
+	}
+	if faultLines == 0 {
+		t.Fatal("no fault lines parsed")
+	}
+}
+
+// TestWrapFleetThreadsTracer checks the tracer reaches every wrapped
+// client's config — a per-client Wrap without the fleet path must behave
+// identically.
+func TestWrapFleetThreadsTracer(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTracer(telemetry.NewJSONL(&buf))
+	fleet := WrapFleet([]fed.Client{newStub("a"), newStub("b")}, FleetConfig{Tracer: tr})
+	for i, c := range fleet {
+		inj, ok := c.(*Client)
+		if !ok {
+			t.Fatalf("client %d is %T, want *Client", i, c)
+		}
+		if inj.cfg.Tracer != tr {
+			t.Fatalf("client %d did not receive the fleet tracer", i)
+		}
+	}
+}

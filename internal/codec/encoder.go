@@ -8,6 +8,7 @@ import (
 
 	"fedomd/internal/mat"
 	"fedomd/internal/nn"
+	"fedomd/internal/obs"
 )
 
 // Encoder turns parameter sets into v1 blobs. It is stateful per sender:
@@ -24,6 +25,11 @@ type Encoder struct {
 	residual map[string][]float64
 	delta    []float64 // scratch, reused across tensors and calls
 	recon    []float64 // scratch for the decoder-side reconstruction
+
+	// tracer/parent are the optional obs hooks (see SetTrace); nil when
+	// tracing is off, which keeps EncodeParams span-free.
+	tracer *obs.Tracer
+	parent func() obs.SpanContext
 }
 
 // NewEncoder returns an Encoder for the given (validated) options.
@@ -80,6 +86,16 @@ func (e *Encoder) EncodeParams(dst []byte, p, ref *nn.Params) ([]byte, error) {
 	}
 	if p == nil {
 		return nil, fmt.Errorf("codec: encode of nil params")
+	}
+	if e.tracer != nil {
+		sp := e.tracer.Start(e.traceParent(), obs.SpanEncode)
+		sp.SetAttr(obs.AttrTier, e.opts.Kind.String())
+		base := len(dst)
+		defer func() {
+			sp.SetAttr(obs.AttrBytesEnc, len(dst)-base)
+			sp.SetAttr(obs.AttrTensors, p.Len())
+			sp.End()
+		}()
 	}
 	dst = append(dst, blobMagic, blobVersion, byte(e.opts.Kind), byte(e.opts.Bits))
 	dst = appendU32(dst, uint32(p.Len()))

@@ -21,6 +21,7 @@ import (
 	"fedomd/internal/fed"
 	"fedomd/internal/graph"
 	"fedomd/internal/metrics"
+	"fedomd/internal/obs"
 	"fedomd/internal/partition"
 	"fedomd/internal/telemetry"
 )
@@ -106,6 +107,10 @@ type Runner struct {
 	// zero value leaves payloads raw). The Delta tier is lossless, so even
 	// accuracy tables are unchanged by it.
 	Codec codec.Options
+	// Tracer, when set, is threaded into every federated run so each cell's
+	// rounds and phases land on the shared trace stream. Nil disables (no
+	// timing overhead beyond the runs' own telemetry).
+	Tracer *obs.Tracer
 }
 
 // NewRunner returns a Runner with the given scale and base seed.
@@ -123,6 +128,12 @@ func (r *Runner) WithRecorder(rec telemetry.Recorder) *Runner {
 // chaining.
 func (r *Runner) WithJobs(jobs int) *Runner {
 	r.Jobs = jobs
+	return r
+}
+
+// WithTracer sets the trace sink and returns the runner for chaining.
+func (r *Runner) WithTracer(tr *obs.Tracer) *Runner {
+	r.Tracer = tr
 	return r
 }
 
@@ -252,7 +263,7 @@ func (r *Runner) RunModelPublic(model string, parties []partition.Party, seed in
 	if err != nil {
 		return nil, err
 	}
-	cfg := fed.Config{Rounds: r.Scale.Rounds, Patience: r.Scale.Patience, Sequential: sequential, Recorder: r.Recorder, Codec: r.Codec}
+	cfg := fed.Config{Rounds: r.Scale.Rounds, Patience: r.Scale.Patience, Sequential: sequential, Recorder: r.Recorder, Codec: r.Codec, Tracer: r.Tracer}
 	if localOnly {
 		return fed.RunLocalOnly(cfg, clients)
 	}
@@ -265,7 +276,7 @@ func (r *Runner) runModel(model string, parties []partition.Party, seed int64, b
 	if err != nil {
 		return nil, err
 	}
-	cfg := fed.Config{Rounds: r.Scale.Rounds, Patience: r.Scale.Patience, Recorder: r.Recorder, Codec: r.Codec}
+	cfg := fed.Config{Rounds: r.Scale.Rounds, Patience: r.Scale.Patience, Recorder: r.Recorder, Codec: r.Codec, Tracer: r.Tracer}
 	if localOnly {
 		return fed.RunLocalOnly(cfg, clients)
 	}

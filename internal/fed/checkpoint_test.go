@@ -4,6 +4,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 )
 
 // roundTrainer's parameters depend on the round number, so every round
@@ -36,9 +37,19 @@ func checkpointConfig() Config {
 	return Config{Rounds: 8, ClientFraction: 0.5, SampleSeed: 7, Sequential: true}
 }
 
+// stripTimes clears the wall-clock fields so histories from separate runs
+// (or a run and its resume) compare on the protocol-determined values.
+func stripTimes(h []RoundStats) []RoundStats {
+	out := append([]RoundStats(nil), h...)
+	for i := range out {
+		out[i].Start, out[i].End = time.Time{}, time.Time{}
+	}
+	return out
+}
+
 func assertSameResult(t *testing.T, full, resumed *Result) {
 	t.Helper()
-	if !reflect.DeepEqual(full.History, resumed.History) {
+	if !reflect.DeepEqual(stripTimes(full.History), stripTimes(resumed.History)) {
 		t.Fatalf("history diverged:\nfull    %+v\nresumed %+v", full.History, resumed.History)
 	}
 	if full.BestValAcc != resumed.BestValAcc || full.TestAtBestVal != resumed.TestAtBestVal ||

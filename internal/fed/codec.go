@@ -18,6 +18,7 @@ import (
 
 	"fedomd/internal/codec"
 	"fedomd/internal/nn"
+	"fedomd/internal/obs"
 	"fedomd/internal/telemetry"
 )
 
@@ -70,6 +71,16 @@ func newCodecState(opts codec.Options, n int, rec telemetry.Recorder) *codecStat
 		cs.up[i] = codec.NewEncoder(opts)
 	}
 	return cs
+}
+
+// setTrace arms every per-client encoder (and the broadcast encoder) with
+// the run's tracer; encode spans then parent under the tracer's active round
+// context. A nil tracer leaves tracing off.
+func (cs *codecState) setTrace(tr *obs.Tracer) {
+	for _, e := range cs.up {
+		e.SetTrace(tr, tr.Active)
+	}
+	cs.down.SetTrace(tr, tr.Active)
 }
 
 func (cs *codecState) beginRound() {

@@ -6,6 +6,7 @@ import (
 	"math"
 	"net"
 	"testing"
+	"time"
 
 	"fedomd/internal/codec"
 	"fedomd/internal/mat"
@@ -52,6 +53,7 @@ func TestCodecRunDeltaParity(t *testing.T) {
 	for i := range raw.History {
 		r, d := raw.History[i], delta.History[i]
 		r.BytesUp, r.BytesDown, d.BytesUp, d.BytesDown = 0, 0, 0, 0
+		r.Start, r.End, d.Start, d.End = time.Time{}, time.Time{}, time.Time{}, time.Time{}
 		if r != d {
 			t.Fatalf("round %d stats diverged: %+v vs %+v", i, r, d)
 		}

@@ -126,6 +126,7 @@ type runState struct {
 	touched      []bool
 	droppedCount int
 	quarantined  int
+	nonFinite    int // non-finite screens tripped this round (health feed)
 }
 
 func newRunState(cfg *Config, clients []Client, weights []float64, rec telemetry.Recorder) *runState {
@@ -164,6 +165,7 @@ func (st *runState) beginRound() {
 	}
 	st.droppedCount = 0
 	st.quarantined = 0
+	st.nonFinite = 0
 }
 
 // benched reports whether client i sits out the given round (Quarantine
@@ -239,6 +241,10 @@ func (st *runState) call(i int, f func() error) error {
 // remainder of the round, tallies the failure, and returns nil.
 func (st *runState) fail(i int, err error) error {
 	st.touched[i] = true
+	if errors.Is(err, ErrNonFinite) {
+		st.nonFinite++
+		st.rec.Count(MetricNonFiniteScreened, 1)
+	}
 	if st.policy == FailFast {
 		return err
 	}

@@ -22,6 +22,7 @@ import (
 	"fedomd/internal/mat"
 	"fedomd/internal/moments"
 	"fedomd/internal/nn"
+	"fedomd/internal/obs"
 	"fedomd/internal/telemetry"
 )
 
@@ -127,6 +128,18 @@ type Config struct {
 	// 1); it doubles on each re-bench of the same party.
 	CooldownRounds int
 
+	// RunID names the run in the Result and in distributed traces; empty
+	// generates a fresh random ID so every run is correlatable offline.
+	RunID string
+	// Tracer emits distributed spans for the run: a root "fed/run" span,
+	// per-round "fed/round" spans (published as the tracer's active context
+	// so transport and codec spans parent under them), and per-party
+	// train/upload spans. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
+	// Observer receives one obs.RoundObservation per finished round — the
+	// feed for health monitors and the live dashboard. Nil disables it.
+	Observer obs.RoundObserver
+
 	// CheckpointEvery snapshots the server state every N completed rounds
 	// through CheckpointWriter; 0 disables checkpointing.
 	CheckpointEvery int
@@ -160,6 +173,9 @@ const (
 	MetricClientDropped     = "fed/client_dropped"
 	MetricClientQuarantined = "fed/client_quarantined"
 	MetricRoundDegraded     = "fed/round_degraded"
+	// MetricNonFiniteScreened counts uploads rejected by the non-finite
+	// screen (the health monitor's non_finite rule watches the same events).
+	MetricNonFiniteScreened = "fed/non_finite_screened"
 )
 
 // RoundStats is one row of the training history (Figure 5 data).
@@ -170,6 +186,9 @@ type RoundStats struct {
 	TestAcc   float64
 	BytesUp   int64
 	BytesDown int64
+	// Start and End are the round's wall-clock bounds, for correlating
+	// history rows with trace spans from other processes.
+	Start, End time.Time
 	// Dropped counts parties excluded from this round by the failure
 	// policy; Quarantined counts parties benched at its end.
 	Dropped     int
@@ -181,6 +200,12 @@ type RoundStats struct {
 
 // Result summarises a run.
 type Result struct {
+	// RunID is the (possibly generated) run identifier; it matches the
+	// JSONL trace header so results and traces correlate offline.
+	RunID string
+	// Start and End are the run's wall-clock bounds.
+	Start, End time.Time
+
 	History []RoundStats
 	// BestValAcc is the best validation accuracy seen and TestAtBestVal the
 	// test accuracy at that round — the reported metric. The final
@@ -225,9 +250,15 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 		return nil, fmt.Errorf("fed: %w", err)
 	}
 	rec := telemetry.Or(cfg.Recorder)
+	tr := cfg.Tracer
+	runID := cfg.RunID
+	if runID == "" {
+		runID = obs.NewRunID()
+	}
 	var cs *codecState
 	if cfg.Codec.Enabled() {
 		cs = newCodecState(cfg.Codec, len(clients), rec)
+		cs.setTrace(tr)
 	}
 	allMoment := true
 	for _, c := range clients {
@@ -248,11 +279,27 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 		weights[i] = float64(w)
 	}
 
+	runSpan := tr.Root(obs.SpanRun)
+	runSpan.SetAttr(obs.AttrRunID, runID)
+	runSpan.SetAttr(obs.AttrRounds, cfg.Rounds)
+	runSpan.SetAttr(obs.AttrParties, len(clients))
+	runSpan.SetAttr(obs.AttrPolicy, cfg.Policy.String())
+	runSpan.SetAttr(obs.AttrCodec, cfg.Codec.Name())
+	// Publish the run span before the bootstrap parameter fetch so
+	// pre-round work (the initial get_params, codec encodes outside any
+	// round) anchors under fed/run rather than starting orphan traces.
+	tr.SetActive(runSpan.Context())
+
 	global := clients[0].Params().Clone()
-	res := &Result{BestRound: -1}
+	res := &Result{BestRound: -1, RunID: runID, Start: time.Now()}
 	badRounds := 0
 	sampler := rand.New(rand.NewSource(cfg.SampleSeed))
 	st := newRunState(&cfg, clients, weights, rec)
+
+	defer func() {
+		tr.SetActive(obs.SpanContext{})
+		runSpan.End()
+	}()
 
 	startRound, samplerDraws := 0, 0
 	if cfg.Resume != nil {
@@ -266,9 +313,17 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 		}
 	}
 
+	needObs := cfg.Observer != nil || tr != nil
 	for round := startRound; round < cfg.Rounds; round++ {
-		stats := RoundStats{Round: round}
+		stats := RoundStats{Round: round, Start: time.Now()}
 		roundSpan := telemetry.StartSpan(rec, MetricRoundSeconds)
+		rsp := tr.Start(runSpan.Context(), obs.SpanRound)
+		rsp.SetAttr(obs.AttrRound, round)
+		tr.SetActive(rsp.Context())
+		resets0 := wireResets.Value()
+		evaluated := false
+		var trainIdx []int
+		var trainSecs []float64
 		st.beginRound()
 		if cs != nil {
 			cs.beginRound()
@@ -306,12 +361,14 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 			// Broadcast global weights (Phase 1/3 of §3) to every
 			// reachable client.
 			sp := telemetry.StartSpan(rec, MetricBroadcastSeconds)
+			osp := tr.Start(rsp.Context(), obs.SpanBroadcast)
 			for _, i := range reach {
 				c := clients[i]
 				st.touched[i] = true
 				if err := st.call(i, func() error { return c.SetParams(global) }); err != nil {
 					if ferr := st.fail(i, fmt.Errorf("fed: broadcast to %s: %w", c.Name(), err)); ferr != nil {
 						sp.End()
+						osp.End()
 						return ferr
 					}
 					continue
@@ -320,6 +377,7 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 					n, err := cs.broadcast(i, global)
 					if err != nil {
 						sp.End()
+						osp.End()
 						return err
 					}
 					stats.BytesDown += n
@@ -328,6 +386,7 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 				}
 			}
 			sp.End()
+			osp.End()
 			if err := st.quorum(round, len(st.aliveOf(activeIdx))); err != nil {
 				return err
 			}
@@ -335,8 +394,11 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 			// Evaluate the freshly broadcast global model.
 			if round%evalEvery == 0 || round == cfg.Rounds-1 {
 				sp = telemetry.StartSpan(rec, MetricEvalSeconds)
+				osp = tr.Start(rsp.Context(), obs.SpanEval)
 				stats.ValAcc, stats.TestAcc = st.evaluate(st.aliveOf(reach), cfg.Sequential)
 				sp.End()
+				osp.End()
+				evaluated = true
 				rec.Gauge(MetricValAcc, stats.ValAcc)
 				rec.Gauge(MetricTestAcc, stats.TestAcc)
 				if stats.ValAcc > res.BestValAcc || res.BestRound < 0 {
@@ -353,8 +415,10 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 			// round's active cohort.
 			if allMoment {
 				sp = telemetry.StartSpan(rec, MetricMomentsSeconds)
+				osp = tr.Start(rsp.Context(), obs.SpanMoments)
 				up, down, err := st.momentExchange(round, st.aliveOf(activeIdx))
 				sp.End()
+				osp.End()
 				if err != nil {
 					return err
 				}
@@ -364,18 +428,32 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 
 			// Local training, concurrently across surviving active parties.
 			sp = telemetry.StartSpan(rec, MetricTrainSeconds)
-			trainIdx := st.aliveOf(activeIdx)
+			osp = tr.Start(rsp.Context(), obs.SpanTrain)
+			trainIdx = st.aliveOf(activeIdx)
 			losses := make([]float64, len(trainIdx))
+			if needObs {
+				trainSecs = make([]float64, len(trainIdx))
+			}
 			sub := st.clientsAt(trainIdx)
 			errs := forEachClient(sub, cfg.Sequential, st.policy == FailFast, func(s int, c Client) error {
 				clientSpan := telemetry.StartSpan(rec, MetricClientTrainSecs)
+				tsp := tr.Start(rsp.Context(), obs.SpanClientTrain)
+				tsp.SetAttr(obs.AttrParty, c.Name())
+				var t0 time.Time
+				if needObs {
+					t0 = time.Now()
+				}
 				var loss float64
 				err := st.call(trainIdx[s], func() error {
 					l, e := c.TrainLocal(round)
 					loss = l
 					return e
 				})
+				if needObs {
+					trainSecs[s] = time.Since(t0).Seconds()
+				}
 				clientSpan.End()
+				tsp.End()
 				if err != nil {
 					return fmt.Errorf("fed: client %s round %d: %w", c.Name(), round, err)
 				}
@@ -383,6 +461,7 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 				return nil
 			})
 			sp.End()
+			osp.End()
 			if st.policy == FailFast {
 				if err := collapseErrs(errs, cfg.Sequential || len(sub) == 1); err != nil {
 					return err
@@ -418,6 +497,8 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 			// survivors; nn.Average renormalizes their weights.
 			sp = telemetry.StartSpan(rec, MetricAggregateSeconds)
 			defer sp.End()
+			osp = tr.Start(rsp.Context(), obs.SpanAggregate)
+			defer osp.End()
 			aggIdx := st.aliveOf(activeIdx)
 			sets := make([]*nn.Params, 0, len(aggIdx))
 			aggWeights := make([]float64, 0, len(aggIdx))
@@ -432,6 +513,8 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 			}()
 			for _, i := range aggIdx {
 				c := clients[i]
+				usp := tr.Start(rsp.Context(), obs.SpanClientUpload)
+				usp.SetAttr(obs.AttrParty, c.Name())
 				var p *nn.Params
 				err := st.call(i, func() error { p = c.Params(); return nil })
 				var encBytes int64 = -1
@@ -456,6 +539,8 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 					err = global.Compatible(p)
 				}
 				if err != nil {
+					usp.SetAttr(obs.AttrErr, err.Error())
+					usp.End()
 					if ferr := st.fail(i, fmt.Errorf("fed: upload from %s: %w", c.Name(), err)); ferr != nil {
 						return ferr
 					}
@@ -465,9 +550,11 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 				aggWeights = append(aggWeights, weights[i])
 				if encBytes >= 0 {
 					stats.BytesUp += encBytes
+					usp.SetAttr(obs.AttrBytesEnc, encBytes)
 				} else {
 					stats.BytesUp += int64(p.Bytes())
 				}
+				usp.End()
 			}
 			if err := st.quorum(round, len(sets)); err != nil {
 				return err
@@ -489,6 +576,7 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 		}
 
 		st.endRound(round, &stats)
+		stats.End = time.Now()
 		roundSpan.End()
 		rec.Count(MetricRounds, 1)
 		rec.Count(MetricActiveClients, int64(len(activeIdx)))
@@ -498,6 +586,39 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 		res.History = append(res.History, stats)
 		res.TotalBytesUp += stats.BytesUp
 		res.TotalBytesDown += stats.BytesDown
+
+		if cfg.Observer != nil {
+			benchedNow := 0
+			for i := range clients {
+				if st.benched(i, round+1) {
+					benchedNow++
+				}
+			}
+			o := obs.RoundObservation{
+				Round:       round,
+				TrainLoss:   stats.TrainLoss,
+				ValAcc:      stats.ValAcc,
+				TestAcc:     stats.TestAcc,
+				BestValAcc:  res.BestValAcc,
+				Evaluated:   evaluated,
+				Degraded:    stats.Degraded,
+				Dropped:     stats.Dropped,
+				Quarantined: benchedNow,
+				NonFinite:   st.nonFinite,
+				CodecResets: int(wireResets.Value() - resets0),
+				BytesUp:     stats.BytesUp,
+				BytesDown:   stats.BytesDown,
+			}
+			for s, i := range trainIdx {
+				o.Parties = append(o.Parties, obs.PartyObservation{
+					Name:         clients[i].Name(),
+					TrainSeconds: trainSecs[s],
+					Dropped:      st.dropped[i],
+				})
+			}
+			cfg.Observer.ObserveRound(rsp.Context(), o)
+		}
+		rsp.End()
 
 		if cfg.CheckpointEvery > 0 && cfg.CheckpointWriter != nil && (round+1)%cfg.CheckpointEvery == 0 {
 			if err := cfg.CheckpointWriter(st.snapshot(round+1, samplerDraws, global, res, badRounds)); err != nil {
@@ -540,6 +661,7 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 			res.BestRound = res.History[n-1].Round + 1
 		}
 	}
+	res.End = time.Now()
 	return res, nil
 }
 

@@ -22,14 +22,28 @@ import (
 	"fedomd/internal/codec"
 	"fedomd/internal/mat"
 	"fedomd/internal/nn"
+	"fedomd/internal/obs"
 	"fedomd/internal/telemetry"
 )
+
+// MetricWireResets counts wire-codec reference-chain resets (either side
+// losing its delta base: reconnects, failed broadcasts, decode desyncs). A
+// process-global counter so Run can diff it per round for the health
+// monitor's codec_resets rule without threading state through the proxies.
+const MetricWireResets = "fed/codec_resets"
+
+var wireResets = telemetry.NewCounter(MetricWireResets)
 
 // TransportOptions configures the coordinator side of the RPC transport.
 type TransportOptions struct {
 	// Recorder receives per-op RPC latency histograms and payload byte
 	// counters ("rpc/coord/…"). Nil disables transport telemetry.
 	Recorder telemetry.Recorder
+	// Tracer emits one "rpc/coord/call" span per request, parented at the
+	// tracer's active context (the current round span), and stamps the
+	// trace/span IDs into the request frame so the party's handling spans
+	// link under the coordinator's round. Nil disables trace propagation.
+	Tracer *obs.Tracer
 	// ReadTimeout bounds each wait for a party's reply. It covers the
 	// party's compute for that request — TrainLocal included — so size it
 	// above the slowest expected local epoch. 0 means no deadline (a hung
@@ -70,6 +84,10 @@ type ServeOptions struct {
 	// Recorder receives per-op request-handling histograms and payload
 	// byte counters ("rpc/party/…"). Nil disables transport telemetry.
 	Recorder telemetry.Recorder
+	// Tracer emits one "rpc/party/handle" span per request, parented at the
+	// trace context the coordinator stamped into the frame — the party's
+	// half of cross-process trace propagation. Nil disables it.
+	Tracer *obs.Tracer
 	// DialTimeout bounds the initial connection to the coordinator
 	// (ServeClientOpts only). 0 means the 30s default.
 	DialTimeout time.Duration
@@ -260,6 +278,11 @@ type rpcRequest struct {
 	// an opNegotiateCodec request.
 	CodecKind, CodecBits uint8
 	CodecTopK            float64
+	// TraceID/SpanID carry the coordinator's trace context so party-side
+	// spans parent under the round that issued the request. Zero (including
+	// frames from pre-tracing coordinators, which gob decodes as zero)
+	// means "no context" and roots a local trace instead.
+	TraceID, SpanID uint64
 }
 
 // rpcResponse is a party→coordinator reply.
@@ -308,6 +331,7 @@ func ServeClientConn(conn net.Conn, c Client) error {
 // and payload sizes.
 func ServeClientConnOpts(conn net.Conn, c Client, opts ServeOptions) error {
 	rec := telemetry.Or(opts.Recorder)
+	tracer := opts.Tracer
 	cc := &countingConn{Conn: conn}
 	enc := gob.NewEncoder(cc)
 	dec := gob.NewDecoder(cc)
@@ -336,9 +360,17 @@ func ServeClientConnOpts(conn net.Conn, c Client, opts ServeOptions) error {
 		}
 		var resp rpcResponse
 		handleSpan := telemetry.StartSpan(rec, "rpc/party/handle_seconds/"+opMetricSuffix(req.Op)) //fedomdvet:ignore per-op series over the closed opMetricSuffix set; base key and suffixes are constants
+		// Party-side span, parented at the coordinator's stamped context —
+		// the cross-process causal link. Published as the active context so
+		// codec encode spans nest under the request that triggered them.
+		reqCtx := obs.SpanContext{Trace: obs.TraceID(req.TraceID), Span: obs.SpanID(req.SpanID)}
+		tsp := tracer.Start(reqCtx, obs.SpanPartyHandle)
+		tsp.SetAttr(obs.AttrOp, opMetricSuffix(req.Op))
+		tracer.SetActive(tsp.Context())
 		switch req.Op {
 		case opShutdown:
 			handleSpan.End()
+			tsp.End()
 			if opts.WriteTimeout > 0 {
 				_ = conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
 			}
@@ -350,16 +382,20 @@ func ServeClientConnOpts(conn net.Conn, c Client, opts ServeOptions) error {
 				break
 			}
 			wcEnc = codec.NewEncoder(nopts)
+			wcEnc.SetTrace(tracer, tracer.Active)
 			codec.PutParams(wcRef)
 			wcRef = nil
 		case opSetParams:
 			p := req.Params
 			if req.Blob != nil {
-				dec, err := codec.DecodeParams(req.Blob, wcRef)
+				dec, err := codec.DecodeParamsTraced(req.Blob, wcRef, tracer, tsp.Context())
 				if err != nil {
 					// Reference desync: drop our side so the coordinator's
 					// absolute re-broadcast can resynchronise both.
 					codec.PutParams(wcRef)
+					if wcRef != nil {
+						wireResets.Add(1)
+					}
 					wcRef = nil
 					resp.Err = err.Error()
 					break
@@ -455,6 +491,7 @@ func ServeClientConnOpts(conn net.Conn, c Client, opts ServeOptions) error {
 			resp.Err = fmt.Sprintf("fed: unknown op %q", req.Op)
 		}
 		handleSpan.End()
+		tsp.End()
 		if opts.WriteTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
 		}
@@ -477,6 +514,7 @@ type remoteClient struct {
 	dec     *gob.Decoder
 	conn    *countingConn
 	rec     telemetry.Recorder
+	tracer  *obs.Tracer
 	opts    TransportOptions
 	// codecOn is set once the party accepted an opNegotiateCodec request;
 	// SetParams/GetParams then exchange codec blobs instead of raw gob.
@@ -597,6 +635,9 @@ func (r *remoteClient) reconnect() error {
 	// The party restarted its serve loop, so its codec reference and
 	// error-feedback residuals are gone. Renegotiate and start from an
 	// absolute broadcast.
+	if r.lastSent != nil {
+		wireResets.Add(1)
+	}
 	r.lastSent = nil
 	if r.codecOn {
 		if !wireSupported(h.Codecs, codec.WireV1) {
@@ -640,6 +681,16 @@ func (r *remoteClient) callOnce(req rpcRequest) (rpcResponse, error) {
 		sp = telemetry.StartSpan(r.rec, "rpc/coord/latency_seconds/"+opMetricSuffix(req.Op)) //fedomdvet:ignore per-op series over the closed opMetricSuffix set; base key and suffixes are constants
 		tx0, rx0 = r.conn.tx.Load(), r.conn.rx.Load()
 	}
+	// The rpc span parents at the tracer's active context (the current round
+	// span) and its identity rides in the request frame, so the party's
+	// handling span becomes its child across the process boundary.
+	osp := r.tracer.Start(r.tracer.Active(), obs.SpanRPC)
+	osp.SetAttr(obs.AttrOp, opMetricSuffix(req.Op))
+	osp.SetAttr(obs.AttrParty, r.name)
+	defer osp.End()
+	if ctx := osp.Context(); ctx.Valid() {
+		req.TraceID, req.SpanID = uint64(ctx.Trace), uint64(ctx.Span)
+	}
 	if r.opts.WriteTimeout > 0 {
 		_ = r.conn.SetWriteDeadline(time.Now().Add(r.opts.WriteTimeout))
 	}
@@ -675,8 +726,11 @@ func (r *remoteClient) Params() *nn.Params {
 		return nn.NewParams()
 	}
 	if resp.Blob != nil {
-		p, derr := codec.DecodeParams(resp.Blob, r.lastSent)
+		p, derr := codec.DecodeParamsTraced(resp.Blob, r.lastSent, r.tracer, r.tracer.Active())
 		if derr != nil {
+			if r.lastSent != nil {
+				wireResets.Add(1)
+			}
 			r.lastSent = nil // desync: force an absolute re-broadcast
 			return nn.NewParams()
 		}
@@ -708,6 +762,9 @@ func (r *remoteClient) SetParams(global *nn.Params) error {
 	if err != nil {
 		// The party may or may not have applied the blob; assume nothing
 		// and resynchronise with an absolute broadcast next time.
+		if r.lastSent != nil {
+			wireResets.Add(1)
+		}
 		r.lastSent = nil
 		return err
 	}
@@ -812,7 +869,7 @@ func AcceptClientsOpts(ln net.Listener, n int, opts TransportOptions) ([]Client,
 			return nil, fmt.Errorf("fed: handshake: %w", err)
 		}
 		base := remoteClient{name: h.Name, samples: h.NumSamples, enc: enc, dec: dec,
-			conn: cc, rec: telemetry.Or(opts.Recorder), opts: opts}
+			conn: cc, rec: telemetry.Or(opts.Recorder), tracer: opts.Tracer, opts: opts}
 		if opts.Codec.Enabled() && wireSupported(h.Codecs, codec.WireV1) {
 			if _, err := base.callOnce(negotiateRequest(opts.Codec)); err != nil {
 				var ae appError
@@ -825,6 +882,7 @@ func AcceptClientsOpts(ln net.Listener, n int, opts TransportOptions) ([]Client,
 			} else {
 				base.codecOn = true
 				base.downEnc = codec.NewEncoder(codec.Options{Kind: codec.Delta})
+				base.downEnc.SetTrace(opts.Tracer, opts.Tracer.Active)
 			}
 		}
 		switch {
@@ -845,7 +903,7 @@ func AcceptClientsOpts(ln net.Listener, n int, opts TransportOptions) ([]Client,
 // down cleanly when the run finishes. cfg.Recorder, when set, also receives
 // the transport's RPC metrics.
 func RunDistributed(cfg Config, ln net.Listener, n int) (*Result, error) {
-	return RunDistributedOpts(cfg, ln, n, TransportOptions{Recorder: cfg.Recorder, Codec: cfg.Codec})
+	return RunDistributedOpts(cfg, ln, n, TransportOptions{Recorder: cfg.Recorder, Codec: cfg.Codec, Tracer: cfg.Tracer})
 }
 
 // RunDistributedOpts is RunDistributed with explicit transport options
@@ -859,6 +917,9 @@ func RunDistributedOpts(cfg Config, ln net.Listener, n int, opts TransportOption
 		// negotiated wire layer subsumes the in-process simulation (Run
 		// skips proxies that report wireCodecNegotiated).
 		opts.Codec = cfg.Codec
+	}
+	if opts.Tracer == nil {
+		opts.Tracer = cfg.Tracer
 	}
 	clients, err := AcceptClientsOpts(ln, n, opts)
 	if err != nil {

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// BuildInfo identifies what is running and how it is configured; it feeds
+// the fedomd_build_info metric, the fedomd_build expvar, and -report output.
+type BuildInfo struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go"`
+	Codec     string `json:"codec"`
+	Policy    string `json:"policy"`
+}
+
+// CollectBuildInfo fills module/version from the embedded build metadata
+// (falling back to "fedomd"/"devel" outside module builds) and stamps the
+// run configuration alongside.
+func CollectBuildInfo(codec, policy string) BuildInfo {
+	b := BuildInfo{
+		Module:    "fedomd",
+		Version:   "devel",
+		GoVersion: runtime.Version(),
+		Codec:     codec,
+		Policy:    policy,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			b.Module = bi.Main.Path
+		}
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			b.Version = bi.Main.Version
+		}
+	}
+	return b
+}
+
+// String renders the info the way -report prints it.
+func (b BuildInfo) String() string {
+	return fmt.Sprintf("module=%s version=%s go=%s codec=%s policy=%s",
+		b.Module, b.Version, b.GoVersion, b.Codec, b.Policy)
+}
+
+// PublishExpvar exposes the info as the "fedomd_build" expvar on the debug
+// server. Idempotent: re-publishing replaces the value rather than
+// triggering expvar's duplicate-name panic.
+func (b BuildInfo) PublishExpvar() {
+	v := b // copy; expvar.Func closures outlive the caller
+	f := expvar.Func(func() any { return v })
+	if existing := expvar.Get("fedomd_build"); existing != nil {
+		if holder, ok := existing.(*buildVar); ok {
+			holder.set(f)
+		}
+		return
+	}
+	holder := &buildVar{}
+	holder.set(f)
+	expvar.Publish("fedomd_build", holder)
+}
+
+// buildVar is a replaceable expvar value, so PublishExpvar can be called
+// once per run in long-lived processes (tests, experiment grids) while the
+// debug server reads it concurrently.
+type buildVar struct {
+	f atomic.Value // expvar.Func
+}
+
+func (v *buildVar) set(f expvar.Func) { v.f.Store(f) }
+
+func (v *buildVar) String() string {
+	if f, ok := v.f.Load().(expvar.Func); ok {
+		return f.String()
+	}
+	return "{}"
+}

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// dashRingCap bounds how many round payloads the dashboard retains for
+// late-joining browsers.
+const dashRingCap = 256
+
+// roundPayload is the JSON shape pushed over SSE, one per finished round.
+type roundPayload struct {
+	Round       int                `json:"round"`
+	TrainLoss   float64            `json:"train_loss"`
+	ValAcc      float64            `json:"val_acc"`
+	TestAcc     float64            `json:"test_acc"`
+	BestValAcc  float64            `json:"best_val_acc"`
+	Evaluated   bool               `json:"evaluated"`
+	Degraded    bool               `json:"degraded"`
+	Dropped     int                `json:"dropped"`
+	Quarantined int                `json:"quarantined"`
+	BytesUp     int64              `json:"bytes_up"`
+	BytesDown   int64              `json:"bytes_down"`
+	Latencies   map[string]float64 `json:"latencies"` // party -> train seconds
+	Health      []healthPayload    `json:"health,omitempty"`
+}
+
+type healthPayload struct {
+	Rule    string `json:"rule"`
+	Level   string `json:"level"`
+	Message string `json:"message"`
+}
+
+// Dashboard is a RoundObserver serving a live single-page view of the run:
+// `/` is the embedded HTML shell, `/events` the SSE feed (replaying the
+// retained ring to new subscribers). Wire it after the Health monitor in a
+// MultiRoundObserver so each round's payload carries that round's fired
+// rules.
+type Dashboard struct {
+	health *Health // optional; source of per-round health annotations
+
+	mu     sync.Mutex
+	ring   []roundPayload
+	subs   map[chan []byte]struct{}
+	seenHE int // health events already attributed to earlier rounds
+}
+
+// NewDashboard builds a dashboard; health may be nil.
+func NewDashboard(health *Health) *Dashboard {
+	return &Dashboard{health: health, subs: make(map[chan []byte]struct{})}
+}
+
+// ObserveRound implements RoundObserver: snapshots the round into the ring
+// and fans it out to connected browsers.
+func (d *Dashboard) ObserveRound(ctx SpanContext, o RoundObservation) {
+	if d == nil {
+		return
+	}
+	p := roundPayload{
+		Round:       o.Round,
+		TrainLoss:   o.TrainLoss,
+		ValAcc:      o.ValAcc,
+		TestAcc:     o.TestAcc,
+		BestValAcc:  o.BestValAcc,
+		Evaluated:   o.Evaluated,
+		Degraded:    o.Degraded,
+		Dropped:     o.Dropped,
+		Quarantined: o.Quarantined,
+		BytesUp:     o.BytesUp,
+		BytesDown:   o.BytesDown,
+		Latencies:   make(map[string]float64, len(o.Parties)),
+	}
+	for _, party := range o.Parties {
+		p.Latencies[party.Name] = party.TrainSeconds
+	}
+
+	d.mu.Lock()
+	if d.health != nil {
+		all := d.health.Events()
+		for _, e := range all[min(d.seenHE, len(all)):] {
+			p.Health = append(p.Health, healthPayload{Rule: e.Rule, Level: e.Level, Message: e.Message})
+		}
+		d.seenHE = len(all)
+	}
+	d.ring = append(d.ring, p)
+	if len(d.ring) > dashRingCap {
+		d.ring = d.ring[len(d.ring)-dashRingCap:]
+	}
+	line, err := json.Marshal(p)
+	subs := make([]chan []byte, 0, len(d.subs))
+	for ch := range d.subs {
+		subs = append(subs, ch)
+	}
+	d.mu.Unlock()
+	if err != nil {
+		return
+	}
+	for _, ch := range subs {
+		select {
+		case ch <- line:
+		default: // slow browser: drop rather than stall the round loop
+		}
+	}
+}
+
+// subscribe registers a feed channel and returns the replay backlog.
+func (d *Dashboard) subscribe() (ch chan []byte, backlog [][]byte) {
+	ch = make(chan []byte, 64)
+	d.mu.Lock()
+	for _, p := range d.ring {
+		if line, err := json.Marshal(p); err == nil {
+			backlog = append(backlog, line)
+		}
+	}
+	d.subs[ch] = struct{}{}
+	d.mu.Unlock()
+	return ch, backlog
+}
+
+func (d *Dashboard) unsubscribe(ch chan []byte) {
+	d.mu.Lock()
+	delete(d.subs, ch)
+	d.mu.Unlock()
+}
+
+// Handler returns the dashboard mux: `/` (HTML) and `/events` (SSE).
+func (d *Dashboard) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(dashHTML))
+	})
+	mux.HandleFunc("/events", d.serveSSE)
+	return mux
+}
+
+func (d *Dashboard) serveSSE(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	ch, backlog := d.subscribe()
+	defer d.unsubscribe(ch)
+	for _, line := range backlog {
+		fmt.Fprintf(w, "data: %s\n\n", line)
+	}
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case line := <-ch:
+			fmt.Fprintf(w, "data: %s\n\n", line)
+			fl.Flush()
+		}
+	}
+}
+
+// dashHTML is the whole client: an EventSource feeding a round table, a
+// per-party latency sparkline canvas, accuracy/byte readouts and the health
+// event log. Embedded so the binary stays self-contained.
+const dashHTML = `<!doctype html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>fedomd run dashboard</title>
+<style>
+ body { font: 13px/1.5 monospace; margin: 1.5em; background: #111; color: #ddd; }
+ h1 { font-size: 15px; } h2 { font-size: 13px; margin: 1.2em 0 .4em; color: #9cf; }
+ table { border-collapse: collapse; }
+ td, th { padding: 2px 10px; border-bottom: 1px solid #333; text-align: right; }
+ th { color: #9cf; }
+ canvas { background: #181818; border: 1px solid #333; }
+ .warn { color: #fc6; } .critical { color: #f66; } .muted { color: #777; }
+ #stats span { margin-right: 2em; }
+</style>
+</head>
+<body>
+<h1>fedomd live run</h1>
+<div id="stats">
+ <span>round <b id="round">-</b></span>
+ <span>val acc <b id="val">-</b></span>
+ <span>best <b id="best">-</b></span>
+ <span>loss <b id="loss">-</b></span>
+ <span>&uarr; <b id="up">0</b> B</span>
+ <span>&darr; <b id="down">0</b> B</span>
+ <span class="muted" id="conn">connecting…</span>
+</div>
+<h2>per-party train latency (s)</h2>
+<canvas id="spark" width="720" height="120"></canvas>
+<h2>health events</h2>
+<div id="health" class="muted">none</div>
+<h2>rounds</h2>
+<table>
+ <thead><tr><th>round</th><th>loss</th><th>val</th><th>test</th><th>drop</th><th>quar</th><th>flags</th></tr></thead>
+ <tbody id="rows"></tbody>
+</table>
+<script>
+const hist = [], parties = {};
+const $ = id => document.getElementById(id);
+function fmtB(n){ return n > 1<<20 ? (n/1048576).toFixed(1)+'M' : n > 1024 ? (n/1024).toFixed(1)+'k' : n; }
+function draw(){
+  const c = $('spark'), g = c.getContext('2d');
+  g.clearRect(0,0,c.width,c.height);
+  const names = Object.keys(parties).sort();
+  let max = 0;
+  names.forEach(n => parties[n].forEach(v => { if (v > max) max = v; }));
+  if (!max) return;
+  const hues = [200, 120, 30, 280, 0, 60, 170, 320];
+  names.forEach((n, i) => {
+    const pts = parties[n];
+    g.strokeStyle = 'hsl(' + hues[i % hues.length] + ',70%,60%)';
+    g.beginPath();
+    pts.forEach((v, x) => {
+      const px = 4 + x * (c.width - 8) / Math.max(1, pts.length - 1);
+      const py = c.height - 6 - (v / max) * (c.height - 16);
+      x ? g.lineTo(px, py) : g.moveTo(px, py);
+    });
+    g.stroke();
+    g.fillStyle = g.strokeStyle;
+    g.fillText(n, 6 + (i % 4) * 120, 12 + Math.floor(i / 4) * 14);
+  });
+}
+function onRound(p){
+  hist.push(p);
+  $('round').textContent = p.round;
+  if (p.evaluated) { $('val').textContent = p.val_acc.toFixed(4); $('best').textContent = p.best_val_acc.toFixed(4); }
+  $('loss').textContent = p.train_loss.toFixed(4);
+  $('up').textContent = fmtB(p.bytes_up); $('down').textContent = fmtB(p.bytes_down);
+  for (const [name, sec] of Object.entries(p.latencies || {})) {
+    (parties[name] = parties[name] || []).push(sec);
+    if (parties[name].length > 120) parties[name].shift();
+  }
+  draw();
+  const tr = document.createElement('tr');
+  const flags = [p.degraded ? 'degraded' : '', (p.health || []).map(h => h.rule).join(' ')].filter(Boolean).join(' ');
+  tr.innerHTML = '<td>' + p.round + '</td><td>' + p.train_loss.toFixed(4) + '</td><td>' +
+    (p.evaluated ? p.val_acc.toFixed(4) : '·') + '</td><td>' +
+    (p.evaluated ? p.test_acc.toFixed(4) : '·') + '</td><td>' + p.dropped + '</td><td>' +
+    p.quarantined + '</td><td style="text-align:left">' + flags + '</td>';
+  const rows = $('rows');
+  rows.insertBefore(tr, rows.firstChild);
+  while (rows.children.length > 60) rows.removeChild(rows.lastChild);
+  (p.health || []).forEach(h => {
+    if ($('health').classList.contains('muted')) { $('health').textContent = ''; $('health').classList.remove('muted'); }
+    const div = document.createElement('div');
+    div.className = h.level;
+    div.textContent = 'round ' + p.round + ' [' + h.level + '] ' + h.rule + ': ' + h.message;
+    $('health').insertBefore(div, $('health').firstChild);
+  });
+}
+const es = new EventSource('events');
+es.onopen = () => { $('conn').textContent = 'live'; };
+es.onerror = () => { $('conn').textContent = 'disconnected'; };
+es.onmessage = ev => onRound(JSON.parse(ev.data));
+</script>
+</body>
+</html>
+`

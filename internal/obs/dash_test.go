@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDashboardServesPageAndSSE(t *testing.T) {
+	health := NewHealth(HealthConfig{}, nil, nil)
+	dash := NewDashboard(health)
+	multi := MultiRoundObserver{health, dash}
+
+	// Two rounds before any browser connects: they land in the replay ring,
+	// the second with a health event attributed to it.
+	multi.ObserveRound(SpanContext{}, RoundObservation{
+		Round: 0, TrainLoss: 1.5, ValAcc: 0.4, Evaluated: true,
+		BytesUp: 1000, BytesDown: 2000,
+		Parties: []PartyObservation{{Name: "a", TrainSeconds: 0.01}, {Name: "b", TrainSeconds: 0.02}},
+	})
+	multi.ObserveRound(SpanContext{}, RoundObservation{
+		Round: 1, TrainLoss: 1.2, ValAcc: 0.5, Evaluated: true, NonFinite: 1,
+		Parties: []PartyObservation{{Name: "a", TrainSeconds: 0.01}},
+	})
+
+	srv := httptest.NewServer(dash.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(page)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Fatalf("page content type %q", ct)
+	}
+	if !strings.Contains(string(page[:n]), "fedomd live run") {
+		t.Fatal("dashboard page missing its shell")
+	}
+
+	// The SSE feed replays the backlog on connect.
+	client := &http.Client{Timeout: 5 * time.Second}
+	es, err := client.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Body.Close()
+	if ct := es.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type %q", ct)
+	}
+	scanner := bufio.NewScanner(es.Body)
+	var payloads []roundPayload
+	for scanner.Scan() && len(payloads) < 2 {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var p roundPayload
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &p); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		payloads = append(payloads, p)
+	}
+	if len(payloads) != 2 {
+		t.Fatalf("replayed %d payloads, want 2", len(payloads))
+	}
+	if payloads[0].Round != 0 || payloads[0].Latencies["b"] != 0.02 {
+		t.Fatalf("round 0 payload: %+v", payloads[0])
+	}
+	p1 := payloads[1]
+	if len(p1.Health) != 1 || p1.Health[0].Rule != RuleNonFinite {
+		t.Fatalf("round 1 payload missing its health event: %+v", p1)
+	}
+}
+
+// A live subscriber receives rounds observed after it connected.
+func TestDashboardLivePush(t *testing.T) {
+	dash := NewDashboard(nil)
+	srv := httptest.NewServer(dash.Handler())
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	es, err := client.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Body.Close()
+
+	// Wait for the subscription to register before observing the round.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		dash.mu.Lock()
+		n := len(dash.subs)
+		dash.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	dash.ObserveRound(SpanContext{}, RoundObservation{Round: 42, TrainLoss: 0.5})
+
+	scanner := bufio.NewScanner(es.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var p roundPayload
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &p); err != nil {
+			t.Fatal(err)
+		}
+		if p.Round != 42 {
+			t.Fatalf("pushed round %d, want 42", p.Round)
+		}
+		return
+	}
+	t.Fatalf("no payload pushed: %v", scanner.Err())
+}
+
+func TestDashboardRingBounded(t *testing.T) {
+	dash := NewDashboard(nil)
+	for i := 0; i < dashRingCap+50; i++ {
+		dash.ObserveRound(SpanContext{}, RoundObservation{Round: i})
+	}
+	dash.mu.Lock()
+	defer dash.mu.Unlock()
+	if len(dash.ring) != dashRingCap {
+		t.Fatalf("ring holds %d entries, cap is %d", len(dash.ring), dashRingCap)
+	}
+	if dash.ring[0].Round != 50 {
+		t.Fatalf("ring dropped from the wrong end: oldest round %d", dash.ring[0].Round)
+	}
+}

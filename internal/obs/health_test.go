@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fedomd/internal/telemetry"
+)
+
+// fire builds a monitor over a capture tracer + aggregator, feeds it the
+// observations, and returns (events, aggregator, trace buffer).
+func fire(t *testing.T, cfg HealthConfig, obsv ...RoundObservation) ([]HealthEvent, *telemetry.Aggregator, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	jl := telemetry.NewJSONL(&buf)
+	agg := telemetry.NewAggregator()
+	h := NewHealth(cfg, NewTracer(jl), agg)
+	for _, o := range obsv {
+		h.ObserveRound(SpanContext{Trace: 1, Span: 2}, o)
+	}
+	if err := jl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return h.Events(), agg, &buf
+}
+
+func TestRuleNonFinite(t *testing.T) {
+	events, agg, buf := fire(t, HealthConfig{},
+		RoundObservation{Round: 0, NonFinite: 1},
+		RoundObservation{Round: 1, NonFinite: 3},
+		RoundObservation{Round: 2},
+	)
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2: %v", len(events), events)
+	}
+	if events[0].Rule != RuleNonFinite || events[0].Level != LevelWarn {
+		t.Fatalf("round 0: %+v", events[0])
+	}
+	if events[1].Level != LevelCritical {
+		t.Fatalf("3 screens in one round should be critical: %+v", events[1])
+	}
+	if agg.Counter(MetricHealthWarn) != 1 || agg.Counter(MetricHealthCritical) != 1 {
+		t.Fatalf("counters warn=%d critical=%d", agg.Counter(MetricHealthWarn), agg.Counter(MetricHealthCritical))
+	}
+	if !strings.Contains(buf.String(), `"name":"obs/health"`) {
+		t.Fatal("health events missing from the trace stream")
+	}
+}
+
+func TestRuleStragglerSkew(t *testing.T) {
+	mk := func(times ...float64) RoundObservation {
+		o := RoundObservation{Round: 1}
+		for i, s := range times {
+			o.Parties = append(o.Parties, PartyObservation{Name: string(rune('a' + i)), TrainSeconds: s})
+		}
+		return o
+	}
+	// 8x skew above the 1ms floor: fires.
+	events, _, _ := fire(t, HealthConfig{}, mk(0.010, 0.010, 0.010, 0.010, 0.080))
+	if len(events) != 1 || events[0].Rule != RuleStragglerSkew {
+		t.Fatalf("skewed fleet: %v", events)
+	}
+	if events[0].Value < 7.9 || events[0].Value > 8.1 {
+		t.Fatalf("skew factor %v, want ~8", events[0].Value)
+	}
+	// Same shape in microseconds: suppressed by the absolute floor.
+	events, _, _ = fire(t, HealthConfig{}, mk(10e-6, 10e-6, 10e-6, 10e-6, 80e-6))
+	if len(events) != 0 {
+		t.Fatalf("microsecond-scale run alarmed: %v", events)
+	}
+	// Balanced fleet: quiet.
+	events, _, _ = fire(t, HealthConfig{}, mk(0.010, 0.011, 0.012, 0.010))
+	if len(events) != 0 {
+		t.Fatalf("balanced fleet alarmed: %v", events)
+	}
+}
+
+func TestRuleAccuracyRegression(t *testing.T) {
+	events, _, _ := fire(t, HealthConfig{},
+		RoundObservation{Round: 0, Evaluated: true, ValAcc: 0.80}, // establishes best; no event
+		RoundObservation{Round: 1, Evaluated: true, ValAcc: 0.74}, // drop 0.06: warn
+		RoundObservation{Round: 2, Evaluated: true, ValAcc: 0.68}, // drop 0.12 >= 2*0.05: critical
+		RoundObservation{Round: 3, Evaluated: true, ValAcc: 0.79}, // within tolerance
+		RoundObservation{Round: 4, ValAcc: 0},                     // not evaluated: ignored
+	)
+	if len(events) != 2 {
+		t.Fatalf("got %v", events)
+	}
+	if events[0].Round != 1 || events[0].Level != LevelWarn {
+		t.Fatalf("warn event: %+v", events[0])
+	}
+	if events[1].Round != 2 || events[1].Level != LevelCritical {
+		t.Fatalf("critical event: %+v", events[1])
+	}
+}
+
+func TestRuleQuarantineGrowth(t *testing.T) {
+	parties := []PartyObservation{{Name: "a"}, {Name: "b"}, {Name: "c"}}
+	events, _, _ := fire(t, HealthConfig{},
+		RoundObservation{Round: 0, Parties: parties},
+		RoundObservation{Round: 1, Parties: parties, Quarantined: 1}, // grew 0 -> 1: warn
+		RoundObservation{Round: 2, Parties: parties, Quarantined: 1}, // steady: quiet
+		RoundObservation{Round: 3, Parties: parties, Quarantined: 3}, // half the fleet: critical
+	)
+	if len(events) != 2 {
+		t.Fatalf("got %v", events)
+	}
+	if events[0].Round != 1 || events[0].Level != LevelWarn || events[0].Rule != RuleQuarantine {
+		t.Fatalf("first growth: %+v", events[0])
+	}
+	if events[1].Round != 3 || events[1].Level != LevelCritical {
+		t.Fatalf("mass benching: %+v", events[1])
+	}
+}
+
+func TestRuleCodecResets(t *testing.T) {
+	events, _, _ := fire(t, HealthConfig{},
+		RoundObservation{Round: 0},
+		RoundObservation{Round: 1, CodecResets: 2},
+	)
+	if len(events) != 1 || events[0].Rule != RuleCodecResets || events[0].Value != 2 {
+		t.Fatalf("got %v", events)
+	}
+}
+
+// A nil monitor (observability off) must absorb observations silently, and
+// MultiRoundObserver must tolerate nil members.
+func TestNilHealthAndMultiObserver(t *testing.T) {
+	var h *Health
+	h.ObserveRound(SpanContext{}, RoundObservation{NonFinite: 5})
+	if h.Events() != nil {
+		t.Fatal("nil monitor produced events")
+	}
+	real := NewHealth(HealthConfig{}, nil, nil)
+	m := MultiRoundObserver{nil, real, nil}
+	m.ObserveRound(SpanContext{}, RoundObservation{Round: 7, NonFinite: 1})
+	if got := real.Events(); len(got) != 1 || got[0].Round != 7 {
+		t.Fatalf("fan-out missed the real observer: %v", got)
+	}
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fedomd/internal/telemetry"
+)
+
+// promPrefix namespaces every exposed family. Internal pkg/snake_case keys
+// map to Prometheus names by replacing '/' with '_' under this prefix, so
+// "fed/round_seconds" becomes "fedomd_fed_round_seconds".
+const promPrefix = "fedomd_"
+
+// histBucketQuantiles are the reservoir quantiles used as bucket upper
+// bounds. The reservoir is a uniform subsample with exact count/sum kept
+// alongside, so cumulative bucket counts are the subsample's, rescaled to
+// the exact count (and clamped monotone).
+var histBucketQuantiles = []float64{0.25, 0.50, 0.75, 0.90, 0.95, 0.99}
+
+func promName(key string) string {
+	return promPrefix + strings.ReplaceAll(key, "/", "_")
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteExposition renders the aggregator's state (plus the process-global
+// counters and optional build info) in Prometheus text format, families
+// sorted by name for deterministic output.
+func WriteExposition(w io.Writer, agg *telemetry.Aggregator, build *BuildInfo) {
+	var counters map[string]int64
+	var gauges map[string]float64
+	var samples map[string]telemetry.HistSamples
+	if agg != nil {
+		counters, gauges, _ = agg.Snapshot()
+		samples = agg.SampleSnapshot()
+	} else {
+		counters = map[string]int64{}
+		gauges = map[string]float64{}
+		samples = map[string]telemetry.HistSamples{}
+	}
+	// Process-global counters merge into the counter families; a key used by
+	// both surfaces sums (they never overlap in practice).
+	for k, v := range telemetry.GlobalCounters() {
+		counters[k] += v
+	}
+
+	type family struct {
+		name  string
+		write func(io.Writer)
+	}
+	var fams []family
+
+	for key, v := range counters {
+		name := promName(key) + "_total"
+		v := v
+		fams = append(fams, family{name, func(w io.Writer) {
+			fmt.Fprintf(w, "# HELP %s Counter mapped from internal key.\n", name)
+			fmt.Fprintf(w, "# TYPE %s counter\n", name)
+			fmt.Fprintf(w, "%s %d\n", name, v)
+		}})
+	}
+	for key, v := range gauges {
+		name := promName(key)
+		v := v
+		fams = append(fams, family{name, func(w io.Writer) {
+			fmt.Fprintf(w, "# HELP %s Gauge mapped from internal key.\n", name)
+			fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(w, "%s %s\n", name, promFloat(v))
+		}})
+	}
+	for key, hs := range samples {
+		name := promName(key)
+		hs := hs
+		fams = append(fams, family{name, func(w io.Writer) {
+			writeHistogram(w, name, hs)
+		}})
+	}
+	if build != nil {
+		b := *build
+		fams = append(fams, family{promPrefix + "build_info", func(w io.Writer) {
+			name := promPrefix + "build_info"
+			fmt.Fprintf(w, "# HELP %s Build and configuration info; value is always 1.\n", name)
+			fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(w, "%s{module=%q,version=%q,go=%q,codec=%q,policy=%q} 1\n",
+				name, b.Module, b.Version, b.GoVersion, b.Codec, b.Policy)
+		}})
+	}
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+// writeHistogram derives cumulative buckets from the reservoir: bounds are
+// reservoir quantiles, each bucket's count is the subsample's cumulative
+// count rescaled to the exact total, the +Inf bucket and _count are exact.
+func writeHistogram(w io.Writer, name string, hs telemetry.HistSamples) {
+	fmt.Fprintf(w, "# HELP %s Histogram with bounds derived from a uniform sample reservoir.\n", name)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+
+	sorted := append([]float64(nil), hs.Samples...)
+	sort.Float64s(sorted)
+
+	if len(sorted) > 0 {
+		scale := float64(hs.Count) / float64(len(sorted))
+		prevBound := math.Inf(-1)
+		prevCum := int64(0)
+		for _, q := range histBucketQuantiles {
+			idx := int(q * float64(len(sorted)-1))
+			bound := sorted[idx]
+			if bound <= prevBound {
+				continue // dedupe identical bounds to keep le labels unique
+			}
+			// Cumulative count of samples <= bound, rescaled to the exact
+			// population and clamped monotone non-decreasing.
+			n := sort.SearchFloat64s(sorted, bound)
+			for n < len(sorted) && sorted[n] <= bound {
+				n++
+			}
+			cum := int64(math.Round(float64(n) * scale))
+			if cum < prevCum {
+				cum = prevCum
+			}
+			if cum > hs.Count {
+				cum = hs.Count
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum)
+			prevBound, prevCum = bound, cum
+		}
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, hs.Count)
+	fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(hs.Sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, hs.Count)
+}
+
+// MetricsHandler serves WriteExposition over HTTP — mount it at /metrics on
+// the debug server next to pprof and expvar.
+func MetricsHandler(agg *telemetry.Aggregator, build *BuildInfo) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteExposition(w, agg, build)
+	})
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fedomd/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite the exposition golden file")
+
+// goldenAggregator builds a fully deterministic aggregator: fixed counters,
+// gauges, and a histogram whose reservoir is exactly the observed values
+// (well under the sampling cap), so the exposition is byte-stable.
+func goldenAggregator() *telemetry.Aggregator {
+	agg := telemetry.NewAggregator()
+	agg.Count("fed/rounds", 8)
+	agg.Count("codec/bytes_raw", 4096)
+	agg.Count("obs/health_warn", 2)
+	agg.Gauge("fed/val_acc", 0.875)
+	for i := 1; i <= 100; i++ {
+		agg.Observe("fed/round_seconds", float64(i)*0.01)
+	}
+	return agg
+}
+
+func goldenBuild() *BuildInfo {
+	return &BuildInfo{Module: "fedomd", Version: "v1.2.3", GoVersion: "go1.24.0",
+		Codec: "delta", Policy: "drop-round"}
+}
+
+func TestExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	WriteExposition(&buf, goldenAggregator(), goldenBuild())
+
+	path := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden (run with -update if intentional)\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestExpositionLintClean(t *testing.T) {
+	var buf bytes.Buffer
+	WriteExposition(&buf, goldenAggregator(), goldenBuild())
+	if problems := LintExposition(bytes.NewReader(buf.Bytes())); len(problems) > 0 {
+		t.Fatalf("self-lint found problems:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+// Every exposed name must be a valid Prometheus metric name, appear in at
+// most one family, and histogram buckets must be monotone with le ascending.
+func TestExpositionInvariants(t *testing.T) {
+	var buf bytes.Buffer
+	WriteExposition(&buf, goldenAggregator(), goldenBuild())
+
+	nameRE := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	typed := map[string]bool{}
+	var bucketLes []float64
+	var bucketCounts []int64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			name := fields[2]
+			if !nameRE.MatchString(name) {
+				t.Errorf("invalid metric name %q", name)
+			}
+			if !strings.HasPrefix(name, "fedomd_") {
+				t.Errorf("metric %q missing the fedomd_ prefix", name)
+			}
+			if typed[name] {
+				t.Errorf("duplicate TYPE for %q", name)
+			}
+			typed[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.Index(line, `_bucket{le="`); i >= 0 {
+			rest := line[i+len(`_bucket{le="`):]
+			q := strings.Index(rest, `"`)
+			le := rest[:q]
+			cnt, err := strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket count on %q: %v", line, err)
+			}
+			var bound float64
+			if le == "+Inf" {
+				bound = math.Inf(1)
+			} else if bound, err = strconv.ParseFloat(le, 64); err != nil {
+				t.Fatalf("bucket bound on %q: %v", line, err)
+			}
+			if n := len(bucketLes); n > 0 && (bound <= bucketLes[n-1] || cnt < bucketCounts[n-1]) {
+				t.Errorf("bucket invariant broken at %q (prev le %v count %d)", line, bucketLes[n-1], bucketCounts[n-1])
+			}
+			bucketLes = append(bucketLes, bound)
+			bucketCounts = append(bucketCounts, cnt)
+		}
+	}
+	if len(bucketLes) == 0 {
+		t.Fatal("no histogram buckets rendered")
+	}
+	// The histogram's +Inf bucket must equal the exact population.
+	if got := bucketCounts[len(bucketCounts)-1]; got != 100 {
+		t.Fatalf("+Inf bucket %d, want the exact count 100", got)
+	}
+}
+
+// The linter must actually catch broken expositions — each corruption in
+// isolation.
+func TestLintExpositionCatchesProblems(t *testing.T) {
+	cases := map[string]string{
+		"duplicate series": "# TYPE fedomd_x_total counter\nfedomd_x_total 1\nfedomd_x_total 2\n",
+		"bad name":         "# TYPE 0bad gauge\n0bad 1\n",
+		"bucket not monotone": "# TYPE fedomd_h histogram\n" +
+			"fedomd_h_bucket{le=\"0.1\"} 5\nfedomd_h_bucket{le=\"0.5\"} 3\n" +
+			"fedomd_h_bucket{le=\"+Inf\"} 5\nfedomd_h_sum 1\nfedomd_h_count 5\n",
+		"inf bucket mismatch": "# TYPE fedomd_h histogram\n" +
+			"fedomd_h_bucket{le=\"+Inf\"} 5\nfedomd_h_sum 1\nfedomd_h_count 7\n",
+		"le not ascending": "# TYPE fedomd_h histogram\n" +
+			"fedomd_h_bucket{le=\"0.5\"} 3\nfedomd_h_bucket{le=\"0.1\"} 4\n" +
+			"fedomd_h_bucket{le=\"+Inf\"} 5\nfedomd_h_sum 1\nfedomd_h_count 5\n",
+		"unparseable value": "# TYPE fedomd_x gauge\nfedomd_x pancake\n",
+	}
+	for name, exposition := range cases {
+		if problems := LintExposition(strings.NewReader(exposition)); len(problems) == 0 {
+			t.Errorf("%s: lint passed a broken exposition:\n%s", name, exposition)
+		}
+	}
+	if problems := LintExposition(strings.NewReader("# TYPE fedomd_ok_total counter\nfedomd_ok_total 3\n")); len(problems) > 0 {
+		t.Errorf("clean exposition flagged: %v", problems)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	if got := promName("fed/round_seconds"); got != "fedomd_fed_round_seconds" {
+		t.Fatalf("promName = %q", got)
+	}
+}

@@ -148,6 +148,33 @@ func summarize(h *hist) HistSummary {
 	return s
 }
 
+// HistSamples is one histogram's exact totals plus a copy of its quantile
+// reservoir — the raw material the Prometheus exposition derives cumulative
+// buckets from (see internal/obs).
+type HistSamples struct {
+	Count   int64
+	Sum     float64
+	Samples []float64
+}
+
+// SampleSnapshot returns, per histogram, the exact count/sum and a copy of
+// the bounded sample reservoir. The reservoir is a uniform subsample, so
+// bucket counts scaled by Count/len(Samples) stay representative over
+// arbitrarily long runs.
+func (a *Aggregator) SampleSnapshot() map[string]HistSamples {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]HistSamples, len(a.hists))
+	for k, h := range a.hists {
+		out[k] = HistSamples{
+			Count:   h.count,
+			Sum:     h.sum,
+			Samples: append([]float64(nil), h.samples...),
+		}
+	}
+	return out
+}
+
 // Snapshot returns sorted copies of all counters, gauges and histogram
 // summaries (the expvar surface uses it).
 func (a *Aggregator) Snapshot() (counters map[string]int64, gauges map[string]float64, hists map[string]HistSummary) {

@@ -19,9 +19,21 @@ type Event struct {
 	Delta int64   `json:"delta,omitempty"`
 }
 
+// Header is the first JSONL trace record: it names the run so traces written
+// by separate processes (coordinator and parties) can be correlated offline,
+// and carries free-form metadata (build version, codec tier, policy, …).
+type Header struct {
+	TS    string            `json:"ts"`
+	Type  string            `json:"type"` // always "header"
+	RunID string            `json:"run_id"`
+	Meta  map[string]string `json:"meta,omitempty"`
+}
+
 // JSONL is a Recorder writing one JSON event per line — the machine-readable
 // trace sink (`fedomd -trace out.jsonl`). Writes are buffered; call Close (or
-// Flush) when the run ends.
+// Flush) when the run ends. Beyond the Recorder events it accepts arbitrary
+// records through EmitRecord, which internal/obs uses for span and health
+// events — one sink, one causally-ordered line stream.
 type JSONL struct {
 	mu  sync.Mutex
 	bw  *bufio.Writer
@@ -64,6 +76,28 @@ func (j *JSONL) Gauge(name string, v float64) {
 // Observe implements Recorder.
 func (j *JSONL) Observe(name string, v float64) {
 	j.emit(Event{Type: "observe", Name: name, Value: v})
+}
+
+// EmitRecord writes an arbitrary record as one JSON line under the same
+// mutex as the Recorder events, so interleaved writers never tear a line.
+// The record owns its own fields (including any timestamp); a marshalling
+// failure is swallowed like any other sink error — a broken trace must not
+// fail the run.
+func (j *JSONL) EmitRecord(v any) {
+	j.mu.Lock()
+	_ = j.enc.Encode(v)
+	j.mu.Unlock()
+}
+
+// WriteHeader emits the run-correlation header record. Call it first, before
+// any events, so offline tooling can key every following line by run ID.
+func (j *JSONL) WriteHeader(runID string, meta map[string]string) {
+	j.EmitRecord(Header{
+		TS:    j.now().UTC().Format(time.RFC3339Nano),
+		Type:  "header",
+		RunID: runID,
+		Meta:  meta,
+	})
 }
 
 // Flush forces buffered events to the underlying writer.
