@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet lint race bench bench-step bench-comms bench-obs chaos obslint dash-demo
+.PHONY: build test check fmt vet lint race bench bench-step bench-comms bench-obs bench-kernels scale-demo chaos obslint dash-demo
 
 # Formatting checks skip testdata: it holds deliberately corrupt analyzer
 # fixtures that gofmt cannot parse.
@@ -50,6 +50,8 @@ check:
 	else echo "FAIL go test -race"; fail=1; fi; \
 	if $(GO) run ./cmd/obslint; then echo "ok   obslint"; \
 	else echo "FAIL obslint"; fail=1; fi; \
+	if $(GO) run ./cmd/benchkernels -smoke >/dev/null; then echo "ok   benchkernels -smoke"; \
+	else echo "FAIL benchkernels -smoke"; fail=1; fi; \
 	exit $$fail
 
 # Exposition lint in isolation: run a short chaos-injected round trip and
@@ -69,6 +71,7 @@ bench:
 	$(GO) run ./cmd/benchstep -out BENCH_step_allocs.json
 	$(GO) run ./cmd/benchcomms -out BENCH_comms.json
 	$(GO) run ./cmd/benchobs -out BENCH_obs.json
+	$(GO) run ./cmd/benchkernels -out BENCH_kernels.json -min-speedup 2
 
 # Regenerate only the pooled-vs-unpooled training-step artefact.
 bench-step:
@@ -83,3 +86,16 @@ bench-comms:
 # tracing plane armed vs disabled, gated at ≤2% overhead when enabled.
 bench-obs:
 	$(GO) run ./cmd/benchobs -out BENCH_obs.json
+
+# Regenerate the compute-kernel artefact: dense matmul GFLOP/s (seed ikj vs
+# cache-blocked SIMD) across sizes and worker counts, SpMM scaling, and
+# streamed-generation / Louvain throughput. Gated at ≥2× over the seed
+# kernel on the 512–2048 sizes.
+bench-kernels:
+	$(GO) run ./cmd/benchkernels -out BENCH_kernels.json -min-speedup 2
+
+# The pinned million-node pipeline: stream a 10⁶-node SBM, Louvain-partition
+# it into 8 parties, train one full FedOMD round, report stage times and
+# peak RSS. No O(N²) state anywhere on this path.
+scale-demo:
+	$(GO) run ./cmd/scaledemo

@@ -1,0 +1,272 @@
+// Command benchkernels measures the compute kernels that dominate
+// million-node runs and writes BENCH_kernels.json: dense matmul GFLOP/s
+// (seed ikj baseline vs the cache-blocked SIMD kernels) across sizes and
+// worker counts, SpMM GFLOP/s across worker counts, and end-to-end
+// throughput (nodes/sec) for streaming SBM generation and Louvain
+// partitioning. `make bench-kernels` runs it at full scale; `make check`
+// runs `-smoke`, a seconds-long pass over tiny shapes that exercises every
+// code path without writing the artefact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"fedomd/internal/dataset"
+	"fedomd/internal/mat"
+	"fedomd/internal/partition"
+	"fedomd/internal/sparse"
+)
+
+type denseResult struct {
+	Kernel  string  `json:"kernel"`
+	Size    int     `json:"size"`
+	Workers int     `json:"workers"`
+	GFLOPS  float64 `json:"gflops"`
+}
+
+type speedupResult struct {
+	Size    int     `json:"size"`
+	Speedup float64 `json:"speedup_vs_seed"`
+}
+
+type spmmResult struct {
+	Kernel  string  `json:"kernel"`
+	Rows    int     `json:"rows"`
+	NNZ     int     `json:"nnz"`
+	Cols    int     `json:"dense_cols"`
+	Workers int     `json:"workers"`
+	GFLOPS  float64 `json:"gflops"`
+}
+
+type throughputResult struct {
+	Nodes       int     `json:"nodes"`
+	Edges       int     `json:"edges"`
+	Seconds     float64 `json:"seconds"`
+	NodesPerSec float64 `json:"nodes_per_sec"`
+	Communities int     `json:"communities,omitempty"`
+}
+
+type report struct {
+	Benchmark    string           `json:"benchmark"`
+	NumCPU       int              `json:"num_cpu"`
+	SIMD         bool             `json:"simd"`
+	Dense        []denseResult    `json:"dense"`
+	DenseSpeedup []speedupResult  `json:"dense_speedup"`
+	SpMM         []spmmResult     `json:"spmm"`
+	Generate     throughputResult `json:"generate"`
+	Louvain      throughputResult `json:"louvain"`
+}
+
+// nsPerOp times f, growing the iteration count until the sample is long
+// enough to trust. Callers warm buffers before handing f over.
+func nsPerOp(f func()) float64 {
+	const minSample = 200 * time.Millisecond
+	iters := 1
+	for {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		dt := time.Since(t0)
+		if dt >= minSample {
+			return float64(dt.Nanoseconds()) / float64(iters)
+		}
+		iters *= 4
+	}
+}
+
+func randDense(rows, cols int, rng *rand.Rand) *mat.Dense {
+	x := mat.New(rows, cols)
+	d := x.Data()
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// workerCounts enumerates 1, 2, 4, ... up to and including NumCPU.
+func workerCounts() []int {
+	ws := []int{1}
+	for w := 2; w < runtime.NumCPU(); w *= 2 {
+		ws = append(ws, w)
+	}
+	if n := runtime.NumCPU(); n > 1 {
+		ws = append(ws, n)
+	}
+	return ws
+}
+
+func benchDense(sizes []int, r *report) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range sizes {
+		a, b := randDense(n, n, rng), randDense(n, n, rng)
+		out := mat.New(n, n)
+		flops := 2 * float64(n) * float64(n) * float64(n)
+
+		seedNs := nsPerOp(func() { mat.MatMulSerial(a, b) })
+		seedGF := flops / seedNs
+		r.Dense = append(r.Dense, denseResult{Kernel: "seed_ikj", Size: n, Workers: 1, GFLOPS: seedGF})
+
+		var bestGF float64
+		for _, w := range workerCounts() {
+			mat.SetWorkers(w)
+			ns := nsPerOp(func() { mat.MatMulInto(out, a, b) })
+			gf := flops / ns
+			if gf > bestGF {
+				bestGF = gf
+			}
+			r.Dense = append(r.Dense, denseResult{Kernel: "blocked", Size: n, Workers: w, GFLOPS: gf})
+		}
+		mat.SetWorkers(0)
+		r.DenseSpeedup = append(r.DenseSpeedup, speedupResult{Size: n, Speedup: bestGF / seedGF})
+		fmt.Printf("benchkernels: dense %4d³  seed %6.2f GF/s  blocked %6.2f GF/s  (%.1fx)\n",
+			n, seedGF, bestGF, bestGF/seedGF)
+	}
+
+	// Transposed variants at the middle size: the backward-pass kernels.
+	n := sizes[len(sizes)/2]
+	a, b := randDense(n, n, rng), randDense(n, n, rng)
+	out := mat.New(n, n)
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	mat.SetWorkers(runtime.NumCPU())
+	for _, k := range []struct {
+		name string
+		f    func()
+	}{
+		{"blocked_t1", func() { mat.MatMulT1Into(out, a, b) }},
+		{"blocked_t2", func() { mat.MatMulT2Into(out, a, b) }},
+	} {
+		gf := flops / nsPerOp(k.f)
+		r.Dense = append(r.Dense, denseResult{Kernel: k.name, Size: n, Workers: runtime.NumCPU(), GFLOPS: gf})
+		fmt.Printf("benchkernels: dense %4d³  %s %6.2f GF/s\n", n, k.name, gf)
+	}
+	mat.SetWorkers(0)
+}
+
+func benchSpMM(rows, nnz, c int, r *report) {
+	rng := rand.New(rand.NewSource(2))
+	entries := make([]sparse.Coord, nnz)
+	for i := range entries {
+		entries[i] = sparse.Coord{Row: rng.Intn(rows), Col: rng.Intn(rows), Val: rng.Float64() + 0.5}
+	}
+	m, err := sparse.NewCSR(rows, rows, entries)
+	if err != nil {
+		fatal(err)
+	}
+	x := randDense(rows, c, rng)
+	xt := randDense(rows, c, rng)
+	out := mat.New(rows, c)
+	flops := 2 * float64(m.NNZ()) * float64(c)
+	for _, w := range workerCounts() {
+		mat.SetWorkers(w)
+		gf := flops / nsPerOp(func() { out.Zero(); m.MulDenseAddInto(out, x) })
+		r.SpMM = append(r.SpMM, spmmResult{Kernel: "mul_dense", Rows: rows, NNZ: m.NNZ(), Cols: c, Workers: w, GFLOPS: gf})
+		gfT := flops / nsPerOp(func() { out.Zero(); m.TMulDenseAddInto(out, xt) })
+		r.SpMM = append(r.SpMM, spmmResult{Kernel: "tmul_dense", Rows: rows, NNZ: m.NNZ(), Cols: c, Workers: w, GFLOPS: gfT})
+		fmt.Printf("benchkernels: spmm  %dx%d nnz=%d c=%d w=%d  A·X %5.2f GF/s  Aᵀ·X %5.2f GF/s\n",
+			rows, rows, m.NNZ(), c, w, gf, gfT)
+	}
+	mat.SetWorkers(0)
+}
+
+func benchScale(nodes, edges int, r *report) {
+	cfg := dataset.Config{
+		Name:                "benchkernels",
+		Nodes:               nodes,
+		Edges:               edges,
+		Classes:             8,
+		Features:            16,
+		CommunitiesPerClass: 4,
+		Homophily:           0.85,
+		ActiveFeatures:      4,
+		SignalRatio:         0.9,
+	}
+	t0 := time.Now()
+	g, err := dataset.GenerateStream(cfg, 1)
+	if err != nil {
+		fatal(err)
+	}
+	dt := time.Since(t0).Seconds()
+	r.Generate = throughputResult{
+		Nodes: g.NumNodes(), Edges: g.NumEdges(), Seconds: dt,
+		NodesPerSec: float64(g.NumNodes()) / dt,
+	}
+	fmt.Printf("benchkernels: generate %d nodes / %d edges in %.2fs (%.0f nodes/sec)\n",
+		g.NumNodes(), g.NumEdges(), dt, r.Generate.NodesPerSec)
+
+	rng := rand.New(rand.NewSource(1))
+	t0 = time.Now()
+	comm, err := partition.Louvain(g, 1.0, rng)
+	if err != nil {
+		fatal(err)
+	}
+	dt = time.Since(t0).Seconds()
+	k := 0
+	for _, c := range comm {
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	r.Louvain = throughputResult{
+		Nodes: g.NumNodes(), Edges: g.NumEdges(), Seconds: dt,
+		NodesPerSec: float64(g.NumNodes()) / dt, Communities: k,
+	}
+	fmt.Printf("benchkernels: louvain  %d nodes -> %d communities in %.2fs (%.0f nodes/sec)\n",
+		g.NumNodes(), k, dt, r.Louvain.NodesPerSec)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchkernels:", err)
+	os.Exit(1)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_kernels.json", "output JSON path (empty = print only)")
+	smoke := flag.Bool("smoke", false, "tiny shapes, no artefact unless -out is set explicitly")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail unless blocked matmul beats seed by this factor at sizes >= 512")
+	flag.Parse()
+	outSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
+
+	r := &report{Benchmark: "fedomd_kernels", NumCPU: runtime.NumCPU(), SIMD: mat.SIMDEnabled()}
+	if *smoke {
+		benchDense([]int{64, 96, 128}, r)
+		benchSpMM(4000, 60000, 16, r)
+		benchScale(20000, 120000, r)
+	} else {
+		benchDense([]int{256, 512, 1024, 2048}, r)
+		benchSpMM(100000, 2000000, 64, r)
+		benchScale(1000000, 8000000, r)
+	}
+
+	if *minSpeedup > 0 {
+		for _, s := range r.DenseSpeedup {
+			if s.Size >= 512 && s.Speedup < *minSpeedup {
+				fatal(fmt.Errorf("dense %d speedup %.2fx below gate %.2fx", s.Size, s.Speedup, *minSpeedup))
+			}
+		}
+	}
+	if *smoke && !outSet {
+		fmt.Println("benchkernels: smoke pass OK (no artefact written)")
+		return
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchkernels: wrote %s\n", *out)
+}

@@ -30,6 +30,8 @@ type report struct {
 	Dataset     string     `json:"dataset"`
 	Divisor     int        `json:"divisor"`
 	Hidden      int        `json:"hidden"`
+	Workers     int        `json:"workers"`
+	SIMD        bool       `json:"simd"`
 	Pooled      stepResult `json:"pooled"`
 	Unpooled    stepResult `json:"unpooled"`
 	BytesRatio  float64    `json:"bytes_ratio"`
@@ -94,7 +96,14 @@ func main() {
 	out := flag.String("out", "BENCH_step_allocs.json", "output JSON path")
 	divisor := flag.Int("divisor", 16, "dataset scale divisor (higher = smaller graph)")
 	hidden := flag.Int("hidden", 32, "hidden width")
+	workers := flag.Int("workers", 0, "kernel worker count (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	// Spin up the persistent kernel pool before timing so pool start-up cost
+	// never lands inside a benchmark arm, and record the effective count: the
+	// pooled-vs-unpooled comparison is only meaningful at a fixed parallelism.
+	mat.SetWorkers(*workers)
+	mat.ParallelFor(1, 1, func(lo, hi int) {})
 
 	pooled, err := measure(true, *divisor, *hidden)
 	if err != nil {
@@ -117,6 +126,8 @@ func main() {
 		Dataset:     dataset.Cora,
 		Divisor:     *divisor,
 		Hidden:      *hidden,
+		Workers:     mat.Workers(),
+		SIMD:        mat.SIMDEnabled(),
 		Pooled:      pooled,
 		Unpooled:    unpooled,
 		BytesRatio:  ratio(pooled.BytesPerOp, unpooled.BytesPerOp),

@@ -3,9 +3,11 @@ package fedomd
 // End-to-end codec soaks over the public facade, mirroring the chaos soak's
 // scale (cora at 1/12, five Louvain parties, ten rounds): the Delta tier must
 // be provably invisible — bit-identical parameters and accuracy history — and
-// the 8-bit quantized tier must buy its ≥4× upload reduction for at most
-// 0.02 of final test accuracy. Both runs are fully deterministic, so these
-// are regression tests, not statistical ones.
+// the 8-bit quantized tier must buy its ≥4× upload reduction for at most one
+// test-set quantum of accuracy. At this scale the test split holds ~43 nodes,
+// so one node flipping is ~0.023 of accuracy — the drift limit is 0.03, just
+// above that quantum. Both runs are fully deterministic, so these are
+// regression tests, not statistical ones.
 
 import (
 	"math"
@@ -87,11 +89,11 @@ func TestCodecQuantSoakAccuracyAndReduction(t *testing.T) {
 	if len(q8.History) != rounds {
 		t.Fatalf("quantized run completed %d of %d rounds", len(q8.History), rounds)
 	}
-	if drift := math.Abs(q8.TestAtBestVal - raw.TestAtBestVal); drift > 0.02 {
-		t.Fatalf("q8 test@best drifted %.4f from raw (limit 0.02)", drift)
+	if drift := math.Abs(q8.TestAtBestVal - raw.TestAtBestVal); drift > 0.03 {
+		t.Fatalf("q8 test@best drifted %.4f from raw (limit 0.03)", drift)
 	}
-	if drift := math.Abs(q8.FinalTestAcc - raw.FinalTestAcc); drift > 0.02 {
-		t.Fatalf("q8 final test accuracy drifted %.4f from raw (limit 0.02)", drift)
+	if drift := math.Abs(q8.FinalTestAcc - raw.FinalTestAcc); drift > 0.03 {
+		t.Fatalf("q8 final test accuracy drifted %.4f from raw (limit 0.03)", drift)
 	}
 	rawB, encB := agg.Counter(codec.MetricBytesRaw), agg.Counter(codec.MetricBytesEncoded)
 	if encB == 0 {

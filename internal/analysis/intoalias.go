@@ -47,6 +47,8 @@ var noAliasKernels = map[string]kernelSpec{
 	pathMat + ".MeanRowsInto":   {dst: 0, srcs: []int{1}},
 	pathMat + ".SumRowsAXPY":    {dst: 0, srcs: []int{2}},
 	pathMat + ".PowElemInto":    {dst: 0, srcs: []int{1}},
+	// matmul.go slice-level AXPY micro kernel: dst += alpha·src.
+	pathMat + ".AXPYRow": {dst: 0, srcs: []int{2}},
 	// In-place BLAS-style updates: the receiver is the destination.
 	pathMat + ".Dense.AXPY":             {dst: recvIdx, srcs: []int{1}},
 	pathMat + ".Dense.AXPYRowBroadcast": {dst: recvIdx, srcs: []int{1}},
@@ -54,6 +56,7 @@ var noAliasKernels = map[string]kernelSpec{
 	pathMat + ".Dense.SelectRowsInto": {dst: 0, srcs: []int{recvIdx}},
 	// sparse SpMM kernels: out must not alias the dense operand.
 	pathSparse + ".CSR.MulDenseInto":     {dst: 0, srcs: []int{1}},
+	pathSparse + ".CSR.MulDenseAddInto":  {dst: 0, srcs: []int{1}},
 	pathSparse + ".CSR.TMulDenseInto":    {dst: 0, srcs: []int{1}},
 	pathSparse + ".CSR.TMulDenseAddInto": {dst: 0, srcs: []int{1}},
 }

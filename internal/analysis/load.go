@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -183,18 +184,25 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	return p, nil
 }
 
-// parseDir parses every buildable non-test Go file of dir.
+// parseDir parses every buildable non-test Go file of dir. Build-constrained
+// files (GOOS/GOARCH filename suffixes and //go:build lines, e.g. the amd64
+// SIMD kernels and their portable fallbacks) are filtered through go/build's
+// host context, matching what `go build` would compile here.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
+	buildCtx := build.Default
 	var names []string
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") ||
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if ok, err := buildCtx.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

@@ -22,9 +22,16 @@ func matKernels(out, a, b *mat.Dense) {
 	mat.ScaleInto(out, 2, a)
 }
 
+func sliceKernels(dst, src []float64) {
+	mat.AXPYRow(dst, 2, dst) // want `dst is both destination and source of AXPYRow`
+	mat.AXPYRow(dst, 2, src)
+}
+
 func sparseKernels(s *sparse.CSR, out, x *mat.Dense) {
 	s.MulDenseInto(out, out) // want `out is both destination and source of MulDenseInto`
 	s.MulDenseInto(out, x)
+	s.MulDenseAddInto(out, out) // want `out is both destination and source of MulDenseAddInto`
+	s.MulDenseAddInto(out, x)
 	s.TMulDenseAddInto(out, x)
 }
 

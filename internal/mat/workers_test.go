@@ -1,0 +1,124 @@
+package mat
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs fn under a fixed participant count, restoring the default
+// afterwards so tests don't leak configuration.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	SetWorkers(n)
+	defer SetWorkers(0)
+	fn()
+}
+
+// workerCounts is the grid the determinism suite pins: serial, minimal
+// parallel, the default, and oversubscribed (more participants than cores —
+// on a small machine this is the only way to force real interleaving).
+func workerCounts() []int {
+	ncpu := runtime.NumCPU()
+	return []int{1, 2, ncpu, ncpu + 3}
+}
+
+func TestParallelForCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range workerCounts() {
+		for _, n := range []int{1, 7, 64, 1000, 4096} {
+			var hits []atomic.Int32
+			hits = make([]atomic.Int32, n)
+			SetWorkers(w)
+			ParallelFor(n, 16, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("w=%d n=%d: bad chunk [%d,%d)", w, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("w=%d n=%d: index %d processed %d times", w, n, i, got)
+				}
+			}
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestParallelForEmptyAndTiny(t *testing.T) {
+	ran := false
+	ParallelFor(0, 4, func(lo, hi int) { ran = true })
+	if ran {
+		t.Fatal("body ran for n=0")
+	}
+	ParallelFor(3, 8, func(lo, hi int) {
+		if lo != 0 || hi != 3 {
+			t.Fatalf("n<=grain should run inline over [0,n), got [%d,%d)", lo, hi)
+		}
+	})
+}
+
+func TestSetWorkersReconfigures(t *testing.T) {
+	withWorkers(t, 5, func() {
+		if got := Workers(); got != 5 {
+			t.Fatalf("Workers() = %d, want 5", got)
+		}
+	})
+	if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers() after reset = %d, want %d", got, want)
+	}
+}
+
+// TestParallelForConcurrentDispatch drives many simultaneous jobs through
+// the shared pool (plus a SetWorkers churn in the background) under -race:
+// the pool must isolate jobs from one another and from reconfiguration.
+func TestParallelForConcurrentDispatch(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	var churn sync.WaitGroup
+	stop := make(chan struct{})
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		w := 2
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				SetWorkers(w)
+				w = 2 + (w+1)%5
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for iter := 0; iter < 50; iter++ {
+				n := 64 + rng.Intn(2048)
+				var sum atomic.Int64
+				ParallelFor(n, 32, func(lo, hi int) {
+					var s int64
+					for i := lo; i < hi; i++ {
+						s += int64(i)
+					}
+					sum.Add(s)
+				})
+				if want := int64(n) * int64(n-1) / 2; sum.Load() != want {
+					t.Errorf("sum over [0,%d) = %d, want %d", n, sum.Load(), want)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+}

@@ -2,72 +2,324 @@
 // (Blondel et al. 2008) with the resolution parameter the paper sweeps in
 // Figure 7, plus the community→party grouping that turns a global graph into
 // the M non-i.i.d local subgraphs each federated client owns.
+//
+// The implementation is flat-array based (no per-node maps) so million-node
+// graphs partition in seconds: each local-moving sweep is O(E) with a scratch
+// accumulator reset through a touched list. Small graphs use the classic
+// sequential greedy sweep in rng order; past syncMoveThreshold nodes the
+// local-moving phase switches to synchronous rounds — every node's best move
+// is proposed in parallel against the frozen partition, then proposals are
+// applied in ascending node order. Proposals are pure functions of the frozen
+// state, so the result is bit-identical for every worker count. A final
+// refinement sweep on the original (uncoarsened) graph polishes the hierarchy
+// output, the standard multi-level refinement step.
 package partition
 
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"sync"
 
 	"fedomd/internal/graph"
+	"fedomd/internal/mat"
 )
 
-// wgraph is the weighted multigraph Louvain coarsens between passes.
-type wgraph struct {
-	// adj[i] maps neighbour -> edge weight (self loops allowed after
-	// aggregation and stored with their full internal weight).
-	adj []map[int]float64
-	// total2m is Σ_ij w_ij counting both directions plus 2× self loops,
-	// i.e. 2m in modularity notation.
-	total2m float64
+const (
+	// syncMoveThreshold is the node count above which local moving switches
+	// from the sequential rng-ordered sweep to synchronous parallel rounds.
+	syncMoveThreshold = 1 << 13
+	// maxMoveIter caps sequential sweeps per level (converges far earlier).
+	maxMoveIter = 100
+	// maxSyncIter caps synchronous rounds per level. Rounds past the first
+	// few mostly shuffle nodes the next coarsening level merges in O(1), so
+	// a tight cap trades nothing measurable for a large constant factor.
+	maxSyncIter = 6
+	// refineIter caps the final refinement sweep on the original graph.
+	refineIter = 10
+	// proposeGrain is the ParallelFor chunk grain for the proposal phase.
+	proposeGrain = 1024
+)
+
+// flatGraph is the weighted multigraph Louvain coarsens between passes, in
+// CSR-like flat arrays. Self loops live in selfW (full internal weight; they
+// count twice in the weighted degree) and never appear in nbr. All edge
+// weights are strictly positive — level 0 uses unit weights and aggregation
+// sums them — which lets commW[c] == 0 double as the "not seen yet" test.
+type flatGraph struct {
+	n       int
+	rowPtr  []int
+	nbr     []int
+	w       []float64
+	selfW   []float64
+	deg     []float64 // weighted degree incl. 2× self loop
+	total2m float64   // Σ_i deg[i] = 2m
 }
 
-func newWGraphFromGraph(g *graph.Graph) *wgraph {
+func newFlatGraph(g *graph.Graph) *flatGraph {
 	n := g.NumNodes()
-	w := &wgraph{adj: make([]map[int]float64, n)}
+	nnz := g.Adj.NNZ()
+	fg := &flatGraph{
+		n:      n,
+		rowPtr: make([]int, n+1),
+		nbr:    make([]int, 0, nnz),
+		w:      make([]float64, 0, nnz),
+		selfW:  make([]float64, n),
+		deg:    make([]float64, n),
+	}
 	for i := 0; i < n; i++ {
-		w.adj[i] = make(map[int]float64)
+		g.Adj.RowEntries(i, func(j int, v float64) {
+			fg.nbr = append(fg.nbr, j)
+			fg.w = append(fg.w, v)
+			fg.deg[i] += v
+		})
+		fg.rowPtr[i+1] = len(fg.nbr)
+		fg.total2m += fg.deg[i]
 	}
-	for _, e := range g.Edges() {
-		w.adj[e[0]][e[1]] += 1
-		w.adj[e[1]][e[0]] += 1
-		w.total2m += 2
-	}
-	return w
+	return fg
 }
 
-// degree returns the weighted degree of node i (self loops count twice).
-// Keys are summed in sorted order so the floating-point result does not
-// depend on map iteration order.
-func (w *wgraph) degree(i int) float64 {
-	keys := sortedKeys(w.adj[i])
-	var d float64
-	for _, j := range keys {
-		if j == i {
-			d += 2 * w.adj[i][j]
-		} else {
-			d += w.adj[i][j]
+// moveScratch is the per-sweep accumulator: commW[c] collects the weight from
+// the current node to community c, and touched lists which entries to reset.
+type moveScratch struct {
+	commW   []float64
+	touched []int
+}
+
+var moveScratchPool = sync.Pool{}
+
+func getMoveScratch(n int) *moveScratch {
+	if v := moveScratchPool.Get(); v != nil {
+		sc := v.(*moveScratch)
+		if len(sc.commW) >= n {
+			return sc
 		}
 	}
-	return d
+	return &moveScratch{commW: make([]float64, n)}
 }
 
-func sortedKeys(m map[int]float64) []int {
-	keys := make([]int, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+func putMoveScratch(sc *moveScratch) { moveScratchPool.Put(sc) }
+
+// propose returns the community node i should move to (possibly its current
+// one) for the frozen partition (comm, commTot). Candidates are scanned in
+// CSR neighbour order; ties within 1e-12 break toward the smallest community
+// id, so the answer is a pure function of the partition — never of worker
+// count or scratch reuse.
+func (fg *flatGraph) propose(i int, resolution float64, comm []int, commTot []float64, sc *moveScratch) int {
+	ci := comm[i]
+	di := fg.deg[i]
+	commW := sc.commW
+	touched := sc.touched[:0]
+	for e := fg.rowPtr[i]; e < fg.rowPtr[i+1]; e++ {
+		cj := comm[fg.nbr[e]]
+		if commW[cj] == 0 {
+			touched = append(touched, cj)
+		}
+		commW[cj] += fg.w[e]
 	}
-	sort.Ints(keys)
-	return keys
+	baseline := commW[ci] - resolution*(commTot[ci]-di)*di/fg.total2m
+	best, bestComm := 0.0, ci
+	for _, c := range touched {
+		if c == ci {
+			continue
+		}
+		gain := commW[c] - resolution*commTot[c]*di/fg.total2m
+		delta := gain - baseline
+		if delta-best > 1e-12 {
+			best, bestComm = delta, c
+		} else if bestComm != ci && best-delta <= 1e-12 && c < bestComm {
+			bestComm = c
+		}
+	}
+	for _, c := range touched {
+		commW[c] = 0
+	}
+	sc.touched = touched
+	return bestComm
+}
+
+// localMoveSeq is the classic greedy phase: nodes visited in rng order move
+// immediately, so every applied move strictly improves modularity. comm and
+// commTot may carry an arbitrary starting partition (used by refinement).
+func (fg *flatGraph) localMoveSeq(resolution float64, rng *rand.Rand, comm []int, commTot []float64, maxIter int) bool {
+	order := rng.Perm(fg.n)
+	sc := getMoveScratch(fg.n)
+	defer putMoveScratch(sc)
+	anyMoved := false
+	for iter := 0; iter < maxIter; iter++ {
+		moved := 0
+		for _, i := range order {
+			ci := comm[i]
+			t := fg.propose(i, resolution, comm, commTot, sc)
+			if t == ci {
+				continue
+			}
+			commTot[ci] -= fg.deg[i]
+			commTot[t] += fg.deg[i]
+			comm[i] = t
+			moved++
+			anyMoved = true
+		}
+		// Converged, or in the long tail (<1% of nodes still moving): stop —
+		// coarser levels and the refinement pass pick up the stragglers. For
+		// small n the condition only fires at moved == 0, i.e. exact
+		// convergence, so clique-sized graphs keep the classic behaviour.
+		if moved*100 < fg.n {
+			break
+		}
+	}
+	return anyMoved
+}
+
+// localMoveSync is the parallel phase: each round proposes the best move of
+// every active node against the frozen partition (parallel, deterministic),
+// then applies the proposals sequentially in ascending node index. A node is
+// active in round r+1 iff it or a neighbour moved in round r — after the
+// first few full sweeps the active set collapses to community boundaries, so
+// the convergence tail costs O(changed) instead of O(E) per round. Two
+// singleton communities proposing to swap into each other would oscillate
+// forever, so a singleton may only merge downward (into a smaller id).
+func (fg *flatGraph) localMoveSync(resolution float64, comm []int, commTot []float64, maxIter int) bool {
+	n := fg.n
+	proposals := make([]int32, n)
+	commSize := make([]int, n)
+	for _, c := range comm {
+		commSize[c]++
+	}
+	active := make([]bool, n)
+	nextActive := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	anyMoved := false
+	for iter := 0; iter < maxIter; iter++ {
+		mat.ParallelFor(n, proposeGrain, func(lo, hi int) {
+			sc := getMoveScratch(n)
+			for i := lo; i < hi; i++ {
+				if !active[i] {
+					proposals[i] = -1
+					continue
+				}
+				proposals[i] = int32(fg.propose(i, resolution, comm, commTot, sc))
+			}
+			putMoveScratch(sc)
+		})
+		moved := 0
+		for i := 0; i < n; i++ {
+			t := int(proposals[i])
+			if t < 0 {
+				continue
+			}
+			ci := comm[i]
+			if t == ci {
+				continue
+			}
+			if commSize[ci] == 1 && commSize[t] == 1 && t > ci {
+				continue // singleton swap guard: only merge downward
+			}
+			commTot[ci] -= fg.deg[i]
+			commTot[t] += fg.deg[i]
+			commSize[ci]--
+			commSize[t]++
+			comm[i] = t
+			moved++
+			anyMoved = true
+			nextActive[i] = true
+			for e := fg.rowPtr[i]; e < fg.rowPtr[i+1]; e++ {
+				nextActive[fg.nbr[e]] = true
+			}
+		}
+		// Stale synchronous proposals churn long after the partition has
+		// stabilised; once fewer than 5% of nodes accept a move the round
+		// is better spent one coarsening level down.
+		if moved*20 < n {
+			break
+		}
+		active, nextActive = nextActive, active
+		clear(nextActive)
+	}
+	return anyMoved
+}
+
+// localMove dispatches between the sequential and synchronous phases.
+func (fg *flatGraph) localMove(resolution float64, rng *rand.Rand, comm []int, commTot []float64, maxIter int) bool {
+	if fg.n >= syncMoveThreshold {
+		return fg.localMoveSync(resolution, comm, commTot, maxIter)
+	}
+	return fg.localMoveSeq(resolution, rng, comm, commTot, maxIter)
+}
+
+// aggregate coarsens fg into the k-community quotient graph. Members of each
+// community are walked in ascending node order (counting sort), so the
+// coarse adjacency layout is deterministic.
+func (fg *flatGraph) aggregate(comm []int, k int) *flatGraph {
+	memberPtr := make([]int, k+1)
+	for _, c := range comm {
+		memberPtr[c+1]++
+	}
+	for c := 0; c < k; c++ {
+		memberPtr[c+1] += memberPtr[c]
+	}
+	members := make([]int, fg.n)
+	cursor := make([]int, k)
+	copy(cursor, memberPtr[:k])
+	for i, c := range comm {
+		members[cursor[c]] = i
+		cursor[c]++
+	}
+
+	// Coarse nnz never exceeds fine nnz; reserving it up front keeps the
+	// append loop below from reallocating (and memmove-copying) multi-GB
+	// adjacency slices on million-node inputs.
+	out := &flatGraph{
+		n:       k,
+		rowPtr:  make([]int, k+1),
+		nbr:     make([]int, 0, len(fg.nbr)),
+		w:       make([]float64, 0, len(fg.w)),
+		selfW:   make([]float64, k),
+		deg:     make([]float64, k),
+		total2m: fg.total2m,
+	}
+	commW := make([]float64, k)
+	touched := make([]int, 0, 64)
+	for c := 0; c < k; c++ {
+		var internal float64
+		touched = touched[:0]
+		for m := memberPtr[c]; m < memberPtr[c+1]; m++ {
+			i := members[m]
+			out.selfW[c] += fg.selfW[i]
+			out.deg[c] += fg.deg[i]
+			for e := fg.rowPtr[i]; e < fg.rowPtr[i+1]; e++ {
+				cj := comm[fg.nbr[e]]
+				if cj == c {
+					internal += fg.w[e] // each internal edge seen from both ends
+					continue
+				}
+				if commW[cj] == 0 {
+					touched = append(touched, cj)
+				}
+				commW[cj] += fg.w[e]
+			}
+		}
+		out.selfW[c] += internal / 2
+		for _, cj := range touched {
+			out.nbr = append(out.nbr, cj)
+			out.w = append(out.w, commW[cj])
+			commW[cj] = 0
+		}
+		out.rowPtr[c+1] = len(out.nbr)
+	}
+	return out
 }
 
 // Louvain runs multi-pass Louvain modularity optimisation on g with the
 // given resolution γ (larger γ ⇒ more, smaller communities). It returns a
 // community id per node; ids are dense in [0, k).
 //
-// The node visiting order is shuffled with rng, so different seeds can give
-// different (all locally optimal) partitions, matching the reference
-// implementation's behaviour.
+// On small graphs the node visiting order is shuffled with rng, so different
+// seeds can give different (all locally optimal) partitions, matching the
+// reference implementation's behaviour. Large graphs use synchronous rounds
+// whose result is independent of rng and of the worker count; either way the
+// output is deterministic under the seed.
 func Louvain(g *graph.Graph, resolution float64, rng *rand.Rand) ([]int, error) {
 	if resolution <= 0 {
 		return nil, fmt.Errorf("partition: resolution must be positive, got %v", resolution)
@@ -76,153 +328,72 @@ func Louvain(g *graph.Graph, resolution float64, rng *rand.Rand) ([]int, error) 
 	if n == 0 {
 		return nil, nil
 	}
-	w := newWGraphFromGraph(g)
-	// node -> community at the current coarsening level; levelMap composes
-	// them down to the original nodes.
+	level0 := newFlatGraph(g)
 	assignment := make([]int, n)
 	for i := range assignment {
 		assignment[i] = i
 	}
-	if w.total2m == 0 {
+	if level0.total2m == 0 {
 		// No edges: every node is its own community.
 		return assignment, nil
 	}
+
+	fg := level0
 	for {
-		comm, improved := w.onePass(resolution, rng)
-		comm = renumber(comm)
-		// Compose into the original-node assignment.
+		comm := make([]int, fg.n)
+		commTot := make([]float64, fg.n)
+		for i := range comm {
+			comm[i] = i
+			commTot[i] = fg.deg[i]
+		}
+		improved := fg.localMove(resolution, rng, comm, commTot, maxIterFor(fg.n))
+		k := renumber(comm)
 		for i := range assignment {
 			assignment[i] = comm[assignment[i]]
 		}
-		if !improved {
+		if !improved || k == fg.n || k == 1 {
 			break
 		}
-		w = w.aggregate(comm)
-		if len(w.adj) == 1 {
-			break
-		}
+		fg = fg.aggregate(comm, k)
 	}
-	return renumber(assignment), nil
+
+	// Multi-level refinement: one more local-moving sweep on the original
+	// graph, seeded with the hierarchy's output — recovers nodes the coarse
+	// levels glued to the wrong side of a community boundary.
+	if k := renumber(assignment); k > 1 {
+		commTot := make([]float64, k)
+		for i, c := range assignment {
+			commTot[c] += level0.deg[i]
+		}
+		level0.localMove(resolution, rng, assignment, commTot, refineIter)
+		renumber(assignment)
+	}
+	return assignment, nil
 }
 
-// onePass performs the local-moving phase on w: nodes greedily move to the
-// neighbouring community with the largest positive modularity gain until no
-// move improves. It returns the community of each node and whether any node
-// moved at all.
-func (w *wgraph) onePass(resolution float64, rng *rand.Rand) ([]int, bool) {
-	n := len(w.adj)
-	comm := make([]int, n)
-	commTot := make([]float64, n) // Σ of degrees in each community
-	deg := make([]float64, n)
-	for i := 0; i < n; i++ {
-		comm[i] = i
-		deg[i] = w.degree(i)
-		commTot[i] = deg[i]
+func maxIterFor(n int) int {
+	if n >= syncMoveThreshold {
+		return maxSyncIter
 	}
-	order := rng.Perm(n)
-	anyMoved := false
-	for iter := 0; iter < 100; iter++ {
-		moved := false
-		for _, i := range order {
-			ci := comm[i]
-			// Weights from i to each neighbouring community (self loops
-			// excluded: they move with the node). Candidate communities are
-			// visited in sorted order: Go map iteration order is random, and
-			// tie-breaks must not depend on it or identical seeds would
-			// yield different partitions.
-			links := map[int]float64{}
-			for _, j := range sortedKeys(w.adj[i]) {
-				if j == i {
-					continue
-				}
-				links[comm[j]] += w.adj[i][j]
-			}
-			cands := make([]int, 0, len(links))
-			for c := range links {
-				cands = append(cands, c)
-			}
-			sort.Ints(cands)
-			// Remove i from its community.
-			commTot[ci] -= deg[i]
-			bestComm, bestGain := ci, 0.0
-			baseline := links[ci] - resolution*commTot[ci]*deg[i]/w.total2m
-			for _, c := range cands {
-				if c == ci {
-					continue
-				}
-				gain := links[c] - resolution*commTot[c]*deg[i]/w.total2m
-				if gain-baseline > bestGain+1e-12 {
-					bestGain = gain - baseline
-					bestComm = c
-				}
-			}
-			comm[i] = bestComm
-			commTot[bestComm] += deg[i]
-			if bestComm != ci {
-				moved = true
-				anyMoved = true
-			}
-		}
-		if !moved {
-			break
-		}
-	}
-	return comm, anyMoved
+	return maxMoveIter
 }
 
-// aggregate builds the coarsened graph whose nodes are the communities of w.
-func (w *wgraph) aggregate(comm []int) *wgraph {
-	k := 0
-	for _, c := range comm {
-		if c+1 > k {
-			k = c + 1
-		}
+// renumber maps community ids to dense ids 0..k-1 in place, preserving first
+// appearance order, and returns k. Ids must already lie in [0, len(comm)).
+func renumber(comm []int) int {
+	remap := make([]int, len(comm))
+	for i := range remap {
+		remap[i] = -1
 	}
-	out := &wgraph{adj: make([]map[int]float64, k), total2m: w.total2m}
-	for i := range out.adj {
-		out.adj[i] = make(map[int]float64)
-	}
-	for i, nbrs := range w.adj {
-		ci := comm[i]
-		for _, j := range sortedKeys(nbrs) {
-			wt := nbrs[j]
-			cj := comm[j]
-			if i == j {
-				out.adj[ci][ci] += wt
-				continue
-			}
-			if i < j {
-				// Each undirected edge appears in both adjacency maps; add
-				// once per direction below.
-				out.adj[ci][cj] += wt
-				out.adj[cj][ci] += wt
-				// Note: when ci == cj this double-adds, forming the doubled
-				// internal self-loop weight convention used by degree().
-				if ci == cj {
-					out.adj[ci][cj] -= wt // undo one of the two adds
-				}
-			}
-		}
-	}
-	return out
-}
-
-// renumber maps arbitrary community ids to dense ids 0..k-1 preserving first
-// appearance order.
-func renumber(comm []int) []int {
-	seen := map[int]int{}
-	out := make([]int, len(comm))
 	next := 0
 	for i, c := range comm {
-		id, ok := seen[c]
-		if !ok {
-			id = next
-			seen[c] = id
+		if remap[c] < 0 {
+			remap[c] = next
 			next++
 		}
-		out[i] = id
+		comm[i] = remap[c]
 	}
-	return out
+	return next
 }
 
 // Modularity computes the resolution-weighted modularity of an assignment on

@@ -1,0 +1,112 @@
+package partition
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"fedomd/internal/dataset"
+	"fedomd/internal/graph"
+	"fedomd/internal/mat"
+)
+
+// bigCommunityGraph streams an SBM large enough to cross syncMoveThreshold,
+// exercising the synchronous parallel local-moving path.
+func bigCommunityGraph(t *testing.T, nodes int) *graph.Graph {
+	t.Helper()
+	cfg := dataset.Config{
+		Name:                "louvain-scale",
+		Nodes:               nodes,
+		Edges:               nodes * 8,
+		Classes:             6,
+		Features:            12,
+		CommunitiesPerClass: 2,
+		Homophily:           0.9,
+		ActiveFeatures:      4,
+		SignalRatio:         0.9,
+	}
+	g, err := dataset.GenerateStream(cfg, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLouvainSyncPathRecoversCommunities(t *testing.T) {
+	n := 2 * syncMoveThreshold
+	g := bigCommunityGraph(t, n)
+	comm, err := Louvain(g, 1.0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comm) != n {
+		t.Fatalf("assignment length %d, want %d", len(comm), n)
+	}
+	q := Modularity(g, comm, 1.0)
+	single := make([]int, n)
+	for i := range single {
+		single[i] = i
+	}
+	if base := Modularity(g, single, 1.0); q <= base {
+		t.Fatalf("modularity %v not above singleton baseline %v", q, base)
+	}
+	// The SBM plants 12 dense communities at homophily 0.9; any reasonable
+	// Louvain run finds strong structure here.
+	if q < 0.5 {
+		t.Fatalf("modularity %v suspiciously low for planted communities", q)
+	}
+	k := 0
+	for _, c := range comm {
+		if c < 0 {
+			t.Fatalf("negative community id %d", c)
+		}
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	if k < 2 || k > n/10 {
+		t.Fatalf("found %d communities for %d nodes with 12 planted", k, n)
+	}
+}
+
+// TestLouvainBitIdenticalAcrossWorkerCounts pins the determinism contract of
+// the synchronous phase: proposals are computed against a frozen partition,
+// so the final assignment must not depend on the worker count.
+func TestLouvainBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	defer mat.SetWorkers(0)
+	g := bigCommunityGraph(t, syncMoveThreshold+512)
+
+	mat.SetWorkers(1)
+	ref, err := Louvain(g, 1.0, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncpu := runtime.NumCPU()
+	for _, w := range []int{2, ncpu, ncpu + 3} {
+		mat.SetWorkers(w)
+		got, err := Louvain(g, 1.0, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: node %d in community %d, want %d", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestRenumberInPlace pins the dense-renumber helper used on every level.
+func TestRenumberInPlace(t *testing.T) {
+	comm := []int{4, 2, 4, 0, 2, 5}
+	k := renumber(comm)
+	if k != 4 {
+		t.Fatalf("k = %d, want 4", k)
+	}
+	want := []int{0, 1, 0, 2, 1, 3}
+	for i := range want {
+		if comm[i] != want[i] {
+			t.Fatalf("renumber = %v, want %v", comm, want)
+		}
+	}
+}

