@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet lint race bench bench-step bench-comms bench-obs bench-kernels scale-demo chaos obslint dash-demo
+.PHONY: build test check fmt vet lint lint-fast race bench bench-step bench-comms bench-obs bench-kernels scale-demo chaos obslint dash-demo
 
 # Formatting checks skip testdata: it holds deliberately corrupt analyzer
 # fixtures that gofmt cannot parse.
@@ -19,10 +19,28 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis: poolpair, tapelease, intoalias,
-# telemetrykey (see DESIGN.md §8). Non-zero exit on any diagnostic.
+# Project-specific static analysis: the full eight-analyzer suite (see
+# DESIGN.md §8, §13). Non-zero exit on any diagnostic; -timing shows where
+# the lint wall time goes.
 lint:
-	$(GO) run ./cmd/fedomdvet ./...
+	$(GO) run ./cmd/fedomdvet -timing ./...
+
+# The same suite, sharded per-analyzer across background jobs via -only. The
+# binary is built once (go run would race eight compiles of the same main);
+# each shard pays the type-checking cost, so this wins on multi-core machines
+# where the slowest analyzer, not the sum, bounds wall time.
+lint-fast:
+	@bin=$$(mktemp -d)/fedomdvet; trap 'rm -rf $$(dirname $$bin)' EXIT; \
+	$(GO) build -o $$bin ./cmd/fedomdvet || exit 2; \
+	fail=0; pids=""; names=""; \
+	for a in $$($$bin -list | awk '{print $$1}'); do \
+		$$bin -only $$a ./... & pids="$$pids $$!"; names="$$names $$a"; \
+	done; \
+	i=0; for pid in $$pids; do \
+		i=$$((i+1)); name=$$(echo $$names | cut -d' ' -f$$i); \
+		if ! wait $$pid; then echo "FAIL $$name"; fail=1; fi; \
+	done; \
+	exit $$fail
 
 race:
 	$(GO) test -race -count=1 ./...
@@ -37,21 +55,22 @@ chaos:
 # suite under the race detector (-count=1 so a cached pass can't mask a
 # race). CI-friendly: every stage runs even if an earlier one fails, each
 # reports its own status, and the target exits non-zero if any stage failed.
+# Each stage reports its own wall time so a slow gate is visible at a glance.
 check:
-	@fail=0; \
-	out=$$($(FMT_FILES) | xargs gofmt -l); if [ -n "$$out" ]; then \
-		echo "FAIL gofmt — run gofmt -w on:"; echo "$$out"; fail=1; \
-	else echo "ok   gofmt"; fi; \
-	if $(GO) vet ./...; then echo "ok   go vet"; \
-	else echo "FAIL go vet"; fail=1; fi; \
-	if $(GO) run ./cmd/fedomdvet ./...; then echo "ok   fedomdvet"; \
-	else echo "FAIL fedomdvet"; fail=1; fi; \
-	if $(GO) test -race -count=1 ./...; then echo "ok   go test -race"; \
-	else echo "FAIL go test -race"; fail=1; fi; \
-	if $(GO) run ./cmd/obslint; then echo "ok   obslint"; \
-	else echo "FAIL obslint"; fail=1; fi; \
-	if $(GO) run ./cmd/benchkernels -smoke >/dev/null; then echo "ok   benchkernels -smoke"; \
-	else echo "FAIL benchkernels -smoke"; fail=1; fi; \
+	@fail=0; t0=$$(date +%s); \
+	out=$$($(FMT_FILES) | xargs gofmt -l); t1=$$(date +%s); if [ -n "$$out" ]; then \
+		echo "FAIL gofmt ($$((t1-t0))s) — run gofmt -w on:"; echo "$$out"; fail=1; \
+	else echo "ok   gofmt ($$((t1-t0))s)"; fi; \
+	t0=$$(date +%s); if $(GO) vet ./...; then t1=$$(date +%s); echo "ok   go vet ($$((t1-t0))s)"; \
+	else t1=$$(date +%s); echo "FAIL go vet ($$((t1-t0))s)"; fail=1; fi; \
+	t0=$$(date +%s); if $(GO) run ./cmd/fedomdvet -timing ./...; then t1=$$(date +%s); echo "ok   fedomdvet ($$((t1-t0))s)"; \
+	else t1=$$(date +%s); echo "FAIL fedomdvet ($$((t1-t0))s)"; fail=1; fi; \
+	t0=$$(date +%s); if $(GO) test -race -count=1 ./...; then t1=$$(date +%s); echo "ok   go test -race ($$((t1-t0))s)"; \
+	else t1=$$(date +%s); echo "FAIL go test -race ($$((t1-t0))s)"; fail=1; fi; \
+	t0=$$(date +%s); if $(GO) run ./cmd/obslint; then t1=$$(date +%s); echo "ok   obslint ($$((t1-t0))s)"; \
+	else t1=$$(date +%s); echo "FAIL obslint ($$((t1-t0))s)"; fail=1; fi; \
+	t0=$$(date +%s); if $(GO) run ./cmd/benchkernels -smoke >/dev/null; then t1=$$(date +%s); echo "ok   benchkernels -smoke ($$((t1-t0))s)"; \
+	else t1=$$(date +%s); echo "FAIL benchkernels -smoke ($$((t1-t0))s)"; fail=1; fi; \
 	exit $$fail
 
 # Exposition lint in isolation: run a short chaos-injected round trip and

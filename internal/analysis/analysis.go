@@ -8,11 +8,14 @@
 // as the runtime grows.
 //
 // The package defines the Analyzer/Pass plumbing, a suppression layer
-// (//fedomdvet:ignore reason), the module loader (load.go) and the four
-// project-specific analyzers (poolpair.go, tapelease.go, intoalias.go,
-// telemetrykey.go). cmd/fedomdvet is the command-line front end; the fixture
-// harness in harness.go drives the analyzers over testdata packages with
-// // want "…" expectations.
+// (//fedomdvet:ignore reason), the module loader (load.go), the control-flow
+// graph and dataflow fixpoint engine (cfg/), and the eight project-specific
+// analyzers: the path-sensitive ownership checks poolpair.go, tapelease.go,
+// spanend.go, shardalias.go and residualstate.go run as lattices over the
+// cfg engine; intoalias.go, telemetrykey.go and parforcapture.go are
+// syntactic/taint checks. cmd/fedomdvet is the command-line front end; the
+// fixture harness in harness.go drives the analyzers over testdata packages
+// with // want "…" expectations.
 package analysis
 
 import (
@@ -24,6 +27,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named invariant checker. Run inspects a type-checked
@@ -73,7 +77,27 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{PoolPair, TapeLease, IntoAlias, TelemetryKey}
+	return []*Analyzer{
+		PoolPair, TapeLease, IntoAlias, TelemetryKey,
+		ParForCapture, SpanEnd, ShardAlias, ResidualState,
+	}
+}
+
+// ByName resolves analyzer names (as given to fedomdvet -only) against the
+// full suite; unknown names are returned for the caller to report.
+func ByName(names []string) (found []*Analyzer, unknown []string) {
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	for _, n := range names {
+		if a, ok := byName[n]; ok {
+			found = append(found, a)
+		} else {
+			unknown = append(unknown, n)
+		}
+	}
+	return found, unknown
 }
 
 // ignoreDirective matches the suppression comment. The reason is everything
@@ -96,7 +120,16 @@ type ignore struct {
 // directive at the end of a code line covers that line; a directive alone on
 // its line covers the next line.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(pkg, analyzers)
+	return diags
+}
+
+// RunTimed is Run, additionally reporting how long each analyzer spent on the
+// package (keyed by analyzer name) so the driver can show where lint time
+// goes. Suppression time is not attributed to any analyzer.
+func RunTimed(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, map[string]time.Duration) {
 	var diags []Diagnostic
+	timings := make(map[string]time.Duration, len(analyzers))
 	for _, a := range analyzers {
 		pass := &Pass{
 			Fset:     pkg.Fset,
@@ -106,9 +139,11 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			analyzer: a,
 			diags:    &diags,
 		}
+		start := time.Now()
 		a.Run(pass)
+		timings[a.Name] += time.Since(start)
 	}
-	return applySuppressions(pkg, diags)
+	return applySuppressions(pkg, diags), timings
 }
 
 // applySuppressions filters diags through the package's ignore directives and
@@ -226,6 +261,7 @@ var (
 	pathSparse    = modulePath + "/internal/sparse"
 	pathTelemetry = modulePath + "/internal/telemetry"
 	pathObs       = modulePath + "/internal/obs"
+	pathCodec     = modulePath + "/internal/codec"
 )
 
 // calleeFunc resolves the *types.Func a call expression invokes, or nil for

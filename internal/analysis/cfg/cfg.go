@@ -1,0 +1,478 @@
+// Package cfg lowers Go function bodies into basic-block control-flow
+// graphs and runs forward dataflow analyses over them (dataflow.go). It is
+// the engine under the internal/analysis ownership checkers: instead of
+// walking the AST per-branch and approximating joins, an analyzer expresses
+// its invariant as a lattice of per-object facts plus a transfer function,
+// and the fixpoint driver merges facts correctly at every join — including
+// loop back edges, goto targets and switch exits.
+//
+// The lowering covers the full statement grammar: defer (kept as an
+// instruction for the transfer function to interpret), panic (an edge to the
+// synthetic Panic block, so unwind paths never reach Exit), labeled break/
+// continue, goto (forward and backward, via patch lists), switch/type-switch
+// fallthrough, and select. Function literals are deliberately *not* inlined:
+// each closure body is its own scope with its own graph, mirroring how the
+// analyzers treat capture as an ownership transfer.
+//
+// Structured statements are decomposed so every ast.Node a transfer function
+// sees is "flat": an if contributes its condition expression to the
+// preceding block and its branches to successor blocks, a for contributes
+// init/cond/post in their own blocks with a back edge, and so on. Scope
+// boundaries appear as synthetic *ScopeExit nodes on fall-through edges, so
+// analyzers can run leak checks exactly where a lexical block ends.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Node is one unit of work for a transfer function: a flat statement or
+// expression, tagged with the lexical block depth it executes at (the
+// function body is depth 1). Depth is what ownership analyzers key their
+// declaration maps on.
+type Node struct {
+	N     ast.Node
+	Depth int
+}
+
+// Block is a basic block: a straight-line run of nodes with a common set of
+// successor edges. Facts flow through Nodes in order and out along Succs.
+type Block struct {
+	Index int
+	Nodes []Node
+	Succs []*Block
+}
+
+// ScopeExit is a synthetic ast.Node marking the closing brace of a lexical
+// block on its fall-through edge. It is emitted only when control falls off
+// the end of the block — return/break/continue/goto/panic paths leave through
+// their own edges and get their own checks — and carries the depth of the
+// block being closed so analyzers can drop (and leak-check) exactly the
+// objects declared there.
+type ScopeExit struct {
+	Brace token.Pos // position of the closing brace
+	Depth int       // depth of the block being closed
+}
+
+func (s *ScopeExit) Pos() token.Pos { return s.Brace }
+func (s *ScopeExit) End() token.Pos { return s.Brace }
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block control enters at the opening brace.
+	Entry *Block
+	// Exit is reached by every return statement and by falling off the end
+	// of the body.
+	Exit *Block
+	// Panic is reached by panic(...) calls. It has no successors: facts that
+	// flow into it die, which encodes "pooled state on a panic path is the
+	// runtime's problem", exactly as the pre-CFG walkers treated panics.
+	Panic *Block
+	// Blocks lists every block, Entry first; Block.Index indexes into it.
+	Blocks []*Block
+	// BranchDepth maps each lowered break/continue statement to the lexical
+	// depth of the body of the construct it exits. An object declared at a
+	// depth >= this value goes out of scope when the branch is taken, which
+	// is when ownership analyzers must leak-check it.
+	BranchDepth map[*ast.BranchStmt]int
+}
+
+// Build lowers body into a Graph. info supplies just enough type information
+// to recognise the panic built-in; it must cover the body (the loader's
+// whole-package types.Info does).
+func Build(body *ast.BlockStmt, info *types.Info) *Graph {
+	g := &Graph{BranchDepth: map[*ast.BranchStmt]int{}}
+	b := &builder{
+		g:      g,
+		info:   info,
+		labels: map[string]*Block{},
+		gotos:  map[string][]*Block{},
+	}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	g.Panic = b.newBlock()
+	b.cur = g.Entry
+	b.walkBlockScoped(body)
+	b.link(b.cur, g.Exit)
+	return g
+}
+
+// builder holds the lowering state while Build walks one function body.
+type builder struct {
+	g     *Graph
+	info  *types.Info
+	cur   *Block
+	depth int
+
+	// frames tracks enclosing breakable constructs, innermost last.
+	frames []frame
+	// labels maps a label name to its target block (for goto and for
+	// labeled break/continue resolution through frames).
+	labels map[string]*Block
+	// gotos holds source blocks of forward gotos awaiting their label.
+	gotos map[string][]*Block
+	// pendingLabel is the label of the statement currently being lowered,
+	// consumed by the loop/switch/select cases.
+	pendingLabel string
+	// fall is the body block of the next case clause, the target of a
+	// fallthrough inside the clause currently being lowered.
+	fall *Block
+}
+
+// frame is one enclosing breakable construct.
+type frame struct {
+	label      string
+	isLoop     bool
+	breakTo    *Block
+	continueTo *Block // nil for switch/select
+	bodyDepth  int    // lexical depth of the construct's body
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) link(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// jump ends the current block with an edge to target and continues lowering
+// into a fresh block that no edge reaches — statements after an unconditional
+// transfer are dead code and their facts must not flow anywhere.
+func (b *builder) jump(target *Block) {
+	if target != nil {
+		b.link(b.cur, target)
+	}
+	b.cur = b.newBlock()
+}
+
+func (b *builder) emit(n ast.Node) {
+	if n == nil {
+		return
+	}
+	b.cur.Nodes = append(b.cur.Nodes, Node{N: n, Depth: b.depth})
+}
+
+// walkBlockScoped lowers a braced block one depth level down and closes it
+// with a ScopeExit on the fall-through edge.
+func (b *builder) walkBlockScoped(bs *ast.BlockStmt) {
+	b.depth++
+	for _, s := range bs.List {
+		b.walkStmt(s)
+	}
+	b.emit(&ScopeExit{Brace: bs.Rbrace, Depth: b.depth})
+	b.depth--
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) walkStmt(s ast.Stmt) {
+	// A label only applies to the statement lowered immediately after the
+	// LabeledStmt case sets it; anything else consumes and discards it.
+	lbl := b.takeLabel()
+
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+
+	case *ast.BlockStmt:
+		b.walkBlockScoped(s)
+
+	case *ast.LabeledStmt:
+		target := b.newBlock()
+		b.link(b.cur, target)
+		b.cur = target
+		b.labels[s.Label.Name] = target
+		for _, src := range b.gotos[s.Label.Name] {
+			b.link(src, target)
+		}
+		delete(b.gotos, s.Label.Name)
+		b.pendingLabel = s.Label.Name
+		b.walkStmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		b.walkIf(s)
+
+	case *ast.ForStmt:
+		b.walkFor(s, lbl)
+
+	case *ast.RangeStmt:
+		b.walkRange(s, lbl)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.emit(s.Tag)
+		}
+		b.walkCaseBody(s.Body, lbl, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.walkStmt(s.Init)
+		}
+		// The guard (x := y.(type), or a bare type assertion) runs once in
+		// the head block.
+		b.emit(s.Assign)
+		b.walkCaseBody(s.Body, lbl, false)
+
+	case *ast.SelectStmt:
+		b.walkSelect(s, lbl)
+
+	case *ast.BranchStmt:
+		b.walkBranch(s)
+
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.jump(b.g.Exit)
+
+	case *ast.ExprStmt:
+		b.emit(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && b.isPanic(call) {
+			// panic unwinds: no fall-through, facts flow to the Panic sink.
+			b.jump(b.g.Panic)
+		}
+
+	default:
+		// Assign, IncDec, Decl, Defer, Go, Send, Bad: straight-line nodes the
+		// transfer function interprets directly.
+		b.emit(s)
+	}
+}
+
+func (b *builder) walkIf(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.walkStmt(s.Init)
+	}
+	b.emit(s.Cond)
+	cond := b.cur
+	then := b.newBlock()
+	join := b.newBlock()
+	b.link(cond, then)
+	var els *Block
+	if s.Else != nil {
+		els = b.newBlock()
+		b.link(cond, els)
+	} else {
+		b.link(cond, join)
+	}
+	b.cur = then
+	b.walkBlockScoped(s.Body)
+	b.link(b.cur, join)
+	if s.Else != nil {
+		b.cur = els
+		b.walkStmt(s.Else) // else-block or else-if chain
+		b.link(b.cur, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) walkFor(s *ast.ForStmt, lbl string) {
+	if s.Init != nil {
+		b.walkStmt(s.Init)
+	}
+	head := b.newBlock()
+	body := b.newBlock()
+	post := b.newBlock()
+	exit := b.newBlock()
+	b.link(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.emit(s.Cond)
+	}
+	b.link(b.cur, body)
+	if s.Cond != nil {
+		// for{} has no direct exit edge: code after an infinite loop is only
+		// reachable through break, whose edge targets exit explicitly.
+		b.link(b.cur, exit)
+	}
+	b.frames = append(b.frames, frame{label: lbl, isLoop: true, breakTo: exit, continueTo: post, bodyDepth: b.depth + 1})
+	b.cur = body
+	b.walkBlockScoped(s.Body)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.link(b.cur, post)
+	b.cur = post
+	if s.Post != nil {
+		b.walkStmt(s.Post)
+	}
+	b.link(b.cur, head)
+	b.cur = exit
+}
+
+func (b *builder) walkRange(s *ast.RangeStmt, lbl string) {
+	// The ranged operand is evaluated once, before the loop.
+	b.emit(s.X)
+	head := b.newBlock()
+	body := b.newBlock()
+	exit := b.newBlock()
+	b.link(b.cur, head)
+	b.link(head, body)
+	b.link(head, exit)
+	b.frames = append(b.frames, frame{label: lbl, isLoop: true, breakTo: exit, continueTo: head, bodyDepth: b.depth + 1})
+	b.cur = body
+	b.walkBlockScoped(s.Body)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.link(b.cur, head)
+	b.cur = exit
+}
+
+// walkCaseBody lowers the clause list of a switch or type switch: every case
+// expression is evaluated in the head block (conservative — Go evaluates them
+// lazily, but the analyzers only use expressions for escape scanning), each
+// clause body becomes its own block chain, and fallthrough edges target the
+// next clause's body.
+func (b *builder) walkCaseBody(body *ast.BlockStmt, lbl string, allowFallthrough bool) {
+	head := b.cur
+	exit := b.newBlock()
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		for _, e := range c.List {
+			b.emit(e)
+		}
+		if c.List == nil {
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock()
+		b.link(head, blocks[i])
+	}
+	if !hasDefault {
+		b.link(head, exit)
+	}
+	prevFall := b.fall
+	b.frames = append(b.frames, frame{label: lbl, breakTo: exit, bodyDepth: b.depth + 1})
+	for i, c := range clauses {
+		b.fall = nil
+		if allowFallthrough && i+1 < len(blocks) {
+			b.fall = blocks[i+1]
+		}
+		b.cur = blocks[i]
+		b.depth++
+		for _, st := range c.Body {
+			b.walkStmt(st)
+		}
+		b.emit(&ScopeExit{Brace: c.End(), Depth: b.depth})
+		b.depth--
+		b.link(b.cur, exit)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.fall = prevFall
+	b.cur = exit
+}
+
+func (b *builder) walkSelect(s *ast.SelectStmt, lbl string) {
+	head := b.cur
+	exit := b.newBlock()
+	b.frames = append(b.frames, frame{label: lbl, breakTo: exit, bodyDepth: b.depth + 1})
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		b.link(head, blk)
+		b.cur = blk
+		b.depth++
+		if cc.Comm != nil {
+			b.walkStmt(cc.Comm)
+		}
+		for _, st := range cc.Body {
+			b.walkStmt(st)
+		}
+		b.emit(&ScopeExit{Brace: cc.End(), Depth: b.depth})
+		b.depth--
+		b.link(b.cur, exit)
+	}
+	// A select blocks until some clause runs, but the pre-CFG walkers always
+	// merged the entry state into the result; the head→exit edge preserves
+	// that conservative join.
+	b.link(head, exit)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = exit
+}
+
+func (b *builder) walkBranch(s *ast.BranchStmt) {
+	b.emit(s)
+	switch s.Tok {
+	case token.BREAK, token.CONTINUE:
+		if f := b.findFrame(s.Label, s.Tok == token.CONTINUE); f != nil {
+			b.g.BranchDepth[s] = f.bodyDepth
+			if s.Tok == token.BREAK {
+				b.jump(f.breakTo)
+			} else {
+				b.jump(f.continueTo)
+			}
+			return
+		}
+		// No matching frame (malformed source): terminate the path quietly.
+		b.cur = b.newBlock()
+	case token.GOTO:
+		if s.Label == nil {
+			b.cur = b.newBlock()
+			return
+		}
+		if target, ok := b.labels[s.Label.Name]; ok {
+			b.jump(target) // backward goto: a plain back edge
+			return
+		}
+		// Forward goto: remember the source block, patch when the label
+		// appears. No BranchDepth entry — the scope structure a goto crosses
+		// is arbitrary, so analyzers treat it as silent transfer (as the
+		// pre-CFG walkers did).
+		b.gotos[s.Label.Name] = append(b.gotos[s.Label.Name], b.cur)
+		b.cur = b.newBlock()
+	case token.FALLTHROUGH:
+		if b.fall != nil {
+			b.jump(b.fall)
+			return
+		}
+		b.cur = b.newBlock()
+	}
+}
+
+// findFrame resolves the frame a break/continue exits: the innermost loop for
+// continue, the innermost breakable construct for break, or the frame with
+// the matching label.
+func (b *builder) findFrame(label *ast.Ident, loopOnly bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if loopOnly && !f.isLoop {
+			continue
+		}
+		if label != nil && f.label != label.Name {
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+// isPanic reports whether call invokes the panic built-in.
+func (b *builder) isPanic(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, ok = b.info.Uses[id].(*types.Builtin)
+	return ok
+}

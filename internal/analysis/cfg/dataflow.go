@@ -1,0 +1,69 @@
+package cfg
+
+// Analysis describes one forward dataflow problem over a Graph. F is the
+// fact type — typically a map from types.Object to a small per-object state
+// struct. The driver owns sharing discipline: Transfer and Merge receive
+// clones they may mutate and return, and must never mutate their second
+// (source) argument.
+type Analysis[F any] struct {
+	// Entry produces the fact at the function entry.
+	Entry func() F
+	// Clone deep-copies a fact.
+	Clone func(F) F
+	// Merge joins src into dst at a control-flow join and returns the result
+	// (dst may be mutated). It must be monotone: repeated merging converges.
+	Merge func(dst, src F) F
+	// Equal reports whether two facts are indistinguishable; the fixpoint
+	// stops propagating along an edge when the merged fact equals the stored
+	// one.
+	Equal func(a, b F) bool
+	// Transfer pushes a fact through one block's nodes and returns the
+	// out-fact (the argument may be mutated). It is called during fixpoint
+	// iteration with reporting disabled — analyzers run a separate reporting
+	// pass over the fixpoint's block-entry facts so each violation is
+	// reported exactly once.
+	Transfer func(b *Block, f F) F
+}
+
+// Forward runs the fixpoint and returns the entry fact of every block the
+// analysis reached. Unreachable blocks (dead code after return/panic, the
+// body of `for {}` exits) are absent from the result, which is how analyzers
+// avoid reporting on code that cannot execute.
+func Forward[F any](g *Graph, a Analysis[F]) map[*Block]F {
+	in := map[*Block]F{g.Entry: a.Entry()}
+	queued := make([]bool, len(g.Blocks))
+	var work []*Block
+	push := func(b *Block) {
+		if !queued[b.Index] {
+			queued[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	push(g.Entry)
+	// With a monotone Merge over finite per-object lattices the worklist
+	// terminates on its own; the budget is a backstop so a buggy transfer
+	// function degrades to a conservative partial result instead of hanging
+	// the build.
+	budget := len(g.Blocks)*64 + 256
+	for len(work) > 0 && budget > 0 {
+		budget--
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		out := a.Transfer(blk, a.Clone(in[blk]))
+		for _, s := range blk.Succs {
+			old, ok := in[s]
+			if !ok {
+				in[s] = a.Clone(out)
+				push(s)
+				continue
+			}
+			merged := a.Merge(a.Clone(old), out)
+			if !a.Equal(merged, old) {
+				in[s] = merged
+				push(s)
+			}
+		}
+	}
+	return in
+}

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"encoding/json"
+	"go/build"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -50,6 +52,61 @@ func TestLoadDirOutsideModule(t *testing.T) {
 	}
 	if _, err := loader.LoadDir(filepath.Dir(root)); err == nil {
 		t.Fatal("expected an error loading a directory outside the module root")
+	}
+}
+
+// TestBuildConstraintFiltering pins the loader's file selection against an
+// explicit build context: the buildtags fixture mirrors the internal/mat SIMD
+// layout (//go:build !amd64 portable file, bodyless _amd64.go decl backed by
+// a .s file), and the loader must type-check exactly one Axpy per GOARCH —
+// the same selection `go build` makes for the real kernels.
+func TestBuildConstraintFiltering(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "analysis", "testdata", "buildtags")
+	cases := []struct {
+		goarch  string
+		include string
+		exclude string
+	}{
+		{"amd64", "axpy_amd64.go", "axpy.go"},
+		{"arm64", "axpy.go", "axpy_amd64.go"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.goarch, func(t *testing.T) {
+			// A fresh loader per context: the package cache is keyed by import
+			// path, not by build context.
+			loader, err := NewLoader(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := build.Default
+			ctx.GOARCH = tc.goarch
+			loader.Build = &ctx
+			pkg, err := loader.LoadDir(dir)
+			if err != nil {
+				t.Fatalf("loading buildtags fixture for %s: %v", tc.goarch, err)
+			}
+			names := map[string]bool{}
+			for _, f := range pkg.Files {
+				names[filepath.Base(pkg.Fset.Position(f.Pos()).Filename)] = true
+			}
+			if !names[tc.include] {
+				t.Errorf("GOARCH=%s: %s not in the file set %v", tc.goarch, tc.include, names)
+			}
+			if names[tc.exclude] {
+				t.Errorf("GOARCH=%s: %s should have been filtered out, got %v", tc.goarch, tc.exclude, names)
+			}
+			if !names["doc.go"] {
+				t.Errorf("GOARCH=%s: unconstrained doc.go missing from %v", tc.goarch, names)
+			}
+			// Both contexts type-check: exactly one Axpy is in scope each time.
+			if pkg.Types.Scope().Lookup("Axpy") == nil {
+				t.Errorf("GOARCH=%s: Axpy not defined", tc.goarch)
+			}
+		})
 	}
 }
 
@@ -144,6 +201,55 @@ func TestExitCodes(t *testing.T) {
 	if !strings.Contains(out, "parsing") || strings.Contains(out, "panic") {
 		t.Errorf("corrupt package output not a clean diagnostic:\n%s", out)
 	}
+
+	// -json: every line is one parseable object with the stable field set.
+	out, code = govet(t, root, bin, "-json", "./internal/analysis/testdata/src/intoalias")
+	if code != 1 {
+		t.Errorf("-json run: got exit %d, want 1, output:\n%s", code, out)
+	}
+	sawJSON := false
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "{") {
+			continue // stderr noise from CombinedOutput
+		}
+		var d struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("-json emitted unparseable line %q: %v", line, err)
+		}
+		if d.File == "" || d.Line == 0 || d.Col == 0 || d.Analyzer != "intoalias" || d.Message == "" {
+			t.Fatalf("-json diagnostic incomplete: %+v", d)
+		}
+		sawJSON = true
+	}
+	if !sawJSON {
+		t.Errorf("-json run produced no JSON diagnostics:\n%s", out)
+	}
+
+	// -only restricts the suite: the intoalias fixture is clean under a
+	// disjoint analyzer, and unknown names are a usage error.
+	out, code = govet(t, root, bin, "-only", "poolpair,spanend", "./internal/analysis/testdata/src/intoalias")
+	if code != 0 {
+		t.Errorf("-only with disjoint analyzers: got exit %d, want 0, output:\n%s", code, out)
+	}
+	out, code = govet(t, root, bin, "-only", "nosuch", "./internal/telemetry")
+	if code != 2 || !strings.Contains(out, "unknown analyzer") {
+		t.Errorf("-only nosuch: got exit %d, output:\n%s", code, out)
+	}
+
+	// -timing writes one summary line naming every analyzer that ran.
+	out, code = govet(t, root, bin, "-timing", "-only", "tapelease", "./internal/telemetry")
+	if code != 0 {
+		t.Errorf("-timing run: got exit %d, want 0, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "fedomdvet timing:") || !strings.Contains(out, "tapelease") {
+		t.Errorf("-timing output missing the summary line:\n%s", out)
+	}
 }
 
 // TestWholeTreeClean runs the full suite over the real module in-process:
@@ -153,7 +259,7 @@ func TestWholeTreeClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loader, err := NewLoader(root)
+	loader, err := SharedLoader(root)
 	if err != nil {
 		t.Fatal(err)
 	}

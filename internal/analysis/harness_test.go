@@ -35,7 +35,9 @@ func runFixture(t *testing.T, name string, analyzers []*Analyzer) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loader, err := NewLoader(root)
+	// The shared loader type-checks the fedomd dependency packages once for
+	// the whole test binary instead of once per fixture.
+	loader, err := SharedLoader(root)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,6 +121,22 @@ func TestIntoAliasFixture(t *testing.T) {
 
 func TestTelemetryKeyFixture(t *testing.T) {
 	runFixture(t, "telemetrykey", []*Analyzer{TelemetryKey})
+}
+
+func TestParForCaptureFixture(t *testing.T) {
+	runFixture(t, "parforcapture", []*Analyzer{ParForCapture})
+}
+
+func TestSpanEndFixture(t *testing.T) {
+	runFixture(t, "spanend", []*Analyzer{SpanEnd})
+}
+
+func TestShardAliasFixture(t *testing.T) {
+	runFixture(t, "shardalias", []*Analyzer{ShardAlias})
+}
+
+func TestResidualStateFixture(t *testing.T) {
+	runFixture(t, "residualstate", []*Analyzer{ResidualState})
 }
 
 func TestIgnoreDirectives(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -30,11 +31,18 @@ type Package struct {
 // standard library: module-internal imports resolve against the module tree,
 // everything else (the standard library) through go/importer's source
 // importer. Loaded packages are cached, so analyzing the whole tree
-// type-checks each dependency once.
+// type-checks each dependency once. LoadDir and Load are safe for concurrent
+// use; concurrent loads serialise on one cache.
 type Loader struct {
 	ModuleRoot string
 	ModulePath string
+	// Build selects the build context used to filter constrained files
+	// (GOOS/GOARCH suffixes, //go:build lines). Nil means build.Default — the
+	// host context, matching what `go build` compiles here. Set it before the
+	// first Load to analyze another platform's file set.
+	Build *build.Context
 
+	mu      sync.Mutex
 	fset    *token.FileSet
 	std     types.Importer
 	pkgs    map[string]*Package // by import path
@@ -105,6 +113,8 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	if rel != "." {
 		path = l.ModulePath + "/" + filepath.ToSlash(rel)
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return l.load(path, abs)
 }
 
@@ -115,7 +125,40 @@ func (l *Loader) Load(path string) (*Package, error) {
 	if !ok {
 		return nil, fmt.Errorf("analysis: %s is not a module-internal import path", path)
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return l.load(path, dir)
+}
+
+// sharedLoaders memoises one Loader per module root for the whole process, so
+// every fixture test and driver in a test binary shares a single type-checking
+// cache: the fedomd dependency packages are parsed and checked once, not once
+// per fixture.
+var (
+	sharedMu      sync.Mutex
+	sharedLoaders = map[string]*Loader{}
+)
+
+// SharedLoader returns the process-wide Loader for the module rooted at
+// moduleRoot, creating it on first use. Callers needing a custom Build
+// context must use NewLoader — shared loaders always analyze the host
+// platform's file set.
+func SharedLoader(moduleRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if l, ok := sharedLoaders[abs]; ok {
+		return l, nil
+	}
+	l, err := NewLoader(abs)
+	if err != nil {
+		return nil, err
+	}
+	sharedLoaders[abs] = l
+	return l, nil
 }
 
 // dirFor maps a module-internal import path to its source directory.
@@ -194,6 +237,9 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 		return nil, err
 	}
 	buildCtx := build.Default
+	if l.Build != nil {
+		buildCtx = *l.Build
+	}
 	var names []string
 	for _, e := range entries {
 		name := e.Name()

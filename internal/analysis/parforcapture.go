@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ParForCapture enforces the mat.ParallelFor determinism contract
+// (internal/mat/workers.go): body closures run concurrently over disjoint
+// [lo, hi) chunks and MUST only write state that is disjoint per index. A
+// closure that writes a captured variable, or writes through a captured
+// slice/matrix at an index not derived from its lo/hi parameters, races with
+// its sibling invocations — a bug `-race` only samples but this check proves
+// absent. Reductions belong in per-chunk state or atomics; reads of captured
+// state are fine.
+//
+// The check is a taint analysis per closure: the lo/hi parameters seed the
+// taint set, assignments propagate it, and every write is classified — a
+// write to a captured identifier is always a violation, an indexed write
+// through a captured base is a violation unless some index in the access
+// chain mentions a tainted value.
+var ParForCapture = &Analyzer{
+	Name: "parforcapture",
+	Doc:  "mat.ParallelFor bodies must only write per-chunk state indexed by lo:hi",
+	Run:  runParForCapture,
+}
+
+var fnParallelFor = pathMat + ".ParallelFor"
+
+func runParForCapture(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if funcFullName(calleeFunc(p.Info, call)) != fnParallelFor || len(call.Args) != 3 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[2]).(*ast.FuncLit)
+			if !ok {
+				// A pre-bound function value can capture anything; nothing to
+				// check syntactically, and the repo passes literals.
+				return true
+			}
+			checkParForBody(p, lit)
+			return true
+		})
+	}
+}
+
+// checkParForBody classifies every write in one ParallelFor closure.
+func checkParForBody(p *Pass, lit *ast.FuncLit) {
+	info := p.Info
+	// Objects declared inside the literal (including its parameters and any
+	// nested literals' locals) are per-invocation state: writes are safe.
+	inside := map[types.Object]bool{}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				inside[obj] = true
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				inside[obj] = true
+			}
+		}
+		return true
+	})
+
+	// Taint: seed with the chunk parameters (lo, hi), propagate through
+	// assignments until stable. Assignment order inside a loop body does not
+	// matter for a may-analysis, so a simple fixpoint over the whole body is
+	// enough.
+	tainted := map[types.Object]bool{}
+	if fl := lit.Type.Params.List; len(fl) > 0 {
+		for _, field := range fl {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					tainted[obj] = true
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, l := range n.Lhs {
+					lid, ok := ast.Unparen(l).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := info.Defs[lid]
+					if obj == nil {
+						obj = info.Uses[lid]
+					}
+					if obj == nil || tainted[obj] {
+						continue
+					}
+					var rhs ast.Node
+					if len(n.Lhs) == len(n.Rhs) {
+						rhs = n.Rhs[i]
+					} else if len(n.Rhs) == 1 {
+						rhs = n.Rhs[0]
+					}
+					if rhs != nil && usesIdentOf(info, rhs, tainted) {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				// for i := range captured[lo:hi] — the loop variables of a
+				// range over a tainted slice expression are tainted.
+				if usesIdentOf(info, n.X, tainted) {
+					for _, e := range []ast.Expr{n.Key, n.Value} {
+						if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+							if obj := info.Defs[id]; obj != nil && !tainted[obj] {
+								tainted[obj] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	captured := func(e ast.Expr) (types.Object, bool) {
+		base := rootIdent(e)
+		if base == nil {
+			return nil, false
+		}
+		obj := info.Uses[base]
+		if obj == nil {
+			obj = info.Defs[base]
+		}
+		if obj == nil || inside[obj] {
+			return nil, false
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return nil, false
+		}
+		return obj, true
+	}
+
+	checkWrite := func(target ast.Expr, pos ast.Node) {
+		target = ast.Unparen(target)
+		switch t := target.(type) {
+		case *ast.Ident:
+			if obj, ok := captured(t); ok {
+				p.Reportf(pos.Pos(), "mat.ParallelFor body writes captured variable %s (invocations run concurrently; use per-chunk state or an atomic)", obj.Name())
+			}
+		case *ast.StarExpr:
+			if obj, ok := captured(t.X); ok {
+				p.Reportf(pos.Pos(), "mat.ParallelFor body writes through captured pointer %s (invocations run concurrently; use per-chunk state or an atomic)", obj.Name())
+			}
+		case *ast.IndexExpr, *ast.SelectorExpr:
+			obj, ok := captured(target)
+			if !ok {
+				return
+			}
+			if _, isSel := target.(*ast.SelectorExpr); isSel {
+				p.Reportf(pos.Pos(), "mat.ParallelFor body writes field of captured %s (shared state; invocations run concurrently)", obj.Name())
+				return
+			}
+			if !indexChainTainted(info, target, tainted) {
+				p.Reportf(pos.Pos(), "mat.ParallelFor body writes captured %s at an index not derived from the lo:hi chunk (breaks the disjoint-writes contract)", obj.Name())
+			}
+		}
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				checkWrite(l, n)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(n.X, n)
+		case *ast.CallExpr:
+			w := mutatingCallTarget(info, n)
+			if w == nil {
+				return true
+			}
+			obj, ok := captured(w.target)
+			if !ok {
+				return true
+			}
+			if !w.indexed || !argsTainted(info, w.indexArgs, tainted) {
+				p.Reportf(n.Pos(), "mat.ParallelFor body mutates captured %s via %s outside the lo:hi chunk (invocations run concurrently)", obj.Name(), w.name)
+			}
+		}
+		return true
+	})
+}
+
+// rootIdent peels index/selector/star/paren layers down to the base
+// identifier of an access path (proposals[i] → proposals, m.data[k] → m).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return t
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// indexChainTainted reports whether any index expression in the access chain
+// mentions a tainted object (x[i], x[i][j], x.f[i]).
+func indexChainTainted(info *types.Info, e ast.Expr, tainted map[types.Object]bool) bool {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			if usesIdentOf(info, t.Index, tainted) {
+				return true
+			}
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return false
+		}
+	}
+}
+
+// mutWrite describes one known mutating call: the expression it writes
+// through, the display name, and which arguments index the write.
+type mutWrite struct {
+	target    ast.Expr
+	name      string
+	indexed   bool
+	indexArgs []ast.Expr
+}
+
+// mutatingCallTarget recognises the writes-through-argument calls the
+// analyzer understands: the copy built-in (arg 0 is the destination) and the
+// mat.Dense element writers Set/Row (Set(i,j,v) writes one indexed cell; the
+// whole-matrix writers Zero/Fill/Copy have no index at all).
+func mutatingCallTarget(info *types.Info, call *ast.CallExpr) *mutWrite {
+	if isBuiltin(info, call, "copy") && len(call.Args) == 2 {
+		// copy(dst, src): indexed only if dst is a tainted subslice.
+		return &mutWrite{target: call.Args[0], name: "copy", indexed: true, indexArgs: []ast.Expr{call.Args[0]}}
+	}
+	switch funcFullName(calleeFunc(info, call)) {
+	case pathMat + ".Dense.Set":
+		sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		return &mutWrite{target: sel.X, name: "Dense.Set", indexed: true, indexArgs: call.Args[:2]}
+	case pathMat + ".Dense.Zero", pathMat + ".Dense.Fill", pathMat + ".Dense.Copy":
+		sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		return &mutWrite{target: sel.X, name: "Dense." + sel.Sel.Name}
+	}
+	return nil
+}
+
+// argsTainted reports whether any of the expressions mentions a tainted
+// object.
+func argsTainted(info *types.Info, args []ast.Expr, tainted map[types.Object]bool) bool {
+	for _, a := range args {
+		if usesIdentOf(info, a, tainted) {
+			return true
+		}
+	}
+	return false
+}

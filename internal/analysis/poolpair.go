@@ -4,6 +4,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"fedomd/internal/analysis/cfg"
 )
 
 // PoolPair enforces the mat buffer-pool ownership contract (DESIGN.md §7): a
@@ -15,9 +17,13 @@ import (
 // live buffer are reported as leaks, and a buffer that can reach PutDense
 // twice is reported as a double put.
 //
-// The analysis is a path-sensitive walk over the AST: branches fork the
-// per-buffer state, merges are conservative (released only when released on
-// every incoming path), and panics are treated as non-leaking unwinds.
+// The analysis runs on the cfg dataflow engine (DESIGN.md §13): each scope
+// is lowered to a control-flow graph, per-buffer facts reach a fixpoint with
+// conservative joins (released only when released on every incoming path,
+// leaked when live on any), and a reporting pass over the fixpoint flags
+// violations exactly once. Loop back edges are real edges, so a second
+// iteration putting a buffer the first iteration already put is a double
+// put, and panics unwind without leaking.
 var PoolPair = &Analyzer{
 	Name: "poolpair",
 	Doc:  "mat.GetDense buffers must reach mat.PutDense (or an ownership transfer) on every path",
@@ -59,7 +65,8 @@ func forEachFuncScope(files []*ast.File, fn func(body *ast.BlockStmt)) {
 	}
 }
 
-// bufState is the abstract state of one tracked pool buffer along one path.
+// bufState is the abstract state of one tracked pool buffer at one program
+// point.
 type bufState struct {
 	live     bool // GetDense has executed; ownership is with this scope
 	defRel   bool // released on every path reaching this point
@@ -68,15 +75,13 @@ type bufState struct {
 	escaped  bool // ownership visibly left this scope: stop reporting
 }
 
-// poolEnv is the per-path environment: state and declaration block depth for
-// every tracked buffer variable.
+// poolEnv is the dataflow fact: state for every tracked buffer variable.
 type poolEnv struct {
-	state      map[types.Object]*bufState
-	terminated bool
+	state map[types.Object]*bufState
 }
 
 func (e *poolEnv) clone() *poolEnv {
-	c := &poolEnv{state: make(map[types.Object]*bufState, len(e.state)), terminated: e.terminated}
+	c := &poolEnv{state: make(map[types.Object]*bufState, len(e.state))}
 	for k, v := range e.state {
 		s := *v
 		c.state[k] = &s
@@ -84,58 +89,72 @@ func (e *poolEnv) clone() *poolEnv {
 	return c
 }
 
-// merge folds the state after two alternative paths. A path that terminated
-// (returned, branched away) contributes nothing to the fall-through state.
+// mergePoolEnvs joins b into a at a control-flow join. A buffer tracked on
+// only one incoming path keeps that path's state (the other path predates
+// its declaration).
 func mergePoolEnvs(a, b *poolEnv) *poolEnv {
-	if a.terminated {
-		return b
-	}
-	if b.terminated {
-		return a
-	}
-	out := &poolEnv{state: map[types.Object]*bufState{}}
-	for k, sa := range a.state {
-		sb, ok := b.state[k]
+	for k, sb := range b.state {
+		sa, ok := a.state[k]
 		if !ok {
-			out.state[k] = sa
+			s := *sb
+			a.state[k] = &s
 			continue
 		}
-		out.state[k] = &bufState{
-			live:     sa.live || sb.live,
-			defRel:   sa.defRel && sb.defRel,
-			mayRel:   sa.mayRel || sb.mayRel,
-			deferred: sa.deferred && sb.deferred,
-			escaped:  sa.escaped || sb.escaped,
-		}
+		sa.live = sa.live || sb.live
+		sa.defRel = sa.defRel && sb.defRel
+		sa.mayRel = sa.mayRel || sb.mayRel
+		sa.deferred = sa.deferred && sb.deferred
+		sa.escaped = sa.escaped || sb.escaped
 	}
-	for k, sb := range b.state {
-		if _, ok := a.state[k]; !ok {
-			out.state[k] = sb
-		}
-	}
-	return out
+	return a
 }
 
-// ctrlFrame records an enclosing breakable construct during the walk.
-type ctrlFrame struct {
-	isLoop     bool
-	blockDepth int // len(blockStack) when the construct's body was entered
+func poolEnvEqual(a, b *poolEnv) bool {
+	if len(a.state) != len(b.state) {
+		return false
+	}
+	for k, sa := range a.state {
+		sb, ok := b.state[k]
+		if !ok || *sa != *sb {
+			return false
+		}
+	}
+	return true
 }
 
-// poolWalker interprets one function scope statement by statement.
+// poolWalker interprets one function scope's CFG nodes.
 type poolWalker struct {
-	pass       *Pass
-	declDepth  map[types.Object]int // block-stack depth at declaration
-	blockDepth int
-	ctrl       []ctrlFrame
+	pass      *Pass
+	graph     *cfg.Graph
+	declDepth map[types.Object]int // lexical depth at declaration
+	report    bool                 // reporting pass vs fixpoint pass
 }
 
 func analyzePoolScope(p *Pass, body *ast.BlockStmt) {
-	w := &poolWalker{pass: p, declDepth: map[types.Object]int{}}
-	env := &poolEnv{state: map[types.Object]*bufState{}}
-	env = w.walkBlock(body, env)
-	// walkBlock performs the fall-off-the-end check for the outermost block.
-	_ = env
+	g := cfg.Build(body, p.Info)
+	w := &poolWalker{pass: p, graph: g, declDepth: map[types.Object]int{}}
+	in := cfg.Forward(g, cfg.Analysis[*poolEnv]{
+		Entry:    func() *poolEnv { return &poolEnv{state: map[types.Object]*bufState{}} },
+		Clone:    (*poolEnv).clone,
+		Merge:    mergePoolEnvs,
+		Equal:    poolEnvEqual,
+		Transfer: w.transfer,
+	})
+	// Reporting pass: re-run the transfer over each reachable block's
+	// fixpoint entry fact with reporting on. Every node is visited exactly
+	// once, so every violation is reported exactly once.
+	w.report = true
+	for _, b := range g.Blocks {
+		if env, ok := in[b]; ok {
+			w.transfer(b, env.clone())
+		}
+	}
+}
+
+func (w *poolWalker) reportf(pos token.Pos, format string, args ...any) {
+	if w.report {
+		w.pass.Reportf(pos, format, args...)
+	}
 }
 
 // leakCheck reports every buffer that is live and unreleased among those for
@@ -148,221 +167,91 @@ func (w *poolWalker) leakCheck(env *poolEnv, pos token.Pos, what string, keep fu
 		if keep != nil && !keep(obj) {
 			continue
 		}
-		w.pass.Reportf(pos, "pooled buffer %s may leak: not returned to the pool %s (mat.GetDense at an earlier line)", obj.Name(), what)
+		w.reportf(pos, "pooled buffer %s may leak: not returned to the pool %s (mat.GetDense at an earlier line)", obj.Name(), what)
 	}
 }
 
-// walkBlock walks a block's statements in order, then performs the
-// scope-exit leak check for buffers declared directly in this block.
-func (w *poolWalker) walkBlock(b *ast.BlockStmt, env *poolEnv) *poolEnv {
-	w.blockDepth++
-	depth := w.blockDepth
-	for _, s := range b.List {
-		if env.terminated {
-			break
-		}
-		env = w.walkStmt(s, env)
-	}
-	if !env.terminated {
-		w.leakCheck(env, b.Rbrace, "before it goes out of scope", func(obj types.Object) bool {
-			return w.declDepth[obj] == depth
-		})
-		// The buffers checked above are out of scope now; drop them so outer
-		// blocks do not re-report.
-		for obj := range env.state {
-			if w.declDepth[obj] == depth {
-				delete(env.state, obj)
-			}
+// dropScoped removes buffers declared at depth >= exitDepth: their scope is
+// ending, so outer blocks (and the next loop iteration, via back edges) must
+// not see them again.
+func dropScoped(env *poolEnv, declDepth map[types.Object]int, exitDepth int) {
+	for obj := range env.state {
+		if declDepth[obj] >= exitDepth {
+			delete(env.state, obj)
 		}
 	}
-	w.blockDepth--
-	return env
 }
 
-func (w *poolWalker) walkStmt(s ast.Stmt, env *poolEnv) *poolEnv {
-	switch s := s.(type) {
-	case *ast.AssignStmt:
-		w.handleAssign(s, env)
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if w.handlePut(call, env) {
-				return env
+// transfer interprets one basic block's nodes against env.
+func (w *poolWalker) transfer(b *cfg.Block, env *poolEnv) *poolEnv {
+	for _, nd := range b.Nodes {
+		switch n := nd.N.(type) {
+		case *cfg.ScopeExit:
+			w.leakCheck(env, n.Brace, "before it goes out of scope", func(obj types.Object) bool {
+				return w.declDepth[obj] == n.Depth
+			})
+			dropScoped(env, w.declDepth, n.Depth)
+
+		case *ast.AssignStmt:
+			w.handleAssign(n, env, nd.Depth)
+
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if w.handlePut(call, env) {
+					continue
+				}
 			}
-			if isBuiltinPanic(w.pass.Info, call) {
-				// A panic unwinds the whole process (or is a programmer-error
-				// guard); pooled buffers on panic paths are the GC's problem.
-				env.terminated = true
-				return env
+			w.markEscapes(n.X, env)
+
+		case *ast.DeferStmt:
+			w.handleDefer(n, env)
+
+		case *ast.GoStmt:
+			// A spawned goroutine may outlive the scope: everything it
+			// touches escapes.
+			w.markCallEscapes(n.Call, env)
+
+		case *ast.SendStmt:
+			w.markAliasEscape(n.Value, env)
+			w.markEscapes(n.Chan, env)
+			w.markEscapes(n.Value, env)
+
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				w.markAliasEscape(r, env)
+				w.markEscapes(r, env)
 			}
+			w.leakCheck(env, n.Pos(), "on this return path", nil)
+
+		case *ast.BranchStmt:
+			// break/continue exit the construct's body scope: leak-check and
+			// drop everything declared inside it, so back edges do not
+			// recirculate dead declarations. goto gets no depth (silent).
+			if exitDepth, ok := w.graph.BranchDepth[n]; ok {
+				w.leakCheck(env, n.Pos(), "on this "+n.Tok.String()+" path", func(obj types.Object) bool {
+					return w.declDepth[obj] >= exitDepth
+				})
+				dropScoped(env, w.declDepth, exitDepth)
+			}
+
+		case *ast.DeclStmt:
+			w.markEscapes(n, env)
+
+		case *ast.IncDecStmt:
+			// cannot involve a *mat.Dense
+
+		default:
+			// Lowered conditions, switch tags, case expressions, range
+			// operands: scan for ownership-transferring uses.
+			w.markEscapes(nd.N, env)
 		}
-		w.markEscapes(s.X, env)
-	case *ast.DeferStmt:
-		w.handleDefer(s, env)
-	case *ast.GoStmt:
-		// A spawned goroutine may outlive the scope: everything it touches
-		// escapes.
-		w.markCallEscapes(s.Call, env)
-	case *ast.SendStmt:
-		w.markAliasEscape(s.Value, env)
-		w.markEscapes(s.Chan, env)
-		w.markEscapes(s.Value, env)
-	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			w.markAliasEscape(r, env)
-			w.markEscapes(r, env)
-		}
-		w.leakCheck(env, s.Pos(), "on this return path", nil)
-		env.terminated = true
-	case *ast.BranchStmt:
-		w.handleBranch(s, env)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			env = w.walkStmt(s.Init, env)
-		}
-		w.markEscapes(s.Cond, env)
-		thenEnv := w.walkBlock(s.Body, env.clone())
-		elseEnv := env
-		if s.Else != nil {
-			elseEnv = w.walkStmt(s.Else, env.clone())
-		}
-		return mergePoolEnvs(thenEnv, elseEnv)
-	case *ast.BlockStmt:
-		return w.walkBlock(s, env)
-	case *ast.ForStmt:
-		if s.Init != nil {
-			env = w.walkStmt(s.Init, env)
-		}
-		if s.Cond != nil {
-			w.markEscapes(s.Cond, env)
-		}
-		w.ctrl = append(w.ctrl, ctrlFrame{isLoop: true, blockDepth: w.blockDepth + 1})
-		bodyEnv := w.walkBlock(s.Body, env.clone())
-		if s.Post != nil && !bodyEnv.terminated {
-			bodyEnv = w.walkStmt(s.Post, bodyEnv)
-		}
-		w.ctrl = w.ctrl[:len(w.ctrl)-1]
-		if s.Cond == nil {
-			// for{}: fall-through only via break, whose effects are already
-			// in bodyEnv; merging with entry keeps the result conservative.
-			bodyEnv.terminated = false
-		}
-		return mergePoolEnvs(env, bodyEnv)
-	case *ast.RangeStmt:
-		w.markEscapes(s.X, env)
-		w.ctrl = append(w.ctrl, ctrlFrame{isLoop: true, blockDepth: w.blockDepth + 1})
-		bodyEnv := w.walkBlock(s.Body, env.clone())
-		w.ctrl = w.ctrl[:len(w.ctrl)-1]
-		bodyEnv.terminated = false
-		return mergePoolEnvs(env, bodyEnv)
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			env = w.walkStmt(s.Init, env)
-		}
-		if s.Tag != nil {
-			w.markEscapes(s.Tag, env)
-		}
-		return w.walkCases(s.Body, env, hasDefaultCase(s.Body))
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			env = w.walkStmt(s.Init, env)
-		}
-		return w.walkCases(s.Body, env, hasDefaultCase(s.Body))
-	case *ast.SelectStmt:
-		return w.walkCases(s.Body, env, false)
-	case *ast.LabeledStmt:
-		return w.walkStmt(s.Stmt, env)
-	case *ast.DeclStmt:
-		w.markEscapes(s, env)
-	case *ast.IncDecStmt:
-		// cannot involve a *mat.Dense
 	}
 	return env
-}
-
-// walkCases forks the environment through each case clause of a
-// switch/select body and merges the results; without a default the entry
-// environment joins the merge (no clause may run).
-func (w *poolWalker) walkCases(body *ast.BlockStmt, env *poolEnv, hasDefault bool) *poolEnv {
-	w.ctrl = append(w.ctrl, ctrlFrame{isLoop: false, blockDepth: w.blockDepth + 1})
-	var merged *poolEnv
-	for _, c := range body.List {
-		var stmts []ast.Stmt
-		switch c := c.(type) {
-		case *ast.CaseClause:
-			for _, e := range c.List {
-				w.markEscapes(e, env)
-			}
-			stmts = c.Body
-		case *ast.CommClause:
-			if c.Comm != nil {
-				env = w.walkStmt(c.Comm, env)
-			}
-			stmts = c.Body
-		}
-		ce := env.clone()
-		w.blockDepth++ // case bodies open an implicit block
-		for _, s := range stmts {
-			if ce.terminated {
-				break
-			}
-			ce = w.walkStmt(s, ce)
-		}
-		w.blockDepth--
-		if merged == nil {
-			merged = ce
-		} else {
-			merged = mergePoolEnvs(merged, ce)
-		}
-	}
-	w.ctrl = w.ctrl[:len(w.ctrl)-1]
-	if merged == nil {
-		return env
-	}
-	if !hasDefault {
-		merged = mergePoolEnvs(merged, env)
-	}
-	return merged
-}
-
-func hasDefaultCase(body *ast.BlockStmt) bool {
-	for _, c := range body.List {
-		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
-			return true
-		}
-	}
-	return false
-}
-
-// handleBranch treats break/continue as a scope exit for buffers declared
-// inside the construct being left. fallthrough keeps flowing; goto gives up
-// on the path without reporting (the repo has none).
-func (w *poolWalker) handleBranch(s *ast.BranchStmt, env *poolEnv) {
-	switch s.Tok {
-	case token.FALLTHROUGH:
-		return
-	case token.GOTO:
-		env.terminated = true
-		return
-	}
-	exitDepth := -1
-	for i := len(w.ctrl) - 1; i >= 0; i-- {
-		if s.Tok == token.CONTINUE && !w.ctrl[i].isLoop {
-			continue
-		}
-		exitDepth = w.ctrl[i].blockDepth
-		break
-	}
-	if exitDepth >= 0 {
-		w.leakCheck(env, s.Pos(), "on this "+s.Tok.String()+" path", func(obj types.Object) bool {
-			return w.declDepth[obj] >= exitDepth
-		})
-	}
-	env.terminated = true
 }
 
 // handleAssign processes declarations of tracked buffers, aliasing escapes
 // and overwrites.
-func (w *poolWalker) handleAssign(s *ast.AssignStmt, env *poolEnv) {
+func (w *poolWalker) handleAssign(s *ast.AssignStmt, env *poolEnv, depth int) {
 	rhs := s.Rhs
 	parallel := len(s.Lhs) == len(rhs)
 	for i, l := range s.Lhs {
@@ -381,10 +270,10 @@ func (w *poolWalker) handleAssign(s *ast.AssignStmt, env *poolEnv) {
 					continue
 				}
 				if st, ok := env.state[obj]; ok && st.live && !st.defRel && !st.deferred && !st.escaped {
-					w.pass.Reportf(s.Pos(), "pooled buffer %s is overwritten before being returned to the pool", obj.Name())
+					w.reportf(s.Pos(), "pooled buffer %s is overwritten before being returned to the pool", obj.Name())
 				}
 				env.state[obj] = &bufState{live: true}
-				w.declDepth[obj] = w.blockDepth
+				w.declDepth[obj] = depth
 				w.markEscapes(call, env) // arguments could mention other buffers
 				continue
 			}
@@ -392,7 +281,7 @@ func (w *poolWalker) handleAssign(s *ast.AssignStmt, env *poolEnv) {
 			if lid != nil {
 				if obj := w.pass.Info.Uses[lid]; obj != nil {
 					if st, ok := env.state[obj]; ok && st.live && !st.defRel && !st.deferred && !st.escaped {
-						w.pass.Reportf(s.Pos(), "pooled buffer %s is overwritten before being returned to the pool", obj.Name())
+						w.reportf(s.Pos(), "pooled buffer %s is overwritten before being returned to the pool", obj.Name())
 					}
 					delete(env.state, obj)
 				}
@@ -437,7 +326,7 @@ func (w *poolWalker) handlePut(call *ast.CallExpr, env *poolEnv) bool {
 		return true
 	}
 	if st.mayRel {
-		w.pass.Reportf(call.Pos(), "%s may already have been returned to the pool (double mat.PutDense)", obj.Name())
+		w.reportf(call.Pos(), "%s may already have been returned to the pool (double mat.PutDense)", obj.Name())
 	}
 	st.defRel, st.mayRel = true, true
 	st.live = false
@@ -565,9 +454,4 @@ func (w *poolWalker) markCallEscapes(call *ast.CallExpr, env *poolEnv) {
 			st.escaped = true
 		}
 	}
-}
-
-// isBuiltinPanic reports whether call is the built-in panic.
-func isBuiltinPanic(info *types.Info, call *ast.CallExpr) bool {
-	return isBuiltin(info, call, "panic")
 }

@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fedomd/internal/analysis/cfg"
+)
+
+// ShardAlias enforces the zero-copy contract of sparse row sharding
+// (DESIGN.md §12): (*CSR).Shard returns a view whose colIdx/vals arrays are
+// shared with the parent, so while a shard is live neither side may be
+// written through — a ScaleVals on the shard silently mutates the parent's
+// window, and a ScaleVals on the parent corrupts every outstanding shard.
+// Reads are always fine; the worker-pool sharding exists precisely so reads
+// scale without copies.
+//
+// The check is a cfg dataflow (DESIGN.md §13): `sh := base.Shard(lo, hi)`
+// makes sh a live view and records base's access path (intoalias-style
+// syntactic equality via exprString, restricted to call-free operands). Any
+// in-place mutator invoked on a live shard, or on an expression equal to a
+// live shard's recorded base, is reported. A shard stops being tracked when
+// it escapes (returned, stored, passed to a call) or its scope ends.
+var ShardAlias = &Analyzer{
+	Name: "shardalias",
+	Doc:  "zero-copy CSR row shards must not be written through while the parent is live (and vice versa)",
+	Run:  runShardAlias,
+}
+
+var fnCSRShard = pathSparse + ".CSR.Shard"
+
+// csrMutators are the in-place writers of a *sparse.CSR. The constructors and
+// accessors are pure; this set must grow with any future mutating method.
+var csrMutators = map[string]bool{
+	pathSparse + ".CSR.ScaleVals": true,
+}
+
+func runShardAlias(p *Pass) {
+	if p.Pkg.Path() == pathSparse {
+		// The sharding implementation (and its tests) manipulate the shared
+		// arrays by design.
+		return
+	}
+	forEachFuncScope(p.Files, func(body *ast.BlockStmt) {
+		analyzeShardScope(p, body)
+	})
+}
+
+// shardFact is the per-shard state: the access path of the parent CSR the
+// view was cut from ("" when the parent expression is not comparable — a call
+// result, say — in which case only writes through the shard itself are
+// checkable).
+type shardFact struct {
+	base string
+}
+
+type shardEnv struct {
+	shards map[types.Object]shardFact
+}
+
+func (e *shardEnv) clone() *shardEnv {
+	c := &shardEnv{shards: make(map[types.Object]shardFact, len(e.shards))}
+	for k, v := range e.shards {
+		c.shards[k] = v
+	}
+	return c
+}
+
+func mergeShardEnvs(a, b *shardEnv) *shardEnv {
+	// Union: a shard live on either incoming path is live after the join.
+	for k, v := range b.shards {
+		if _, ok := a.shards[k]; !ok {
+			a.shards[k] = v
+		}
+	}
+	return a
+}
+
+func shardEnvEqual(a, b *shardEnv) bool {
+	if len(a.shards) != len(b.shards) {
+		return false
+	}
+	for k, va := range a.shards {
+		vb, ok := b.shards[k]
+		if !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+type shardWalker struct {
+	pass      *Pass
+	graph     *cfg.Graph
+	declDepth map[types.Object]int
+	report    bool
+}
+
+func analyzeShardScope(p *Pass, body *ast.BlockStmt) {
+	g := cfg.Build(body, p.Info)
+	w := &shardWalker{pass: p, graph: g, declDepth: map[types.Object]int{}}
+	in := cfg.Forward(g, cfg.Analysis[*shardEnv]{
+		Entry:    func() *shardEnv { return &shardEnv{shards: map[types.Object]shardFact{}} },
+		Clone:    (*shardEnv).clone,
+		Merge:    mergeShardEnvs,
+		Equal:    shardEnvEqual,
+		Transfer: w.transfer,
+	})
+	w.report = true
+	for _, b := range g.Blocks {
+		if env, ok := in[b]; ok {
+			w.transfer(b, env.clone())
+		}
+	}
+}
+
+func (w *shardWalker) reportf(pos token.Pos, format string, args ...any) {
+	if w.report {
+		w.pass.Reportf(pos, format, args...)
+	}
+}
+
+func (w *shardWalker) transfer(b *cfg.Block, env *shardEnv) *shardEnv {
+	for _, nd := range b.Nodes {
+		switch n := nd.N.(type) {
+		case *cfg.ScopeExit:
+			for obj := range env.shards {
+				if w.declDepth[obj] >= n.Depth {
+					delete(env.shards, obj)
+				}
+			}
+
+		case *ast.AssignStmt:
+			w.handleAssign(n, env, nd.Depth)
+
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				w.checkCall(call, env)
+				continue
+			}
+			w.dropEscapes(n, env)
+
+		case *ast.BranchStmt:
+			if exitDepth, ok := w.graph.BranchDepth[n]; ok {
+				for obj := range env.shards {
+					if w.declDepth[obj] >= exitDepth {
+						delete(env.shards, obj)
+					}
+				}
+			}
+
+		case *ast.ReturnStmt, *ast.DeferStmt, *ast.GoStmt:
+			w.dropEscapes(n, env)
+
+		case *ast.IncDecStmt:
+			// cannot involve a CSR
+
+		default:
+			w.dropEscapes(nd.N, env)
+		}
+	}
+	return env
+}
+
+// handleAssign tracks `sh := base.Shard(lo, hi)` and untracks shards that are
+// reassigned or escape through the statement.
+func (w *shardWalker) handleAssign(s *ast.AssignStmt, env *shardEnv, depth int) {
+	info := w.pass.Info
+	parallel := len(s.Lhs) == len(s.Rhs)
+	for i, l := range s.Lhs {
+		lid, _ := ast.Unparen(l).(*ast.Ident)
+		var r ast.Expr
+		if parallel {
+			r = ast.Unparen(s.Rhs[i])
+		}
+		if call, ok := r.(*ast.CallExpr); ok && funcFullName(calleeFunc(info, call)) == fnCSRShard && lid != nil && lid.Name != "_" {
+			obj := info.Defs[lid]
+			if obj == nil {
+				obj = info.Uses[lid]
+			}
+			if obj == nil {
+				continue
+			}
+			sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			base := ""
+			if comparableOperand(sel.X) {
+				base = exprString(sel.X)
+			}
+			env.shards[obj] = shardFact{base: base}
+			w.declDepth[obj] = depth
+			continue
+		}
+		// Reassignment of a tracked shard variable retires the old view.
+		if lid != nil {
+			if obj := info.Uses[lid]; obj != nil {
+				delete(env.shards, obj)
+			}
+		}
+		if r != nil {
+			w.dropEscapes(r, env)
+		}
+	}
+	if !parallel {
+		for _, r := range s.Rhs {
+			w.dropEscapes(r, env)
+		}
+	}
+}
+
+// checkCall reports mutators applied to a live shard or to its parent, and
+// lets other calls consume (escape) any shard they mention.
+func (w *shardWalker) checkCall(call *ast.CallExpr, env *shardEnv) {
+	info := w.pass.Info
+	if csrMutators[funcFullName(calleeFunc(info, call))] {
+		sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		recv := ast.Unparen(sel.X)
+		// Mutator on a tracked shard variable.
+		if id, ok := recv.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				if f, ok := env.shards[obj]; ok {
+					parent := f.base
+					if parent == "" {
+						parent = "its parent"
+					}
+					w.reportf(call.Pos(), "%s on row shard %s writes through to %s (zero-copy view shares the parent's vals array)", sel.Sel.Name, id.Name, parent)
+					return
+				}
+			}
+		}
+		// Mutator on an expression equal to a live shard's parent.
+		if comparableOperand(recv) {
+			rs := exprString(recv)
+			for obj, f := range env.shards {
+				if f.base != "" && f.base == rs {
+					w.reportf(call.Pos(), "%s mutates %s while row shard %s is live (the shard shares its vals array and sees the write)", sel.Sel.Name, rs, obj.Name())
+					return
+				}
+			}
+		}
+		// Mutating the receiver is fine when no view is outstanding; the
+		// receiver expression itself is a borrow, but argument shards escape.
+		for _, a := range call.Args {
+			w.dropEscapes(a, env)
+		}
+		return
+	}
+	w.dropEscapes(call, env)
+}
+
+// dropEscapes stops tracking shards that flow somewhere the dataflow cannot
+// follow: returned, stored, passed to a call, closed over. The receiver/base
+// position of a selector is a borrow (sh.Rows(), sh.RowRange(i)) and keeps
+// the shard tracked.
+func (w *shardWalker) dropEscapes(n ast.Node, env *shardEnv) {
+	if n == nil || len(env.shards) == 0 {
+		return
+	}
+	info := w.pass.Info
+	borrowed := map[*ast.Ident]bool{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				borrowed[id] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(n, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || borrowed[id] {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, tracked := env.shards[obj]; tracked {
+			delete(env.shards, obj)
+		}
+		return true
+	})
+}

@@ -2,7 +2,10 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+
+	"fedomd/internal/analysis/cfg"
 )
 
 // TapeLease enforces the tape-arena lease discipline (DESIGN.md §7): an
@@ -12,11 +15,18 @@ import (
 //  1. a struct field of type *ad.Tape must have a reachable Release call
 //     somewhere in its package (directly on the field or through a local
 //     alias such as `tp := c.tape; defer tp.Release()`);
-//  2. a local constructed with ad.NewTape must have a reachable Release in
-//     the same function, unless ownership is visibly handed away;
+//  2. a local constructed with ad.NewTape must reach Release (or a deferred
+//     Release, or a visible ownership hand-off) on every path out of the
+//     function — an early error return that skips Release leaks the arena;
 //  3. after a non-deferred Release, no tape-owned value (the tape itself, or
-//     a *ad.Node/*mat.Dense derived from it) may be used later in the same
-//     block — the arena has already recycled its storage.
+//     a *ad.Node/*mat.Dense derived from it) may be used on any path the
+//     Release dominates — the arena has already recycled its storage.
+//
+// Rule 1 stays a package-lexical check. Rules 2 and 3 run on the cfg
+// dataflow engine (DESIGN.md §13): release facts merge with AND at joins
+// (released only when released on every incoming path), so a Release inside
+// one branch no longer excuses the other branch, and a use after a Release
+// is only flagged on paths where the Release actually executed.
 //
 // Package ad itself is exempt: Node's internal back-reference to its tape is
 // arena plumbing, not a lease.
@@ -37,9 +47,8 @@ func runTapeLease(p *Pass) {
 	}
 	checkTapeFields(p)
 	forEachFuncScope(p.Files, func(body *ast.BlockStmt) {
-		checkLocalTapes(p, body)
+		analyzeTapeScope(p, body)
 	})
-	checkUseAfterRelease(p)
 }
 
 // isTapeType reports whether t is (a pointer to) ad.Tape.
@@ -148,51 +157,364 @@ func checkTapeFields(p *Pass) {
 	}
 }
 
-// checkLocalTapes verifies rule 2 for one function scope: every local built
-// by ad.NewTape either has a Release call on it somewhere in the scope
-// (including deferred closures) or visibly escapes.
-func checkLocalTapes(p *Pass, body *ast.BlockStmt) {
-	type localTape struct {
-		obj types.Object
-		pos ast.Node
+// tapeState is the abstract state of one locally constructed tape at one
+// program point.
+type tapeState struct {
+	released bool // Release executed on every path reaching this point
+	mayRel   bool // Release executed on at least one path
+	deferred bool // a registered defer will Release it at function exit
+	escaped  bool // ownership visibly left this scope
+}
+
+// tapeEnv is the dataflow fact for rules 2 and 3: per-tape state plus the
+// taint map connecting tape-owned values back to their tape.
+type tapeEnv struct {
+	tapes map[types.Object]*tapeState
+	taint map[types.Object]types.Object // owned value → owning tape
+}
+
+func (e *tapeEnv) clone() *tapeEnv {
+	c := &tapeEnv{
+		tapes: make(map[types.Object]*tapeState, len(e.tapes)),
+		taint: make(map[types.Object]types.Object, len(e.taint)),
 	}
-	var locals []localTape
-	ast.Inspect(body, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok && n != nil {
-			return true // closures share the scope check via ident scanning below
+	for k, v := range e.tapes {
+		s := *v
+		c.tapes[k] = &s
+	}
+	for k, v := range e.taint {
+		c.taint[k] = v
+	}
+	return c
+}
+
+func mergeTapeEnvs(a, b *tapeEnv) *tapeEnv {
+	for k, sb := range b.tapes {
+		sa, ok := a.tapes[k]
+		if !ok {
+			s := *sb
+			a.tapes[k] = &s
+			continue
 		}
-		as, ok := n.(*ast.AssignStmt)
-		if !ok || len(as.Lhs) != len(as.Rhs) {
+		sa.released = sa.released && sb.released
+		sa.mayRel = sa.mayRel || sb.mayRel
+		sa.deferred = sa.deferred && sb.deferred
+		sa.escaped = sa.escaped || sb.escaped
+	}
+	for k, v := range b.taint {
+		if _, ok := a.taint[k]; !ok {
+			a.taint[k] = v
+		}
+	}
+	return a
+}
+
+func tapeEnvEqual(a, b *tapeEnv) bool {
+	if len(a.tapes) != len(b.tapes) || len(a.taint) != len(b.taint) {
+		return false
+	}
+	for k, sa := range a.tapes {
+		sb, ok := b.tapes[k]
+		if !ok || *sa != *sb {
+			return false
+		}
+	}
+	for k, v := range a.taint {
+		if b.taint[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// tapeWalker interprets one function scope's CFG nodes for rules 2 and 3.
+type tapeWalker struct {
+	pass      *Pass
+	graph     *cfg.Graph
+	declDepth map[types.Object]int
+	declPos   map[types.Object]token.Pos // NewTape assignment position
+	reported  map[types.Object]bool      // rule-2 leaks, one per tape
+	report    bool
+}
+
+func analyzeTapeScope(p *Pass, body *ast.BlockStmt) {
+	g := cfg.Build(body, p.Info)
+	w := &tapeWalker{
+		pass:      p,
+		graph:     g,
+		declDepth: map[types.Object]int{},
+		declPos:   map[types.Object]token.Pos{},
+		reported:  map[types.Object]bool{},
+	}
+	in := cfg.Forward(g, cfg.Analysis[*tapeEnv]{
+		Entry: func() *tapeEnv {
+			return &tapeEnv{tapes: map[types.Object]*tapeState{}, taint: map[types.Object]types.Object{}}
+		},
+		Clone:    (*tapeEnv).clone,
+		Merge:    mergeTapeEnvs,
+		Equal:    tapeEnvEqual,
+		Transfer: w.transfer,
+	})
+	w.report = true
+	for _, b := range g.Blocks {
+		if env, ok := in[b]; ok {
+			w.transfer(b, env.clone())
+		}
+	}
+}
+
+// transfer interprets one basic block's nodes. Per node the order is: report
+// uses of already-released tapes (so the Release call itself is exempt),
+// then apply the node's effects (taint, NewTape, Release, defer, escapes).
+func (w *tapeWalker) transfer(b *cfg.Block, env *tapeEnv) *tapeEnv {
+	info := w.pass.Info
+	for _, nd := range b.Nodes {
+		switch n := nd.N.(type) {
+		case *cfg.ScopeExit:
+			w.leakCheck(env, func(obj types.Object) bool {
+				return w.declDepth[obj] == n.Depth
+			})
+			for obj := range env.tapes {
+				if w.declDepth[obj] >= n.Depth {
+					delete(env.tapes, obj)
+				}
+			}
+			continue
+		case *ast.BranchStmt:
+			if exitDepth, ok := w.graph.BranchDepth[n]; ok {
+				w.leakCheck(env, func(obj types.Object) bool {
+					return w.declDepth[obj] >= exitDepth
+				})
+				for obj := range env.tapes {
+					if w.declDepth[obj] >= exitDepth {
+						delete(env.tapes, obj)
+					}
+				}
+			}
+			continue
+		case *ast.ReturnStmt:
+			w.scanUses(n, env)
+			w.markEscapes(n, env)
+			w.leakCheck(env, nil)
+			continue
+		}
+
+		// 1. Uses of released tapes / their owned values (rule 3).
+		w.scanUses(nd.N, env)
+
+		// 2. Effects.
+		switch n := nd.N.(type) {
+		case *ast.AssignStmt:
+			w.handleAssign(n, env, nd.Depth)
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				if id, ok := tapeReleaseCall(info, call).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						if st, ok := env.tapes[obj]; ok {
+							st.released, st.mayRel = true, true
+						}
+					}
+					continue
+				}
+			}
+			w.markEscapes(n, env)
+		case *ast.DeferStmt:
+			w.handleDefer(n, env)
+		case *ast.GoStmt:
+			w.markEscapes(n, env)
+		default:
+			w.markEscapes(nd.N, env)
+		}
+	}
+	return env
+}
+
+// leakCheck reports rule-2 leaks: tapes that are not released on this path,
+// not deferred, and not escaped. The report lands on the NewTape assignment
+// (the lease that was taken out), once per tape.
+func (w *tapeWalker) leakCheck(env *tapeEnv, keep func(obj types.Object) bool) {
+	for obj, st := range env.tapes {
+		if st.mayRel || st.deferred || st.escaped {
+			continue
+		}
+		if keep != nil && !keep(obj) {
+			continue
+		}
+		if w.report && !w.reported[obj] {
+			w.reported[obj] = true
+			w.pass.Reportf(w.declPos[obj], "ad.Tape %s has no reachable Release in this function (arena buffers leak from the pool)", obj.Name())
+		}
+	}
+}
+
+// scanUses reports rule-3 violations inside one node's subtree: any mention
+// of a must-released tape, or of a value owned by one.
+func (w *tapeWalker) scanUses(n ast.Node, env *tapeEnv) {
+	if !w.report || n == nil {
+		return
+	}
+	info := w.pass.Info
+	ast.Inspect(n, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
 			return true
 		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if st, ok := env.tapes[obj]; ok && st.released {
+			w.pass.Reportf(id.Pos(), "tape %s is used after Release in the same block", id.Name)
+			return true
+		}
+		if tape, ok := env.taint[obj]; ok {
+			if st, ok := env.tapes[tape]; ok && st.released {
+				w.pass.Reportf(id.Pos(), "%s is owned by tape %s and used after its Release (arena storage already recycled)", id.Name, tape.Name())
+			}
+		}
+		return true
+	})
+}
+
+// handleAssign tracks NewTape declarations and taint propagation: a LHS of
+// tape-owned type whose RHS mentions a tracked tape (or an already-tainted
+// value) is owned by that tape; reassignment from a clean source clears it.
+func (w *tapeWalker) handleAssign(as *ast.AssignStmt, env *tapeEnv, depth int) {
+	info := w.pass.Info
+	if len(as.Lhs) == len(as.Rhs) {
 		for i, l := range as.Lhs {
 			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
-			if !ok || funcFullName(calleeFunc(p.Info, call)) != fnNewTape {
+			if !ok || funcFullName(calleeFunc(info, call)) != fnNewTape {
 				continue
 			}
 			lid, ok := ast.Unparen(l).(*ast.Ident)
 			if !ok || lid.Name == "_" {
 				continue
 			}
-			obj := p.Info.Defs[lid]
+			obj := info.Defs[lid]
 			if obj == nil {
-				obj = p.Info.Uses[lid]
+				obj = info.Uses[lid]
 			}
-			if obj != nil {
-				locals = append(locals, localTape{obj, as})
+			if obj == nil {
+				continue
+			}
+			env.tapes[obj] = &tapeState{}
+			if _, ok := w.declPos[obj]; !ok {
+				w.declPos[obj] = as.Pos()
+				w.declDepth[obj] = depth
+			}
+		}
+	}
+
+	// Taint: find a tape (or tainted value) mentioned on the RHS.
+	var srcTape types.Object
+	for _, r := range as.Rhs {
+		ast.Inspect(r, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if isTapeType(obj.Type()) {
+				srcTape = obj
+				return false
+			}
+			if t, ok := env.taint[obj]; ok {
+				srcTape = t
+				return false
+			}
+			return true
+		})
+		if srcTape != nil {
+			break
+		}
+	}
+	for _, l := range as.Lhs {
+		lid, ok := ast.Unparen(l).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := info.Defs[lid]
+		if obj == nil {
+			obj = info.Uses[lid]
+		}
+		if obj == nil {
+			continue
+		}
+		if _, isTape := env.tapes[obj]; isTape {
+			continue
+		}
+		if srcTape != nil && tapeOwnedType(obj.Type()) {
+			env.taint[obj] = srcTape
+		} else {
+			delete(env.taint, obj) // reassigned from a clean source
+		}
+	}
+
+	// Escapes on the RHS (return-value aliasing is handled by scan of the
+	// whole assignment in markEscapes).
+	w.markEscapes(as, env)
+}
+
+// handleDefer classifies a defer: `defer tp.Release()` (or a deferred
+// closure that releases tp) marks the tape deferred; a deferred closure that
+// captures the tape without releasing it, or any other deferred call
+// mentioning it, is handled by the escape scan.
+func (w *tapeWalker) handleDefer(s *ast.DeferStmt, env *tapeEnv) {
+	info := w.pass.Info
+	if id, ok := tapeReleaseCall(info, s.Call).(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			if st, ok := env.tapes[obj]; ok {
+				st.deferred = true
+			}
+			return
+		}
+	}
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		for obj, st := range env.tapes {
+			if tapeObjReleased(info, lit.Body, obj) {
+				st.deferred = true
+			}
+		}
+	}
+	w.markEscapes(s, env)
+}
+
+// markEscapes marks every tracked tape that is used outside a borrow
+// position (receiver of a method call / field selection) anywhere under n as
+// escaped: being returned, passed as an argument or stored hands the lease
+// to someone else.
+func (w *tapeWalker) markEscapes(n ast.Node, env *tapeEnv) {
+	if n == nil || len(env.tapes) == 0 {
+		return
+	}
+	info := w.pass.Info
+	borrowed := map[*ast.Ident]bool{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				borrowed[id] = true
 			}
 		}
 		return true
 	})
-	for _, lt := range locals {
-		if tapeObjReleased(p.Info, body, lt.obj) {
-			continue
+	ast.Inspect(n, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || borrowed[id] {
+			return true
 		}
-		if tapeObjEscapes(p.Info, body, lt.obj) {
-			continue
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
 		}
-		p.Reportf(lt.pos.Pos(), "ad.Tape %s has no reachable Release in this function (arena buffers leak from the pool)", lt.obj.Name())
-	}
+		if st, ok := env.tapes[obj]; ok {
+			st.escaped = true
+		}
+		return true
+	})
 }
 
 // tapeObjReleased reports whether obj is the receiver of a Release call
@@ -213,34 +535,6 @@ func tapeObjReleased(info *types.Info, n ast.Node, obj types.Object) bool {
 		return true
 	})
 	return found
-}
-
-// tapeObjEscapes reports whether obj is used anywhere other than as the
-// receiver of a method call or field selection — being returned, passed as
-// an argument, or stored hands the lease to someone else.
-func tapeObjEscapes(info *types.Info, n ast.Node, obj types.Object) bool {
-	// Idents of obj that appear as the X of a selector are borrows; any
-	// other use transfers ownership.
-	borrowed := map[*ast.Ident]bool{}
-	ast.Inspect(n, func(n ast.Node) bool {
-		if sel, ok := n.(*ast.SelectorExpr); ok {
-			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
-				borrowed[id] = true
-			}
-		}
-		return true
-	})
-	escapes := false
-	ast.Inspect(n, func(n ast.Node) bool {
-		if escapes {
-			return false
-		}
-		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj && !borrowed[id] {
-			escapes = true
-		}
-		return true
-	})
-	return escapes
 }
 
 // tapeOwnedType reports whether values of t live in tape-owned storage:
@@ -266,126 +560,4 @@ func tapeOwnedType(t types.Type) bool {
 		return (p == pathAd && obj.Name() == "Node") || (p == pathMat && obj.Name() == "Dense")
 	}
 	return false
-}
-
-// checkUseAfterRelease verifies rule 3: within each lexical statement list,
-// once a tape is Released (non-deferred), neither the tape nor any value
-// tainted by it may appear in a later statement of that list.
-func checkUseAfterRelease(p *Pass) {
-	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.BlockStmt:
-				checkStmtList(p, n.List)
-			case *ast.CaseClause:
-				checkStmtList(p, n.Body)
-			case *ast.CommClause:
-				checkStmtList(p, n.Body)
-			}
-			return true
-		})
-	}
-}
-
-func checkStmtList(p *Pass, stmts []ast.Stmt) {
-	released := map[types.Object]bool{}          // tape vars released so far
-	taintedBy := map[types.Object]types.Object{} // value var → owning tape var
-	for _, s := range stmts {
-		// 1. Flag uses of already-released tapes or their owned values. The
-		// scan covers the whole subtree: a use nested in an if-body below the
-		// Release is still lexically after it in this list.
-		if len(released) > 0 {
-			reportReleasedUses(p, s, released, taintedBy)
-		}
-		// 2. Record taint: a tape-owned value assigned from an expression
-		// that mentions a live tape (or an already-tainted value).
-		if as, ok := s.(*ast.AssignStmt); ok {
-			recordTaint(p, as, taintedBy)
-		}
-		// 3. Record non-deferred Releases at this nesting level only; a
-		// Release inside an if-branch does not dominate the rest of the list.
-		if es, ok := s.(*ast.ExprStmt); ok {
-			if call, ok := es.X.(*ast.CallExpr); ok {
-				if id, ok := tapeReleaseCall(p.Info, call).(*ast.Ident); ok {
-					if obj := p.Info.Uses[id]; obj != nil {
-						released[obj] = true
-					}
-				}
-			}
-		}
-	}
-}
-
-// recordTaint marks LHS variables of tape-owned type whose RHS mentions a
-// tape variable or an already-tainted value.
-func recordTaint(p *Pass, as *ast.AssignStmt, taintedBy map[types.Object]types.Object) {
-	if len(taintedBy) == 0 {
-		// Taint can only originate from a tape variable; find one on the RHS.
-	}
-	var srcTape types.Object
-	for _, r := range as.Rhs {
-		ast.Inspect(r, func(n ast.Node) bool {
-			id, ok := n.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			obj := p.Info.Uses[id]
-			if obj == nil {
-				return true
-			}
-			if isTapeType(obj.Type()) {
-				srcTape = obj
-				return false
-			}
-			if t, ok := taintedBy[obj]; ok {
-				srcTape = t
-				return false
-			}
-			return true
-		})
-		if srcTape != nil {
-			break
-		}
-	}
-	for _, l := range as.Lhs {
-		lid, ok := ast.Unparen(l).(*ast.Ident)
-		if !ok {
-			continue
-		}
-		obj := p.Info.Defs[lid]
-		if obj == nil {
-			obj = p.Info.Uses[lid]
-		}
-		if obj == nil {
-			continue
-		}
-		if srcTape != nil && tapeOwnedType(obj.Type()) {
-			taintedBy[obj] = srcTape
-		} else {
-			delete(taintedBy, obj) // reassigned from a clean source
-		}
-	}
-}
-
-// reportReleasedUses reports any mention of a released tape or of a value it
-// owns inside the statement.
-func reportReleasedUses(p *Pass, s ast.Stmt, released map[types.Object]bool, taintedBy map[types.Object]types.Object) {
-	ast.Inspect(s, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		obj := p.Info.Uses[id]
-		if obj == nil {
-			return true
-		}
-		if released[obj] {
-			p.Reportf(id.Pos(), "tape %s is used after Release in the same block", id.Name)
-			return true
-		}
-		if tape, ok := taintedBy[obj]; ok && released[tape] {
-			p.Reportf(id.Pos(), "%s is owned by tape %s and used after its Release (arena storage already recycled)", id.Name, tape.Name())
-		}
-		return true
-	})
 }

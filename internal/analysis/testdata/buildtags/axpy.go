@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package buildtags
+
+// Axpy is the portable fallback.
+func Axpy(alpha float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}

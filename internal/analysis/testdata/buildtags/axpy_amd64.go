@@ -1,0 +1,6 @@
+//go:build amd64
+
+package buildtags
+
+// Axpy is implemented in axpy_amd64.s.
+func Axpy(alpha float64, x, y []float64)

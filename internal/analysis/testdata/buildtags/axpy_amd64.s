@@ -1,0 +1,3 @@
+// Placeholder assembly body for the buildtags loader fixture. The loader only
+// parses .go files, so this is never assembled; it exists so the fixture's
+// file layout matches a real SIMD kernel (bodyless decl + .s implementation).

@@ -1,0 +1,4 @@
+// Package buildtags is a loader fixture: one function with an assembly fast
+// path, mirroring the file layout of the internal/mat SIMD kernels. The
+// loader must pick exactly one Axpy definition per build context.
+package buildtags

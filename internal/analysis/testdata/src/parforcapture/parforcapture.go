@@ -1,0 +1,133 @@
+// Package parforcapture exercises the parforcapture analyzer: writes to
+// captured state inside mat.ParallelFor bodies, against the per-chunk
+// patterns the disjoint-writes contract allows.
+package parforcapture
+
+import (
+	"sync/atomic"
+
+	"fedomd/internal/mat"
+)
+
+func capturedScalar(xs []float64) float64 {
+	sum := 0.0
+	mat.ParallelFor(len(xs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += xs[i] // want `writes captured variable sum`
+		}
+	})
+	return sum
+}
+
+func capturedCounter(xs []float64) int {
+	n := 0
+	mat.ParallelFor(len(xs), 1, func(lo, hi int) {
+		n++ // want `writes captured variable n`
+	})
+	return n
+}
+
+func capturedSliceFixedIndex(out, xs []float64) {
+	mat.ParallelFor(len(xs), 1, func(lo, hi int) {
+		out[0] = xs[0] // want `writes captured out at an index not derived from the lo:hi chunk`
+	})
+}
+
+func capturedPointer(p *float64, xs []float64) {
+	mat.ParallelFor(len(xs), 1, func(lo, hi int) {
+		*p = xs[lo] // want `writes through captured pointer p`
+	})
+}
+
+type acc struct{ total float64 }
+
+func capturedField(a *acc, xs []float64) {
+	mat.ParallelFor(len(xs), 1, func(lo, hi int) {
+		a.total = xs[lo] // want `writes field of captured a`
+	})
+}
+
+func denseSetUntainted(m *mat.Dense, xs []float64) {
+	mat.ParallelFor(len(xs), 1, func(lo, hi int) {
+		m.Set(0, 0, xs[lo]) // want `mutates captured m via Dense.Set outside the lo:hi chunk`
+	})
+}
+
+func denseZero(m *mat.Dense, xs []float64) {
+	mat.ParallelFor(len(xs), 1, func(lo, hi int) {
+		m.Zero() // want `mutates captured m via Dense.Zero outside the lo:hi chunk`
+	})
+}
+
+func copyWholeSlice(dst, src []float64) {
+	mat.ParallelFor(len(src), 1, func(lo, hi int) {
+		copy(dst, src) // want `mutates captured dst via copy outside the lo:hi chunk`
+	})
+}
+
+// --- allowed patterns ---
+
+func chunkIndexed(out, xs []float64) {
+	mat.ParallelFor(len(xs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = 2 * xs[i] // index derived from the chunk
+		}
+	})
+}
+
+func chunkRange(out, xs []float64) {
+	mat.ParallelFor(len(xs), 1, func(lo, hi int) {
+		for k, v := range xs[lo:hi] {
+			out[lo+k] = v // k ranges over a chunk-derived slice
+		}
+	})
+}
+
+func chunkDerivedAlias(out, xs []float64) {
+	mat.ParallelFor(len(xs), 1, func(lo, hi int) {
+		row := lo // taint propagates through assignment
+		out[row] = xs[row]
+	})
+}
+
+func localState(out, xs []float64) {
+	mat.ParallelFor(len(xs), 1, func(lo, hi int) {
+		s := 0.0 // per-invocation local: writes are free
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		out[lo] = s
+	})
+}
+
+func chunkCopy(dst, src []float64) {
+	mat.ParallelFor(len(src), 1, func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi]) // destination is chunk-derived
+	})
+}
+
+func denseSetChunk(m *mat.Dense, xs []float64) {
+	mat.ParallelFor(len(xs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.Set(i, 0, xs[i]) // row index is chunk-derived
+		}
+	})
+}
+
+func atomicReduction(xs []float64) int64 {
+	var hits int64
+	mat.ParallelFor(len(xs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if xs[i] > 0 {
+				atomic.AddInt64(&hits, 1) // atomics are the sanctioned reduction
+			}
+		}
+	})
+	return hits
+}
+
+func readsOnly(xs []float64, sink func(float64)) {
+	mat.ParallelFor(len(xs), 1, func(lo, hi int) {
+		sink(xs[lo]) // reading captured state is fine
+	})
+}

@@ -1,0 +1,69 @@
+// Package shardalias exercises the shardalias analyzer: in-place mutation
+// through zero-copy CSR row shards (and of parents with live shards), against
+// the read-only and scale-before-sharding patterns the contract allows.
+package shardalias
+
+import (
+	"fedomd/internal/mat"
+	"fedomd/internal/sparse"
+)
+
+func writesThroughShard(m *sparse.CSR) {
+	sh := m.Shard(0, 2)
+	sh.ScaleVals(0.5) // want `ScaleVals on row shard sh writes through to m`
+}
+
+func writesParentWhileShardLive(m *sparse.CSR, x *mat.Dense) *mat.Dense {
+	sh := m.Shard(0, 2)
+	m.ScaleVals(2) // want `ScaleVals mutates m while row shard sh is live`
+	return sh.MulDense(x)
+}
+
+func writesFieldParentWhileShardLive(g struct{ adj *sparse.CSR }) {
+	sh := g.adj.Shard(1, 3)
+	g.adj.ScaleVals(2) // want `ScaleVals mutates g.adj while row shard sh is live`
+	_ = sh.NNZ()
+}
+
+func shardOnlyOnSomePaths(m *sparse.CSR, cond bool) {
+	sh := m.Shard(0, 1)
+	if cond {
+		_ = sh.NNZ()
+	}
+	m.ScaleVals(3) // want `ScaleVals mutates m while row shard sh is live`
+}
+
+// --- allowed patterns ---
+
+func scaleBeforeSharding(m *sparse.CSR, x *mat.Dense) *mat.Dense {
+	m.ScaleVals(0.5) // no view outstanding yet
+	sh := m.Shard(0, 2)
+	return sh.MulDense(x)
+}
+
+func readsThroughShard(m *sparse.CSR, x *mat.Dense) *mat.Dense {
+	sh := m.Shard(0, 2)
+	_ = sh.NNZ()
+	return sh.MulDense(x) // reads scale without copies; that is the point
+}
+
+func shardScopeEnded(m *sparse.CSR, x *mat.Dense, cond bool) {
+	if cond {
+		sh := m.Shard(0, 2)
+		_ = sh.MulDense(x)
+	}
+	m.ScaleVals(2) // the view did not survive its scope
+}
+
+func shardEscapes(m *sparse.CSR, sink func(*sparse.CSR)) {
+	sh := m.Shard(0, 2)
+	sink(sh) // ownership handed off; the dataflow stops tracking
+	m.ScaleVals(2)
+}
+
+func shardReassigned(m *sparse.CSR) {
+	sh := m.Shard(0, 2)
+	sh = nil
+	_ = sh
+	m.ScaleVals(2)
+}

@@ -1,0 +1,117 @@
+// Package spanend exercises the spanend analyzer: telemetry/obs spans that
+// miss End on some path, against the lifecycle patterns the tracing contract
+// allows (End on all paths, defer, Cancel on failure, escape).
+package spanend
+
+import (
+	"errors"
+
+	"fedomd/internal/obs"
+	"fedomd/internal/telemetry"
+)
+
+var errBoom = errors.New("boom")
+
+func earlyReturnLeaks(rec telemetry.Recorder, fail bool) error {
+	sp := telemetry.StartSpan(rec, "work_seconds")
+	if fail {
+		return errBoom // want `span sp is not ended on this return path`
+	}
+	sp.End()
+	return nil
+}
+
+func obsEarlyReturnLeaks(tr *obs.Tracer, fail bool) error {
+	sp := tr.Root("round")
+	if fail {
+		return errBoom // want `span sp is not ended on this return path`
+	}
+	sp.End()
+	return nil
+}
+
+func discardedResult(rec telemetry.Recorder) {
+	telemetry.StartSpan(rec, "work_seconds") // want `result of telemetry.StartSpan is discarded`
+}
+
+func restartWhileLive(rec telemetry.Recorder) {
+	sp := telemetry.StartSpan(rec, "a_seconds")
+	sp = telemetry.StartSpan(rec, "b_seconds") // want `span sp is started again before End`
+	sp.End()
+}
+
+func scopedLeak(tr *obs.Tracer, cond bool) {
+	if cond {
+		sp := tr.Root("inner")
+		sp.SetAttr("k", 1)
+	} // want `span sp is not ended before it goes out of scope`
+}
+
+func breakLeaks(tr *obs.Tracer, xs []int) {
+	for _, x := range xs {
+		sp := tr.Root("item")
+		if x < 0 {
+			break // want `span sp is not ended on this break path`
+		}
+		sp.End()
+	}
+}
+
+// --- allowed patterns ---
+
+func endOnAllPaths(rec telemetry.Recorder, fail bool) error {
+	sp := telemetry.StartSpan(rec, "work_seconds")
+	if fail {
+		sp.End()
+		return errBoom
+	}
+	sp.End()
+	return nil
+}
+
+func cancelOnFailure(rec telemetry.Recorder, fail bool) error {
+	sp := telemetry.StartSpan(rec, "work_seconds")
+	if fail {
+		sp.Cancel() // failure is not a latency sample
+		return errBoom
+	}
+	sp.End()
+	return nil
+}
+
+func deferredEnd(tr *obs.Tracer, parent obs.SpanContext) {
+	sp := tr.Start(parent, "step")
+	defer sp.End()
+	sp.SetAttr("k", 2)
+}
+
+func deferredClosureEnd(rec telemetry.Recorder) {
+	sp := telemetry.StartSpan(rec, "work_seconds")
+	defer func() {
+		sp.End()
+	}()
+}
+
+func escapesByReturn(tr *obs.Tracer) *obs.Span {
+	sp := tr.Root("handed-off") // the caller owns the End obligation now
+	return sp
+}
+
+func escapesToCall(tr *obs.Tracer, park func(*obs.Span)) {
+	sp := tr.Root("parked")
+	park(sp)
+}
+
+func loopPerIteration(rec telemetry.Recorder, xs []int) {
+	for range xs {
+		sp := telemetry.StartSpan(rec, "iter_seconds")
+		sp.End()
+	}
+}
+
+func borrowedParentContext(tr *obs.Tracer) {
+	outer := tr.Root("outer")
+	inner := tr.Start(outer.Context(), "inner") // receiver use is a borrow, not an escape
+	inner.End()
+	outer.End()
+}

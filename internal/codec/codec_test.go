@@ -190,6 +190,42 @@ func TestErrorFeedbackConverges(t *testing.T) {
 	PutParams(oneDec)
 }
 
+// Reset must drop every residual (the next lossy frame starts uncompensated,
+// exactly as a fresh encoder would) and tolerate a nil receiver, since
+// transport desync handlers clear unconditionally before the codec layer is
+// armed.
+func TestResetDropsResidualsAndIsNilSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ref := randParams(rng, 1)
+	p := perturb(rng, ref, 0.05)
+	enc := NewEncoder(Options{Kind: Quant, Bits: 4})
+	if _, err := enc.EncodeParams(nil, p, ref); err != nil {
+		t.Fatal(err)
+	}
+	if len(enc.residual) == 0 {
+		t.Fatal("lossy encode left no residual to clear")
+	}
+	enc.Reset()
+	if len(enc.residual) != 0 {
+		t.Fatalf("Reset left %d residuals", len(enc.residual))
+	}
+	// A post-Reset frame must be bit-identical to a fresh encoder's: no trace
+	// of the old error feedback may survive.
+	a, err := enc.EncodeParams(nil, p, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEncoder(Options{Kind: Quant, Bits: 4}).EncodeParams(nil, p, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("post-Reset frame differs from a fresh encoder's")
+	}
+	var nilEnc *Encoder
+	nilEnc.Reset() // must not panic
+}
+
 // Top-k keeps exactly ⌈k·n⌉ entries per tensor — the largest deltas — and
 // the error feedback residual holds everything dropped.
 func TestTopKSparsification(t *testing.T) {

@@ -41,8 +41,13 @@ func NewEncoder(opts Options) *Encoder {
 func (e *Encoder) Options() Options { return e.opts }
 
 // Reset drops all error-feedback residuals (e.g. when the peer's reference
-// state is lost and the next blob must be absolute).
+// state is lost and the next blob must be absolute). Safe on a nil receiver,
+// so desync handlers can clear unconditionally before the codec layer is
+// armed.
 func (e *Encoder) Reset() {
+	if e == nil {
+		return
+	}
 	for k := range e.residual {
 		delete(e.residual, k)
 	}

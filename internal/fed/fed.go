@@ -568,6 +568,12 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 		}()
 		if roundErr != nil {
 			if !errors.Is(roundErr, ErrQuorumLost) || cfg.QuorumPolicy != QuorumSkip {
+				// The run is aborting mid-round: emit the round's trace record
+				// (partial rounds still belong in the trace tree) but drop its
+				// latency sample — an aborted round is not a round-duration
+				// observation.
+				roundSpan.Cancel()
+				rsp.End()
 				return nil, roundErr
 			}
 			// QuorumSkip: abandon the round's aggregation, keep the

@@ -397,6 +397,10 @@ func ServeClientConnOpts(conn net.Conn, c Client, opts ServeOptions) error {
 						wireResets.Add(1)
 					}
 					wcRef = nil
+					// The uplink residuals were built against the dead
+					// reference chain; the coordinator's absolute re-broadcast
+					// starts a new one.
+					wcEnc.Reset()
 					resp.Err = err.Error()
 					break
 				}
@@ -639,6 +643,7 @@ func (r *remoteClient) reconnect() error {
 		wireResets.Add(1)
 	}
 	r.lastSent = nil
+	r.downEnc.Reset() // residuals belong to the dead reference chain (nil-safe pre-negotiation)
 	if r.codecOn {
 		if !wireSupported(h.Codecs, codec.WireV1) {
 			r.conn.Close()
@@ -673,12 +678,12 @@ func wireSupported(versions []uint8, v uint8) bool {
 // deadline expiry surfaces as an error naming the party (via the "to/from
 // %s" wrapping) that satisfies net.Error with Timeout() == true.
 func (r *remoteClient) callOnce(req rpcRequest) (rpcResponse, error) {
-	var (
-		sp       telemetry.Span
-		tx0, rx0 int64
-	)
+	// StartSpan is inert when telemetry is off, so start unconditionally and
+	// retire the span on every exit: End on success, Cancel on failure — a
+	// failed exchange is not a latency observation.
+	sp := telemetry.StartSpan(r.rec, "rpc/coord/latency_seconds/"+opMetricSuffix(req.Op)) //fedomdvet:ignore per-op series over the closed opMetricSuffix set; base key and suffixes are constants
+	var tx0, rx0 int64
 	if r.rec.Enabled() {
-		sp = telemetry.StartSpan(r.rec, "rpc/coord/latency_seconds/"+opMetricSuffix(req.Op)) //fedomdvet:ignore per-op series over the closed opMetricSuffix set; base key and suffixes are constants
 		tx0, rx0 = r.conn.tx.Load(), r.conn.rx.Load()
 	}
 	// The rpc span parents at the tracer's active context (the current round
@@ -695,6 +700,7 @@ func (r *remoteClient) callOnce(req rpcRequest) (rpcResponse, error) {
 		_ = r.conn.SetWriteDeadline(time.Now().Add(r.opts.WriteTimeout))
 	}
 	if err := r.enc.Encode(req); err != nil {
+		sp.Cancel()
 		return rpcResponse{}, fmt.Errorf("fed: rpc %s to %s: %w", req.Op, r.name, err)
 	}
 	if r.opts.ReadTimeout > 0 {
@@ -702,10 +708,11 @@ func (r *remoteClient) callOnce(req rpcRequest) (rpcResponse, error) {
 	}
 	var resp rpcResponse
 	if err := r.dec.Decode(&resp); err != nil {
+		sp.Cancel()
 		return rpcResponse{}, fmt.Errorf("fed: rpc %s reply from %s: %w", req.Op, r.name, err)
 	}
+	sp.End()
 	if r.rec.Enabled() {
-		sp.End()
 		r.rec.Count("rpc/coord/bytes_tx/"+opMetricSuffix(req.Op), r.conn.tx.Load()-tx0) //fedomdvet:ignore per-op series over the closed opMetricSuffix set; base key and suffixes are constants
 		r.rec.Count("rpc/coord/bytes_rx/"+opMetricSuffix(req.Op), r.conn.rx.Load()-rx0) //fedomdvet:ignore per-op series over the closed opMetricSuffix set; base key and suffixes are constants
 	}
@@ -732,6 +739,7 @@ func (r *remoteClient) Params() *nn.Params {
 				wireResets.Add(1)
 			}
 			r.lastSent = nil // desync: force an absolute re-broadcast
+			r.downEnc.Reset()
 			return nn.NewParams()
 		}
 		if r.rec.Enabled() {
@@ -766,6 +774,7 @@ func (r *remoteClient) SetParams(global *nn.Params) error {
 			wireResets.Add(1)
 		}
 		r.lastSent = nil
+		r.downEnc.Reset()
 		return err
 	}
 	r.lastSent = global

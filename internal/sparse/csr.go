@@ -171,6 +171,18 @@ func (m *CSR) Shard(lo, hi int) *CSR {
 	return &CSR{rows: hi - lo, cols: m.cols, rowPtr: m.rowPtr[lo : hi+1], colIdx: m.colIdx, vals: m.vals}
 }
 
+// ScaleVals multiplies every stored value of m by alpha in place — the cheap
+// way to apply a global edge-weight factor (e.g. a damping or temperature
+// term) without rebuilding the matrix. Because Shard views share the parent's
+// vals array, calling ScaleVals on a shard writes the parent's window, and
+// calling it on the parent silently rescales every outstanding shard; the
+// shardalias vet check rejects both. Scale before carving shards, or rebuild.
+func (m *CSR) ScaleVals(alpha float64) {
+	for k := m.rowPtr[0]; k < m.rowPtr[m.rows]; k++ {
+		m.vals[k] *= alpha
+	}
+}
+
 // Rows returns the number of rows.
 func (m *CSR) Rows() int { return m.rows }
 

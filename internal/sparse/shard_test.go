@@ -148,6 +148,42 @@ func TestShardSharesBacking(t *testing.T) {
 	}
 }
 
+func TestScaleVals(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := randCSR(t, 40, 25, 150, rng)
+	want := m.ToDense()
+	m.ScaleVals(-2.5)
+	got := m.ToDense()
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 25; j++ {
+			if got.At(i, j) != -2.5*want.At(i, j) {
+				t.Fatalf("ScaleVals: (%d,%d) = %v, want %v", i, j, got.At(i, j), -2.5*want.At(i, j))
+			}
+		}
+	}
+}
+
+// TestScaleValsOnShardWindow pins down why shardalias exists: scaling a shard
+// writes exactly the parent's [lo,hi) window and nothing outside it.
+func TestScaleValsOnShardWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := randCSR(t, 40, 25, 150, rng)
+	before := m.ToDense()
+	m.Shard(10, 30).ScaleVals(3)
+	after := m.ToDense()
+	for i := 0; i < 40; i++ {
+		scale := 1.0
+		if i >= 10 && i < 30 {
+			scale = 3
+		}
+		for j := 0; j < 25; j++ {
+			if after.At(i, j) != scale*before.At(i, j) {
+				t.Fatalf("shard ScaleVals leaked outside its window at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
 func TestShardBoundsPanic(t *testing.T) {
 	m := Identity(5)
 	for _, r := range [][2]int{{-1, 3}, {2, 6}, {4, 2}} {

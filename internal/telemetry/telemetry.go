@@ -78,6 +78,11 @@ func (s Span) End() {
 	s.rec.Observe(s.name, time.Since(s.start).Seconds())
 }
 
+// Cancel abandons the span without recording a sample: a failed operation's
+// duration is not a latency observation and would skew the histogram. Safe on
+// the zero Span; a later End on the same variable is a no-op.
+func (s *Span) Cancel() { s.rec = nil }
+
 // multi fans events out to several recorders.
 type multi []Recorder
 

@@ -132,6 +132,18 @@ func TestSpanRecordsDuration(t *testing.T) {
 	}
 }
 
+func TestSpanCancelDropsSample(t *testing.T) {
+	a := NewAggregator()
+	sp := StartSpan(a, "op_seconds")
+	sp.Cancel()
+	sp.End() // End after Cancel must be a no-op
+	if s, ok := a.Histogram("op_seconds"); ok && s.Count != 0 {
+		t.Fatalf("cancelled span recorded a sample: %+v", s)
+	}
+	var zero Span
+	zero.Cancel() // zero value stays inert
+}
+
 func TestReportRendersTables(t *testing.T) {
 	a := NewAggregator()
 	a.Observe("fed/phase/train_seconds", 0.25)
