@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet lint lint-fast race bench bench-step bench-comms bench-obs bench-kernels scale-demo chaos obslint dash-demo
+.PHONY: build test check fmt vet lint lint-fast race bench bench-step bench-comms bench-obs bench-kernels bench-scale scale-demo chaos soak-async obslint dash-demo
 
 # Formatting checks skip testdata: it holds deliberately corrupt analyzer
 # fixtures that gofmt cannot parse.
@@ -51,6 +51,12 @@ race:
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos/ ./internal/fed/
 
+# The async robustness soak in isolation: heavy-tail stragglers, transient
+# faults, and NaN poisoning against both aggregation topologies, gated at
+# ≥3× sync's rounds/sec and ≤0.02 accuracy drift from the fault-free run.
+soak-async:
+	$(GO) test -race -count=1 -run 'TestSoakAsync' -v ./internal/chaos/
+
 # The gate a PR must pass: formatting, go vet, fedomdvet, and the full test
 # suite under the race detector (-count=1 so a cached pass can't mask a
 # race). CI-friendly: every stage runs even if an earlier one fails, each
@@ -91,6 +97,7 @@ bench:
 	$(GO) run ./cmd/benchcomms -out BENCH_comms.json
 	$(GO) run ./cmd/benchobs -out BENCH_obs.json
 	$(GO) run ./cmd/benchkernels -out BENCH_kernels.json -min-speedup 2
+	$(GO) run ./cmd/benchscale -out BENCH_scale.json
 
 # Regenerate only the pooled-vs-unpooled training-step artefact.
 bench-step:
@@ -112,6 +119,12 @@ bench-obs:
 # kernel on the 512–2048 sizes.
 bench-kernels:
 	$(GO) run ./cmd/benchkernels -out BENCH_kernels.json -min-speedup 2
+
+# Regenerate the round-topology scaling artefact: rounds/sec and p50/p99
+# round latency over party count × straggler rate, barriered sync vs
+# buffered async, on synthetic sleep-calibrated parties.
+bench-scale:
+	$(GO) run ./cmd/benchscale -out BENCH_scale.json
 
 # The pinned million-node pipeline: stream a 10⁶-node SBM, Louvain-partition
 # it into 8 parties, train one full FedOMD round, report stage times and

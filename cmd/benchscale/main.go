@@ -1,0 +1,215 @@
+// Command benchscale measures how round throughput scales with fleet size
+// and straggler pressure under the two aggregation topologies. It drives
+// fed.Run directly over synthetic sleep-calibrated clients (no dataset, no
+// model — the sleep IS the workload, so the numbers isolate the coordinator's
+// round machinery) and sweeps party count × straggler rate × {sync, async},
+// reporting rounds/sec and p50/p99 round latency per arm. `make bench-scale`
+// runs it to produce BENCH_scale.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"fedomd/internal/fed"
+	"fedomd/internal/mat"
+	"fedomd/internal/nn"
+)
+
+// synthClient is a fed.Client whose local training is a fixed sleep plus a
+// tiny parameter nudge: enough work that folds move real numbers, cheap
+// enough that 64-party arms finish in seconds.
+type synthClient struct {
+	name   string
+	sleep  time.Duration
+	params *nn.Params
+	bias   float64
+}
+
+func newSynth(name string, sleep time.Duration, bias float64) *synthClient {
+	p := nn.NewParams()
+	p.Add("w", mat.New(1, 64))
+	return &synthClient{name: name, sleep: sleep, params: p, bias: bias}
+}
+
+func (s *synthClient) Name() string       { return s.name }
+func (s *synthClient) NumSamples() int    { return 100 }
+func (s *synthClient) Params() *nn.Params { return s.params }
+func (s *synthClient) SetParams(g *nn.Params) error {
+	return s.params.CopyFrom(g)
+}
+func (s *synthClient) TrainLocal(int) (float64, error) {
+	time.Sleep(s.sleep)
+	w := s.params.Get("w")
+	for j := 0; j < w.Cols(); j++ {
+		w.Set(0, j, 0.5*w.At(0, j)+s.bias)
+	}
+	return math.Abs(s.bias - w.At(0, 0)), nil
+}
+func (s *synthClient) EvalVal() (int, int)  { return 1, 2 }
+func (s *synthClient) EvalTest() (int, int) { return 1, 2 }
+
+// armResult is one sweep point's measurement.
+type armResult struct {
+	Parties       int     `json:"parties"`
+	StragglerRate float64 `json:"straggler_rate"`
+	Mode          string  `json:"mode"`
+	Rounds        int     `json:"rounds"`
+	// BufferK is the async fold threshold (0 for sync arms).
+	BufferK int `json:"buffer_k,omitempty"`
+	// RoundsPerSec is the headline scaling number; the latency quantiles
+	// come from per-round Start/End stamps.
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	P50LatencyMs float64 `json:"p50_round_latency_ms"`
+	P99LatencyMs float64 `json:"p99_round_latency_ms"`
+	// SpeedupVsSync is RoundsPerSec over the sync arm with the same parties
+	// and straggler rate (1 for the sync arms themselves).
+	SpeedupVsSync float64 `json:"speedup_vs_sync"`
+}
+
+type report struct {
+	Benchmark     string        `json:"benchmark"`
+	Rounds        int           `json:"rounds"`
+	BaseTrainMs   float64       `json:"base_train_ms"`
+	StragglerMs   float64       `json:"straggler_train_ms"`
+	EvalEvery     int           `json:"eval_every"`
+	BufferTimeout string        `json:"buffer_timeout"`
+	Arms          []armResult   `json:"arms"`
+	PartiesSwept  []int         `json:"parties_swept"`
+	RatesSwept    []float64     `json:"straggler_rates_swept"`
+	GeneratedBy   string        `json:"generated_by"`
+	WallClock     time.Duration `json:"-"`
+}
+
+const (
+	baseTrain     = 2 * time.Millisecond
+	stragglerTime = 40 * time.Millisecond
+	bufferWait    = 60 * time.Millisecond
+)
+
+// fleet builds m synthetic parties, the first ⌈rate·m⌉ of them sustained
+// stragglers (a deterministic worst case: the same parties are always slow).
+func fleet(m int, rate float64) []fed.Client {
+	slow := int(math.Ceil(rate * float64(m)))
+	clients := make([]fed.Client, m)
+	for i := range clients {
+		sleep := baseTrain
+		if i < slow {
+			sleep = stragglerTime
+		}
+		clients[i] = newSynth(fmt.Sprintf("p%03d", i), sleep, float64(i%7))
+	}
+	return clients
+}
+
+func runArm(m int, rate float64, mode fed.AggregationMode, rounds int) (armResult, error) {
+	cfg := fed.Config{
+		Rounds:      rounds,
+		EvalEvery:   rounds, // one mid-run eval; scoring is not the workload
+		Aggregation: mode,
+	}
+	if mode == fed.AggAsync {
+		cfg.BufferK = (m + 1) / 2
+		cfg.MaxStaleness = 50 // measure throughput, not eviction policy
+		cfg.BufferTimeout = bufferWait
+	}
+	start := time.Now()
+	res, err := fed.Run(cfg, fleet(m, rate))
+	if err != nil {
+		return armResult{}, err
+	}
+	elapsed := time.Since(start).Seconds()
+
+	lat := make([]float64, 0, len(res.History))
+	for _, h := range res.History {
+		lat = append(lat, h.End.Sub(h.Start).Seconds()*1e3)
+	}
+	sort.Float64s(lat)
+	quantile := func(q float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		idx := int(q * float64(len(lat)))
+		if idx >= len(lat) {
+			idx = len(lat) - 1
+		}
+		return lat[idx]
+	}
+	arm := armResult{
+		Parties:       m,
+		StragglerRate: rate,
+		Mode:          mode.String(),
+		Rounds:        len(res.History),
+		RoundsPerSec:  float64(len(res.History)) / elapsed,
+		P50LatencyMs:  quantile(0.50),
+		P99LatencyMs:  quantile(0.99),
+	}
+	if mode == fed.AggAsync {
+		arm.BufferK = cfg.BufferK
+	}
+	return arm, nil
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	rounds := flag.Int("rounds", 12, "rounds per arm")
+	flag.Parse()
+
+	parties := []int{4, 16, 64}
+	rates := []float64{0, 0.25}
+	rep := report{
+		Benchmark:     "scale",
+		Rounds:        *rounds,
+		BaseTrainMs:   float64(baseTrain) / 1e6,
+		StragglerMs:   float64(stragglerTime) / 1e6,
+		EvalEvery:     *rounds,
+		BufferTimeout: bufferWait.String(),
+		PartiesSwept:  parties,
+		RatesSwept:    rates,
+		GeneratedBy:   "cmd/benchscale",
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchscale:", err)
+		os.Exit(1)
+	}
+	for _, m := range parties {
+		for _, rate := range rates {
+			syncArm, err := runArm(m, rate, fed.AggSync, *rounds)
+			if err != nil {
+				fail(err)
+			}
+			syncArm.SpeedupVsSync = 1
+			asyncArm, err := runArm(m, rate, fed.AggAsync, *rounds)
+			if err != nil {
+				fail(err)
+			}
+			if syncArm.RoundsPerSec > 0 {
+				asyncArm.SpeedupVsSync = asyncArm.RoundsPerSec / syncArm.RoundsPerSec
+			}
+			rep.Arms = append(rep.Arms, syncArm, asyncArm)
+			fmt.Printf("parties=%-3d stragglers=%.0f%%  sync %6.1f r/s (p99 %6.1fms)   async %6.1f r/s (p99 %6.1fms)  speedup %.2fx\n",
+				m, 100*rate, syncArm.RoundsPerSec, syncArm.P99LatencyMs,
+				asyncArm.RoundsPerSec, asyncArm.P99LatencyMs, asyncArm.SpeedupVsSync)
+		}
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("report written to %s\n", *out)
+}

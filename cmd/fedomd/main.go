@@ -70,6 +70,13 @@ func main() {
 	chaosCrashRound := flag.Int("chaos-crash-round", 3, "round the chosen parties crash at (with -chaos)")
 	chaosNaNRate := flag.Float64("chaos-nan-rate", 0, "per-upload NaN-poisoning probability (with -chaos)")
 	chaosLatency := flag.Duration("chaos-latency", 0, "injected per-call latency (with -chaos)")
+	chaosSlowFrac := flag.Float64("chaos-slow-frac", 0, "fraction of parties degraded to sustained stragglers (with -chaos)")
+	chaosSlowLatency := flag.Duration("chaos-slow-latency", 0, "per-call latency at the sustained-slow parties (with -chaos-slow-frac)")
+	aggregation := flag.String("aggregation", "", "round topology: sync (barriered, default) or async (buffered no-barrier)")
+	bufferK := flag.Int("buffer-k", 0, "async buffer threshold K (0 = half the fleet, rounded up)")
+	maxStaleness := flag.Int("max-staleness", 0, "async staleness eviction bound in rounds (0 = 8)")
+	stalenessAlpha := flag.Float64("staleness-alpha", 0, "async staleness discount exponent (0 = 1)")
+	bufferTimeout := flag.Duration("buffer-timeout", 0, "async per-round collect deadline (0 = wait for K or exhaustion)")
 	codecName := flag.String("codec", "", "parameter-payload codec: raw (default), delta (lossless), float32, quant, q8, q4")
 	quantBits := flag.Int("quant-bits", 0, "quantization width with -codec quant (8 or 4; 0 = 8)")
 	topK := flag.Float64("topk", 0, "keep only this fraction of delta entries per tensor (0 = off; needs a non-raw -codec)")
@@ -209,6 +216,11 @@ func main() {
 		Codec:           *codecName,
 		QuantBits:       *quantBits,
 		TopK:            *topK,
+		Aggregation:     *aggregation,
+		BufferK:         *bufferK,
+		MaxStaleness:    *maxStaleness,
+		StalenessAlpha:  *stalenessAlpha,
+		BufferTimeout:   *bufferTimeout,
 		Tracer:          tracer,
 		RunID:           runID,
 	}
@@ -221,6 +233,9 @@ func main() {
 	if *skipQuorum {
 		opts.QuorumPolicy = fedomd.QuorumSkip
 	}
+	if *aggregation != "" {
+		fmt.Printf("aggregation: %s\n", *aggregation)
+	}
 	if *chaosOn {
 		opts.Chaos = &fedomd.ChaosOptions{
 			Seed:          *chaosSeed,
@@ -229,6 +244,8 @@ func main() {
 			CrashAtRound:  *chaosCrashRound,
 			NaNRate:       *chaosNaNRate,
 			Latency:       *chaosLatency,
+			SlowFraction:  *chaosSlowFrac,
+			SlowLatency:   *chaosSlowLatency,
 		}
 		fmt.Printf("chaos on: seed=%d err-rate=%g crash=%g%%@round%d nan-rate=%g latency=%v\n",
 			*chaosSeed, *chaosErrRate, 100**chaosCrashFrac, *chaosCrashRound, *chaosNaNRate, *chaosLatency)

@@ -263,6 +263,9 @@ type RunOptions struct {
 	Patience int
 	// Sequential disables concurrent client training.
 	Sequential bool
+	// EvalEvery measures validation/test accuracy every N rounds; 0 or 1
+	// evaluates every round.
+	EvalEvery int
 	// Recorder receives the run's telemetry: per-round phase spans,
 	// per-client train-duration histograms and communication counters
 	// (plus RPC metrics for distributed runs). Nil disables telemetry.
@@ -318,6 +321,19 @@ type RunOptions struct {
 	// tensor's delta entries per round (largest by magnitude); the remainder
 	// rides the error-feedback residual into later rounds.
 	TopK float64
+
+	// Aggregation selects the round topology: "" or "sync" (barriered
+	// rounds, the historical behavior) or "async" (buffered no-barrier
+	// rounds with staleness-discounted folding; see DESIGN.md §14).
+	Aggregation string
+	// BufferK is the async buffer threshold (0 = ⌈M/2⌉), MaxStaleness the
+	// eviction bound in rounds (0 = 8), StalenessAlpha the discount
+	// exponent (0 = 1), and BufferTimeout the per-round collect deadline
+	// (0 = none). All are ignored in sync mode.
+	BufferK        int
+	MaxStaleness   int
+	StalenessAlpha float64
+	BufferTimeout  time.Duration
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -334,6 +350,7 @@ func (o RunOptions) fedConfig() (fed.Config, error) {
 		Rounds:          o.Rounds,
 		Patience:        o.Patience,
 		Sequential:      o.Sequential,
+		EvalEvery:       o.EvalEvery,
 		Recorder:        o.Recorder,
 		Policy:          o.Policy,
 		ClientTimeout:   o.ClientTimeout,
@@ -351,6 +368,15 @@ func (o RunOptions) fedConfig() (fed.Config, error) {
 		return cfg, err
 	}
 	cfg.Codec = co
+	agg, err := fed.ParseAggregation(o.Aggregation)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Aggregation = agg
+	cfg.BufferK = o.BufferK
+	cfg.MaxStaleness = o.MaxStaleness
+	cfg.StalenessAlpha = o.StalenessAlpha
+	cfg.BufferTimeout = o.BufferTimeout
 	if o.CheckpointPath != "" {
 		cfg.CheckpointWriter = fed.FileCheckpointer(o.CheckpointPath)
 		if cfg.CheckpointEvery <= 0 {

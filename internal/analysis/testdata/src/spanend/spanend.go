@@ -109,6 +109,35 @@ func loopPerIteration(rec telemetry.Recorder, xs []int) {
 	}
 }
 
+// goroutineJobSpan is the async dispatch idiom: the worker goroutine owns its
+// span for the whole job and ends it before handing the result to the
+// collector channel. The closure body is analyzed as its own function.
+func goroutineJobSpan(tr *obs.Tracer, parent obs.SpanContext, done chan<- error) {
+	go func() {
+		sp := tr.Start(parent, "job")
+		sp.SetAttr("party", 7)
+		err := work()
+		sp.End()
+		done <- err
+	}()
+}
+
+// goroutineLeaks shows the same shape failing: an early return inside the
+// worker closure abandons the span.
+func goroutineLeaks(tr *obs.Tracer, parent obs.SpanContext, done chan<- error) {
+	go func() {
+		sp := tr.Start(parent, "job")
+		if err := work(); err != nil {
+			done <- err
+			return // want `span sp is not ended on this return path`
+		}
+		sp.End()
+		done <- nil
+	}()
+}
+
+func work() error { return nil }
+
 func borrowedParentContext(tr *obs.Tracer) {
 	outer := tr.Root("outer")
 	inner := tr.Start(outer.Context(), "inner") // receiver use is a borrow, not an escape

@@ -26,6 +26,15 @@ func record(r telemetry.Recorder, dyn string) {
 	r.Count("codec/bytes_encoded_down", 1)
 	r.Count("codec/encode_ns", 1)
 	r.Count("codec/decode_ns", 1)
+	// The buffered async-aggregation counters and histograms; all legal.
+	r.Count("fed/async_dispatched", 1)
+	r.Count("fed/async_folded", 1)
+	r.Count("fed/async_carried", 1)
+	r.Count("fed/async_evicted", 1)
+	r.Count("fed/async_rejected", 1)
+	r.Count("fed/async_stalls", 1)
+	r.Observe("fed/async_staleness", 2)
+	r.Observe("fed/async_buffer_wait_seconds", 0.01)
 	telemetry.StartSpan(r, "fed/phase/final_eval_seconds").End()
 	r.Count("fixture/sub/"+"leaf_total", 1) // constant folding keeps this checkable
 	r.Count(dyn, 1)                         // want `telemetry key passed to Count must be a compile-time constant`
@@ -45,6 +54,15 @@ func traced(tr *obs.Tracer, dyn string) {
 	sp.SetAttr("party", 3)
 	sp.SetAttr(obs.AttrRound, 1)
 	tr.Event(root.Context(), "obs/health", "warn", obs.KV("rule", "non_finite"))
+	// The async engine's dispatch-job and fold spans with their attributes.
+	job := tr.Start(root.Context(), "fed/async/job")
+	job.SetAttr(obs.AttrDispatch, 4)
+	job.End()
+	fold := tr.Start(root.Context(), "fed/phase/fold")
+	fold.SetAttr(obs.AttrBufferFill, 3)
+	fold.SetAttr(obs.AttrBufferTarget, 4)
+	fold.SetAttr(obs.AttrStalenessP99, 2)
+	fold.End()
 	tr.Event(root.Context(), "chaos/fault", "warn", obs.KV(obs.AttrParty, dyn)) // attr values may be dynamic
 	tr.Start(root.Context(), dyn)                                               // want `trace span name passed to Start must be a compile-time constant`
 	tr.Root("run")                                                              // want `trace span name "run" must match pkg/snake_case`

@@ -279,6 +279,14 @@ type FleetConfig struct {
 	NaNRate   float64
 	Latency   time.Duration
 	HeavyTail bool
+	// SlowFraction of the fleet (rounded up) is permanently degraded: every
+	// operation at a slow party sleeps SlowLatency — a deterministic
+	// sustained straggler, not heavy-tail jitter, so async soaks exercise
+	// the staleness discount rather than the timeout path. Victims are
+	// drawn by seeded permutation after the crash draw; their SlowLatency
+	// replaces the fleet-wide Latency/HeavyTail profile.
+	SlowFraction float64
+	SlowLatency  time.Duration
 	// Tracer annotates every injected fault on the trace stream (see
 	// ClientConfig.Tracer); it is shared by the whole fleet.
 	Tracer *obs.Tracer
@@ -298,6 +306,16 @@ func WrapFleet(clients []fed.Client, cfg FleetConfig) []fed.Client {
 			crashers[i] = true
 		}
 	}
+	slow := make(map[int]bool)
+	if cfg.SlowFraction > 0 && cfg.SlowLatency > 0 {
+		k := int(math.Ceil(cfg.SlowFraction * float64(len(clients))))
+		if k > len(clients) {
+			k = len(clients)
+		}
+		for _, i := range rng.Perm(len(clients))[:k] {
+			slow[i] = true
+		}
+	}
 	out := make([]fed.Client, len(clients))
 	for i, c := range clients {
 		cc := ClientConfig{
@@ -310,6 +328,10 @@ func WrapFleet(clients []fed.Client, cfg FleetConfig) []fed.Client {
 		}
 		if crashers[i] {
 			cc.CrashAtRound = cfg.CrashAtRound
+		}
+		if slow[i] {
+			cc.Latency = cfg.SlowLatency
+			cc.HeavyTail = false
 		}
 		out[i] = Wrap(c, cc)
 	}

@@ -3,6 +3,7 @@ package chaos
 import (
 	"math"
 	"net"
+	"reflect"
 	"testing"
 	"time"
 
@@ -218,5 +219,63 @@ func TestReadDelayStalls(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
 		t.Fatalf("read returned after %v, want ≥30ms", elapsed)
+	}
+}
+
+func TestWrapFleetSustainedSlow(t *testing.T) {
+	fleet := make([]fed.Client, 10)
+	for i := range fleet {
+		fleet[i] = newStub("p")
+	}
+	cfg := FleetConfig{
+		Seed:         9,
+		Latency:      time.Millisecond,
+		HeavyTail:    true,
+		SlowFraction: 0.25,
+		SlowLatency:  50 * time.Millisecond,
+	}
+	victims := func(wrapped []fed.Client) []int {
+		var idx []int
+		for i, c := range wrapped {
+			cc := c.(*Client).cfg
+			if cc.Latency == cfg.SlowLatency {
+				if cc.HeavyTail {
+					t.Fatalf("party %d: sustained-slow must be deterministic, not heavy-tail", i)
+				}
+				idx = append(idx, i)
+			} else if cc.Latency != cfg.Latency || !cc.HeavyTail {
+				t.Fatalf("party %d: fleet-wide profile clobbered: %+v", i, cc)
+			}
+		}
+		return idx
+	}
+	first := victims(WrapFleet(fleet, cfg))
+	if len(first) != 3 {
+		t.Fatalf("%d slow parties, want ⌈0.25·10⌉ = 3", len(first))
+	}
+	// Same seed, same victims: the draw is deterministic.
+	second := victims(WrapFleet(fleet, cfg))
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("slow draw not deterministic: %v vs %v", first, second)
+	}
+	// The slow draw must not disturb the crash draw of existing configs:
+	// adding SlowFraction keeps the same crash victims (drawn first).
+	crashVictims := func(c FleetConfig) []int {
+		var idx []int
+		g := newStub("g").params
+		for i, w := range WrapFleet(fleet, c) {
+			w.SetParams(g) // advance the round clock past CrashAtRound
+			if err := w.SetParams(g); err != nil {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+	plain := FleetConfig{Seed: 9, CrashFraction: 0.2, CrashAtRound: 1}
+	withSlow := plain
+	withSlow.SlowFraction = 0.25
+	withSlow.SlowLatency = time.Microsecond
+	if a, b := crashVictims(plain), crashVictims(withSlow); !reflect.DeepEqual(a, b) {
+		t.Fatalf("slow draw perturbed the crash draw: %v vs %v", a, b)
 	}
 }

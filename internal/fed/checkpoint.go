@@ -42,6 +42,35 @@ type Checkpoint struct {
 	Strikes      map[string]int
 	BenchedUntil map[string]int
 	BenchCount   map[string]int
+
+	// Async buffered-aggregation state (Aggregation == AggAsync; nil/empty
+	// otherwise). The staleness clock is Round itself: an update's applied
+	// staleness at fold time is fold round minus its DispatchRound, both of
+	// which resume exactly. AsyncBuffer holds the updates that had arrived
+	// but not folded, in arrival order; jobs still executing when the
+	// snapshot was taken are lost like any crash and are redispatched on
+	// resume. AsyncDispatch records the last dispatch round per party, and
+	// the AsyncMeans/AsyncCentral/AsyncAux triple is the statistics state
+	// dispatches carry.
+	AsyncBuffer   []AsyncBufferedUpdate
+	AsyncDispatch map[string]int
+	AsyncMeans    []wireDense
+	AsyncCentral  [][]wireDense
+	AsyncAux      *wireParams
+}
+
+// AsyncBufferedUpdate is the wire form of one arrived-but-unfolded async
+// update (see async.go's asyncUpdate).
+type AsyncBufferedUpdate struct {
+	Party         string
+	DispatchRound int
+	Loss          float64
+	Params        *wireParams
+	Means         []wireDense
+	Count         int
+	Moms          [][]wireDense
+	Aux           *wireParams
+	TrainSecs     float64
 }
 
 // snapshot captures the coordinator state entering round nextRound.
@@ -128,6 +157,99 @@ func (st *runState) restore(ck *Checkpoint, res *Result, badRounds, startRound, 
 	restoreInto(st.benchedUntil, ck.BenchedUntil)
 	restoreInto(st.benchCount, ck.BenchCount)
 	return global, nil
+}
+
+// snapshotInto adds the async engine's state to a base checkpoint: the
+// buffer, the per-party dispatch rounds, and the statistics state.
+func (eng *asyncEngine) snapshotInto(ck *Checkpoint) {
+	for _, u := range eng.buffer {
+		w := AsyncBufferedUpdate{
+			Party:         eng.st.clients[u.party].Name(),
+			DispatchRound: u.dispatch,
+			Loss:          u.loss,
+			Params:        paramsToWire(u.params),
+			Count:         u.count,
+			TrainSecs:     u.trainSecs,
+		}
+		if u.means != nil {
+			w.Means = vecsToWire(u.means)
+		}
+		for _, layer := range u.moms {
+			w.Moms = append(w.Moms, vecsToWire(layer))
+		}
+		if u.aux != nil {
+			w.Aux = paramsToWire(u.aux)
+		}
+		ck.AsyncBuffer = append(ck.AsyncBuffer, w)
+	}
+	ck.AsyncDispatch = make(map[string]int)
+	for i, r := range eng.lastDispatch {
+		if r >= 0 {
+			ck.AsyncDispatch[eng.st.clients[i].Name()] = r
+		}
+	}
+	if eng.stats.means != nil {
+		ck.AsyncMeans = vecsToWire(eng.stats.means)
+	}
+	for _, layer := range eng.stats.central {
+		ck.AsyncCentral = append(ck.AsyncCentral, vecsToWire(layer))
+	}
+	if eng.stats.aux != nil {
+		ck.AsyncAux = paramsToWire(eng.stats.aux)
+	}
+}
+
+// restore rebuilds the async engine's state from a checkpoint. Buffered
+// updates from parties unknown to the resumed fleet are dropped; restored
+// parameter sets are fresh allocations, never pooled.
+func (eng *asyncEngine) restore(ck *Checkpoint) error {
+	byName := make(map[string]int, len(eng.st.clients))
+	for i, c := range eng.st.clients {
+		byName[c.Name()] = i
+	}
+	for _, w := range ck.AsyncBuffer {
+		i, known := byName[w.Party]
+		if !known {
+			continue
+		}
+		if w.Params == nil {
+			return fmt.Errorf("fed: resume: buffered update from %s has no params", w.Party)
+		}
+		u := &asyncUpdate{
+			party:     i,
+			dispatch:  w.DispatchRound,
+			loss:      w.Loss,
+			params:    paramsFromWire(w.Params),
+			encBytes:  -1,
+			count:     w.Count,
+			trainSecs: w.TrainSecs,
+		}
+		if w.Means != nil {
+			u.means = vecsFromWire(w.Means)
+		}
+		for _, layer := range w.Moms {
+			u.moms = append(u.moms, vecsFromWire(layer))
+		}
+		if w.Aux != nil {
+			u.aux = paramsFromWire(w.Aux)
+		}
+		eng.buffer = append(eng.buffer, u)
+	}
+	for name, r := range ck.AsyncDispatch {
+		if i, known := byName[name]; known {
+			eng.lastDispatch[i] = r
+		}
+	}
+	if ck.AsyncMeans != nil {
+		eng.stats.means = vecsFromWire(ck.AsyncMeans)
+	}
+	for _, layer := range ck.AsyncCentral {
+		eng.stats.central = append(eng.stats.central, vecsFromWire(layer))
+	}
+	if ck.AsyncAux != nil {
+		eng.stats.aux = paramsFromWire(ck.AsyncAux)
+	}
+	return nil
 }
 
 // FileCheckpointer returns a CheckpointWriter that persists each snapshot to

@@ -14,6 +14,7 @@ package fed
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"fedomd/internal/codec"
@@ -40,6 +41,12 @@ func transportCoded(c Client) bool {
 type codecState struct {
 	opts codec.Options
 	rec  telemetry.Recorder
+	// mu guards the shared broadcast machinery (down encoder, memo, downRef
+	// pointers read as memo keys) and the run-wide accounting totals. The
+	// async engine drives broadcast and upload from per-party worker
+	// goroutines; the per-party uplink encoders up[i] need no lock because a
+	// party never has two jobs in flight.
+	mu sync.Mutex
 	// ratioKey is the per-tier gauge name ("codec/ratio/<tier>").
 	ratioKey string
 	up       []*codec.Encoder
@@ -84,6 +91,8 @@ func (cs *codecState) setTrace(tr *obs.Tracer) {
 }
 
 func (cs *codecState) beginRound() {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	for k := range cs.memo {
 		delete(cs.memo, k)
 	}
@@ -92,6 +101,8 @@ func (cs *codecState) beginRound() {
 // accountUp records one upload's raw and encoded sizes — the direction the
 // configured tier compresses, and the pair the ≥4× acceptance gate reads.
 func (cs *codecState) accountUp(raw, enc int64) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	cs.rawTotal += raw
 	cs.encTotal += enc
 	if cs.rec.Enabled() {
@@ -117,6 +128,8 @@ func (cs *codecState) accountDown(raw, enc int64) {
 // a client that missed the broadcast keeps its old reference, and its next
 // exchange is encoded against that (or absolutely, when it never had one).
 func (cs *codecState) broadcast(i int, global *nn.Params) (int64, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	ref := cs.downRef[i]
 	size, ok := cs.memo[ref]
 	if !ok {
@@ -164,6 +177,8 @@ func (cs *codecState) upload(i int, p *nn.Params) (*nn.Params, int64, error) {
 // Ratio returns the run-wide upload compression ratio raw/encoded (0 before
 // any traffic).
 func (cs *codecState) Ratio() float64 {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	if cs.encTotal == 0 {
 		return 0
 	}

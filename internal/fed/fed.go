@@ -149,6 +149,28 @@ type Config struct {
 	// Resume restarts a run from a snapshot taken by an identically
 	// configured run over the same client fleet (see LoadCheckpointFile).
 	Resume *Checkpoint
+
+	// Aggregation selects the round topology. The zero value, AggSync, is
+	// the barriered loop above — bit-identical to the historical behavior.
+	// AggAsync is the buffered no-barrier mode of async.go: stragglers slow
+	// only themselves, and their late updates fold into later rounds with a
+	// staleness-discounted weight.
+	Aggregation AggregationMode
+	// BufferK is the number of arrivals folded per logical round in async
+	// mode; 0 defaults to ⌈M/2⌉ over the fleet size M.
+	BufferK int
+	// MaxStaleness bounds, in logical rounds, how old a buffered update may
+	// be at fold time before it is evicted; 0 defaults to 8. Negative
+	// values are rejected.
+	MaxStaleness int
+	// StalenessAlpha is the exponent α of the staleness discount
+	// w_i/(1+s)^α applied to every folded quantity; 0 defaults to 1.
+	StalenessAlpha float64
+	// BufferTimeout bounds how long an async logical round waits for its
+	// buffer to reach BufferK before folding whatever arrived (the round is
+	// then marked stalled for the health plane). 0 waits until the buffer
+	// fills or no dispatched update can arrive anymore.
+	BufferTimeout time.Duration
 }
 
 // Telemetry metric names emitted by Run. Phase spans are histograms of
@@ -176,6 +198,19 @@ const (
 	// MetricNonFiniteScreened counts uploads rejected by the non-finite
 	// screen (the health monitor's non_finite rule watches the same events).
 	MetricNonFiniteScreened = "fed/non_finite_screened"
+	// Async buffered-aggregation telemetry (async.go). Dispatched counts
+	// jobs handed to workers; folded/carried/evicted/rejected partition the
+	// fates of buffered updates; staleness is a histogram of the applied
+	// staleness of folded updates; buffer-wait is the per-round collect
+	// latency; stalls counts rounds whose buffer missed K at the deadline.
+	MetricAsyncDispatched = "fed/async_dispatched"
+	MetricAsyncFolded     = "fed/async_folded"
+	MetricAsyncCarried    = "fed/async_carried"
+	MetricAsyncEvicted    = "fed/async_evicted"
+	MetricAsyncRejected   = "fed/async_rejected"
+	MetricAsyncStaleness  = "fed/async_staleness"
+	MetricAsyncBufferWait = "fed/async_buffer_wait_seconds"
+	MetricAsyncStalls     = "fed/async_stalls"
 )
 
 // RoundStats is one row of the training history (Figure 5 data).
@@ -249,6 +284,18 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 	if err := cfg.Codec.Validate(); err != nil {
 		return nil, fmt.Errorf("fed: %w", err)
 	}
+	if cfg.Aggregation < AggSync || cfg.Aggregation > AggAsync {
+		return nil, fmt.Errorf("fed: unknown aggregation mode %d", int(cfg.Aggregation))
+	}
+	if cfg.BufferK < 0 || cfg.BufferK > len(clients) {
+		return nil, fmt.Errorf("fed: BufferK must lie in [0, %d clients], got %d", len(clients), cfg.BufferK)
+	}
+	if cfg.MaxStaleness < 0 {
+		return nil, fmt.Errorf("fed: MaxStaleness must be non-negative, got %d", cfg.MaxStaleness)
+	}
+	if cfg.StalenessAlpha < 0 {
+		return nil, fmt.Errorf("fed: StalenessAlpha must be non-negative, got %v", cfg.StalenessAlpha)
+	}
 	rec := telemetry.Or(cfg.Recorder)
 	tr := cfg.Tracer
 	runID := cfg.RunID
@@ -300,6 +347,13 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 		tr.SetActive(obs.SpanContext{})
 		runSpan.End()
 	}()
+
+	if cfg.Aggregation == AggAsync {
+		// The buffered no-barrier engine owns its own round loop (async.go);
+		// everything above — validation, weights, codec state, run span — is
+		// shared, and the sync loop below is untouched by the mode.
+		return runAsync(&cfg, st, cs, rec, tr, runSpan, global, res, sampler, evalEvery, allMoment)
+	}
 
 	startRound, samplerDraws := 0, 0
 	if cfg.Resume != nil {
@@ -416,7 +470,7 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 			if allMoment {
 				sp = telemetry.StartSpan(rec, MetricMomentsSeconds)
 				osp = tr.Start(rsp.Context(), obs.SpanMoments)
-				up, down, err := st.momentExchange(round, st.aliveOf(activeIdx))
+				up, down, _, _, err := st.momentExchange(round, st.aliveOf(activeIdx))
 				sp.End()
 				osp.End()
 				if err != nil {
@@ -638,18 +692,27 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 	res.FinalParams = global
 	res.ClientFailures = st.failures
 
-	// Score the final aggregate: the last nn.Average output was never
-	// installed or evaluated inside the loop, so without this pass the best
-	// model could silently be missed. This is a scoring pass outside the
-	// round accounting — no history row, no byte counters.
+	if err := finalScore(&cfg, st, rec, res, global); err != nil {
+		return nil, err
+	}
+	res.End = time.Now()
+	return res, nil
+}
+
+// finalScore installs and scores the last aggregated global model: the last
+// nn.Average output was never installed or evaluated inside the round loop,
+// so without this pass the best model could silently be missed. It is a
+// scoring pass outside the round accounting — no history row, no byte
+// counters — and is shared by the sync and async engines.
+func finalScore(cfg *Config, st *runState, rec telemetry.Recorder, res *Result, global *nn.Params) error {
 	sp := telemetry.StartSpan(rec, MetricFinalEvalSeconds)
-	finalIdx := make([]int, 0, len(clients))
-	for i := range clients {
-		c := clients[i]
+	finalIdx := make([]int, 0, len(st.clients))
+	for i := range st.clients {
+		c := st.clients[i]
 		if err := st.call(i, func() error { return c.SetParams(global) }); err != nil {
 			if st.policy == FailFast {
 				sp.End()
-				return nil, fmt.Errorf("fed: final broadcast to %s: %w", c.Name(), err)
+				return fmt.Errorf("fed: final broadcast to %s: %w", c.Name(), err)
 			}
 			continue // score the final model on the parties that can hold it
 		}
@@ -667,8 +730,7 @@ func Run(cfg Config, clients []Client) (*Result, error) {
 			res.BestRound = res.History[n-1].Round + 1
 		}
 	}
-	res.End = time.Now()
-	return res, nil
+	return nil
 }
 
 // RunLocalOnly trains every client in isolation (the LocGCN baseline): no
@@ -729,11 +791,13 @@ func RunLocalOnly(cfg Config, clients []Client) (*Result, error) {
 // indexed clients and installs the global statistics on the survivors. A
 // party failing either stage — including a non-finite upload — is handled
 // by the failure policy, and both aggregations renormalize over whoever is
-// left. It returns the bytes moved.
-func (st *runState) momentExchange(round int, idx []int) (up, down int64, err error) {
+// left. It returns the bytes moved plus the aggregated global statistics
+// (nil when no party survived a stage) — the async engine bootstraps its
+// stats state from one synchronous exchange; the sync loop ignores them.
+func (st *runState) momentExchange(round int, idx []int) (up, down int64, gMeans []*mat.Dense, gCentral [][]*mat.Dense, err error) {
 	m := len(idx)
 	if m == 0 {
-		return 0, 0, nil
+		return 0, 0, nil, nil, nil
 	}
 	allMeans := make([][]*mat.Dense, m) // [slot][layer]
 	counts := make([]int, m)
@@ -753,7 +817,7 @@ func (st *runState) momentExchange(round int, idx []int) (up, down int64, err er
 		}
 		if cerr != nil {
 			if ferr := st.fail(i, fmt.Errorf("fed: means from %s: %w", c.Name(), cerr)); ferr != nil {
-				return up, down, ferr
+				return up, down, nil, nil, ferr
 			}
 			continue
 		}
@@ -774,13 +838,13 @@ func (st *runState) momentExchange(round int, idx []int) (up, down int64, err er
 		if len(allMeans[s]) != layers {
 			mismatch := fmt.Errorf("fed: client %s reports %d layers, want %d", st.clients[idx[s]].Name(), len(allMeans[s]), layers)
 			if ferr := st.fail(idx[s], mismatch); ferr != nil {
-				return up, down, ferr
+				return up, down, nil, nil, ferr
 			}
 			ok[s] = false
 		}
 	}
 	if layers < 0 {
-		return up, down, nil // no party survived the first stage
+		return up, down, nil, nil, nil // no party survived the first stage
 	}
 	globalMeans := make([]*mat.Dense, layers)
 	for l := 0; l < layers; l++ {
@@ -794,7 +858,7 @@ func (st *runState) momentExchange(round int, idx []int) (up, down int64, err er
 		}
 		gm, err := moments.AggregateMeans(layerMeans, cnt)
 		if err != nil {
-			return up, down, fmt.Errorf("fed: aggregating layer %d means: %w", l, err)
+			return up, down, nil, nil, fmt.Errorf("fed: aggregating layer %d means: %w", l, err)
 		}
 		globalMeans[l] = gm
 	}
@@ -819,7 +883,7 @@ func (st *runState) momentExchange(round int, idx []int) (up, down int64, err er
 		}
 		if cerr != nil {
 			if ferr := st.fail(i, fmt.Errorf("fed: moments from %s: %w", c.Name(), cerr)); ferr != nil {
-				return up, down, ferr
+				return up, down, nil, nil, ferr
 			}
 			ok[s] = false
 			continue
@@ -838,7 +902,7 @@ func (st *runState) momentExchange(round int, idx []int) (up, down int64, err er
 		if len(allMoms[s]) != layers {
 			mismatch := fmt.Errorf("fed: client %s moment layers %d, want %d", st.clients[idx[s]].Name(), len(allMoms[s]), layers)
 			if ferr := st.fail(idx[s], mismatch); ferr != nil {
-				return up, down, ferr
+				return up, down, nil, nil, ferr
 			}
 			ok[s] = false
 		}
@@ -850,7 +914,7 @@ func (st *runState) momentExchange(round int, idx []int) (up, down int64, err er
 		}
 	}
 	if survivors == 0 {
-		return up, down, nil
+		return up, down, globalMeans, nil, nil
 	}
 	globalCentral := make([][]*mat.Dense, layers)
 	for l := 0; l < layers; l++ {
@@ -864,7 +928,7 @@ func (st *runState) momentExchange(round int, idx []int) (up, down int64, err er
 		}
 		gc, err := moments.AggregateCentral(perClient, cnt)
 		if err != nil {
-			return up, down, fmt.Errorf("fed: aggregating layer %d moments: %w", l, err)
+			return up, down, nil, nil, fmt.Errorf("fed: aggregating layer %d moments: %w", l, err)
 		}
 		globalCentral[l] = gc
 	}
@@ -880,7 +944,7 @@ func (st *runState) momentExchange(round int, idx []int) (up, down int64, err er
 		})
 		if cerr != nil {
 			if ferr := st.fail(i, fmt.Errorf("fed: global stats to %s: %w", c.Name(), cerr)); ferr != nil {
-				return up, down, ferr
+				return up, down, nil, nil, ferr
 			}
 			continue
 		}
@@ -888,7 +952,7 @@ func (st *runState) momentExchange(round int, idx []int) (up, down int64, err er
 			down += bytesOfVecs(layer)
 		}
 	}
-	return up, down, nil
+	return up, down, globalMeans, globalCentral, nil
 }
 
 // auxExchange averages any auxiliary uploads from the indexed clients and

@@ -35,6 +35,14 @@ type RoundObservation struct {
 	BytesUp     int64
 	BytesDown   int64
 	Parties     []PartyObservation
+
+	// Async buffered-aggregation fields, zero for synchronous rounds.
+	Async          bool
+	BufferFill     int     // updates folded this round
+	BufferTarget   int     // the buffer threshold K
+	BufferStalled  bool    // buffer missed K at the round deadline
+	StalenessP99   float64 // p99 applied staleness of the folded updates
+	StalenessLimit float64 // the MaxStaleness eviction bound
 }
 
 // RoundObserver consumes one observation per finished round. ctx is the
@@ -69,6 +77,8 @@ const (
 	RuleAccuracyDrop  = "accuracy_regression"
 	RuleQuarantine    = "quarantine_growth"
 	RuleCodecResets   = "codec_resets"
+	RuleStalenessHigh = "staleness_high"
+	RuleBufferStall   = "buffer_stall"
 )
 
 // HealthEvent is one fired rule: which round, which rule, how bad, and the
@@ -109,6 +119,13 @@ type HealthConfig struct {
 	// CodecResetWarn trips codec_resets when a round sees at least this
 	// many reference-chain resets. Default 1.
 	CodecResetWarn int
+	// StalenessWarnFrac trips staleness_high when a fold's p99 applied
+	// staleness reaches this fraction of the MaxStaleness budget (critical
+	// at the budget itself, where updates start being evicted). Default 0.75.
+	StalenessWarnFrac float64
+	// BufferStallCritical escalates buffer_stall to critical after this many
+	// consecutive stalled rounds. Default 3.
+	BufferStallCritical int
 }
 
 func (c HealthConfig) withDefaults() HealthConfig {
@@ -127,6 +144,12 @@ func (c HealthConfig) withDefaults() HealthConfig {
 	if c.CodecResetWarn <= 0 {
 		c.CodecResetWarn = 1
 	}
+	if c.StalenessWarnFrac <= 0 {
+		c.StalenessWarnFrac = 0.75
+	}
+	if c.BufferStallCritical <= 0 {
+		c.BufferStallCritical = 3
+	}
 	return c
 }
 
@@ -140,11 +163,12 @@ type Health struct {
 	tracer *Tracer
 	rec    telemetry.Recorder
 
-	mu      sync.Mutex
-	events  []HealthEvent
-	bestAcc float64
-	hasBest bool
-	lastQ   int
+	mu           sync.Mutex
+	events       []HealthEvent
+	bestAcc      float64
+	hasBest      bool
+	lastQ        int
+	consecStalls int // consecutive buffer_stall rounds before this one
 }
 
 // NewHealth builds a monitor with the default rule set. tracer and rec may
@@ -166,6 +190,8 @@ func DefaultRules() []HealthRule {
 		ruleAccuracyRegression,
 		ruleQuarantineGrowth,
 		ruleCodecResets,
+		ruleStalenessHigh,
+		ruleBufferStall,
 	}
 }
 
@@ -186,6 +212,13 @@ func (h *Health) ObserveRound(ctx SpanContext, o RoundObservation) {
 		h.bestAcc, h.hasBest = o.ValAcc, true
 	}
 	h.lastQ = o.Quarantined
+	if o.Async {
+		if o.BufferStalled {
+			h.consecStalls++
+		} else {
+			h.consecStalls = 0
+		}
+	}
 	h.events = append(h.events, fired...)
 	h.mu.Unlock()
 
@@ -299,6 +332,53 @@ func ruleQuarantineGrowth(h *Health, o RoundObservation) []HealthEvent {
 			h.lastQ, o.Quarantined),
 		Value:     float64(o.Quarantined),
 		Threshold: float64(h.lastQ),
+	}}
+}
+
+// ruleStalenessHigh alarms when the staleness distribution of folded updates
+// drifts toward the eviction bound: at p99 ≥ MaxStaleness the tail of the
+// fleet is about to be evicted every round (the discount has effectively
+// silenced it already), which usually means BufferK is too high or the slow
+// parties need quarantining.
+func ruleStalenessHigh(h *Health, o RoundObservation) []HealthEvent {
+	if !o.Async || o.StalenessLimit <= 0 || o.BufferFill == 0 {
+		return nil
+	}
+	warnAt := h.cfg.StalenessWarnFrac * o.StalenessLimit
+	if o.StalenessP99 < warnAt {
+		return nil
+	}
+	level := LevelWarn
+	if o.StalenessP99 >= o.StalenessLimit {
+		level = LevelCritical
+	}
+	return []HealthEvent{{
+		Round: o.Round, Rule: RuleStalenessHigh, Level: level,
+		Message: fmt.Sprintf("p99 applied staleness %.0f approaching MaxStaleness %.0f",
+			o.StalenessP99, o.StalenessLimit),
+		Value:     o.StalenessP99,
+		Threshold: warnAt,
+	}}
+}
+
+// ruleBufferStall alarms when an async round's buffer failed to reach K
+// before the round deadline — the fleet is not producing updates fast enough
+// for the configured buffer, and folds are running under-filled. Escalates
+// to critical after BufferStallCritical consecutive stalled rounds.
+func ruleBufferStall(h *Health, o RoundObservation) []HealthEvent {
+	if !o.Async || !o.BufferStalled {
+		return nil
+	}
+	level := LevelWarn
+	if h.consecStalls+1 >= h.cfg.BufferStallCritical {
+		level = LevelCritical
+	}
+	return []HealthEvent{{
+		Round: o.Round, Rule: RuleBufferStall, Level: level,
+		Message: fmt.Sprintf("buffer reached %d of %d before the round deadline",
+			o.BufferFill, o.BufferTarget),
+		Value:     float64(o.BufferFill),
+		Threshold: float64(o.BufferTarget),
 	}}
 }
 

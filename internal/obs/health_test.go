@@ -139,3 +139,67 @@ func TestNilHealthAndMultiObserver(t *testing.T) {
 		t.Fatalf("fan-out missed the real observer: %v", got)
 	}
 }
+
+func TestRuleStalenessHigh(t *testing.T) {
+	base := RoundObservation{Round: 1, Async: true, BufferFill: 3, BufferTarget: 4, StalenessLimit: 8}
+
+	quiet := base
+	quiet.StalenessP99 = 2 // below 0.75 × 8
+	if events, _, _ := fire(t, HealthConfig{}, quiet); len(events) != 0 {
+		t.Fatalf("low staleness fired: %v", events)
+	}
+
+	warn := base
+	warn.StalenessP99 = 6 // ≥ 0.75 × 8
+	events, _, _ := fire(t, HealthConfig{}, warn)
+	if len(events) != 1 || events[0].Rule != RuleStalenessHigh || events[0].Level != LevelWarn {
+		t.Fatalf("warn case: %v", events)
+	}
+
+	crit := base
+	crit.StalenessP99 = 8 // at the eviction bound
+	events, _, _ = fire(t, HealthConfig{}, crit)
+	if len(events) != 1 || events[0].Level != LevelCritical {
+		t.Fatalf("critical case: %v", events)
+	}
+
+	// Sync rounds and empty folds never fire, whatever the numbers say.
+	syncRound := warn
+	syncRound.Async = false
+	empty := warn
+	empty.BufferFill = 0
+	if events, _, _ := fire(t, HealthConfig{}, syncRound, empty); len(events) != 0 {
+		t.Fatalf("sync/empty rounds fired: %v", events)
+	}
+}
+
+func TestRuleBufferStall(t *testing.T) {
+	stalled := RoundObservation{Round: 1, Async: true, BufferStalled: true, BufferFill: 1, BufferTarget: 4}
+	healthy := RoundObservation{Round: 2, Async: true, BufferFill: 4, BufferTarget: 4}
+
+	events, _, _ := fire(t, HealthConfig{}, stalled)
+	if len(events) != 1 || events[0].Rule != RuleBufferStall || events[0].Level != LevelWarn {
+		t.Fatalf("single stall: %v", events)
+	}
+
+	// Three consecutive stalls escalate to critical (default threshold).
+	events, agg, _ := fire(t, HealthConfig{}, stalled, stalled, stalled)
+	if len(events) != 3 || events[2].Level != LevelCritical {
+		t.Fatalf("consecutive stalls: %v", events)
+	}
+	if agg.Counter(MetricHealthCritical) != 1 {
+		t.Fatalf("critical counter = %d want 1", agg.Counter(MetricHealthCritical))
+	}
+
+	// A healthy round resets the streak: the next stall is a warn again.
+	events, _, _ = fire(t, HealthConfig{}, stalled, stalled, healthy, stalled)
+	if len(events) != 3 || events[2].Level != LevelWarn {
+		t.Fatalf("streak not reset: %v", events)
+	}
+
+	quietSync := stalled
+	quietSync.Async = false
+	if events, _, _ := fire(t, HealthConfig{}, quietSync); len(events) != 0 {
+		t.Fatalf("sync round fired buffer_stall: %v", events)
+	}
+}

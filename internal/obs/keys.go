@@ -32,6 +32,12 @@ const (
 	// SpanEncode and SpanDecode bracket wire-codec work.
 	SpanEncode = "codec/encode"
 	SpanDecode = "codec/decode"
+	// SpanAsyncJob covers one dispatched party job in the buffered async
+	// engine, from broadcast through upload, on the worker goroutine.
+	SpanAsyncJob = "fed/async/job"
+	// SpanFold covers the coordinator-side staleness-discounted buffer fold
+	// (the async counterpart of fed/phase/aggregate).
+	SpanFold = "fed/phase/fold"
 
 	// MetricHealthEvent is the trace-event name for fired health rules.
 	MetricHealthEvent = "obs/health"
@@ -64,4 +70,10 @@ const (
 	AttrCodec     = "codec"
 	AttrRounds    = "rounds"
 	AttrParties   = "parties"
+	// Async buffered-aggregation attributes.
+	AttrAggregation  = "aggregation"
+	AttrDispatch     = "dispatch_round"
+	AttrBufferFill   = "buffer_fill"
+	AttrBufferTarget = "buffer_target"
+	AttrStalenessP99 = "staleness_p99"
 )
