@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet lint lint-fast race bench bench-step bench-comms bench-obs bench-kernels bench-scale scale-demo chaos soak-async obslint dash-demo
+.PHONY: build test check fmt vet lint lint-fast race bench bench-step bench-comms bench-obs bench-kernels bench-scale bench-serve scale-demo chaos soak-async obslint dash-demo
 
 # Formatting checks skip testdata: it holds deliberately corrupt analyzer
 # fixtures that gofmt cannot parse.
@@ -77,6 +77,8 @@ check:
 	else t1=$$(date +%s); echo "FAIL obslint ($$((t1-t0))s)"; fail=1; fi; \
 	t0=$$(date +%s); if $(GO) run ./cmd/benchkernels -smoke >/dev/null; then t1=$$(date +%s); echo "ok   benchkernels -smoke ($$((t1-t0))s)"; \
 	else t1=$$(date +%s); echo "FAIL benchkernels -smoke ($$((t1-t0))s)"; fail=1; fi; \
+	t0=$$(date +%s); if $(GO) run ./cmd/benchserve -smoke >/dev/null; then t1=$$(date +%s); echo "ok   benchserve -smoke ($$((t1-t0))s)"; \
+	else t1=$$(date +%s); echo "FAIL benchserve -smoke ($$((t1-t0))s)"; fail=1; fi; \
 	exit $$fail
 
 # Exposition lint in isolation: run a short chaos-injected round trip and
@@ -98,6 +100,7 @@ bench:
 	$(GO) run ./cmd/benchobs -out BENCH_obs.json
 	$(GO) run ./cmd/benchkernels -out BENCH_kernels.json -min-speedup 2
 	$(GO) run ./cmd/benchscale -out BENCH_scale.json
+	$(GO) run ./cmd/benchserve -out BENCH_serve.json -min-speedup 5
 
 # Regenerate only the pooled-vs-unpooled training-step artefact.
 bench-step:
@@ -125,6 +128,13 @@ bench-kernels:
 # buffered async, on synthetic sleep-calibrated parties.
 bench-scale:
 	$(GO) run ./cmd/benchscale -out BENCH_scale.json
+
+# Regenerate the serving-plane artefact: closed-loop qps and p50/p99 request
+# latency for the micro-batched inference service, unbatched vs coalesced vs
+# coalesced+LRU, plus the hot-swap soak (zero dropped requests). Gated at
+# ≥5× unbatched qps at equal-or-better p99.
+bench-serve:
+	$(GO) run ./cmd/benchserve -out BENCH_serve.json -min-speedup 5
 
 # The pinned million-node pipeline: stream a 10⁶-node SBM, Louvain-partition
 # it into 8 parties, train one full FedOMD round, report stage times and

@@ -1,0 +1,341 @@
+// Command benchserve measures the serving plane and writes BENCH_serve.json:
+// closed-loop qps and latency percentiles for the micro-batched request path
+// against the unbatched baseline (same code path, MaxBatch=1), across batch
+// ceilings and core counts, plus a cached row and a hot-swap soak that must
+// complete with zero dropped requests.
+//
+// The load generator drives serve.Service.Classify directly — the exact
+// path the HTTP handler calls — so the numbers isolate the serving core
+// (batcher + cache + tape-free forward) from kernel HTTP overhead.
+// `make bench-serve` runs it at full scale; `make check` runs `-smoke`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fedomd/internal/mat"
+	"fedomd/internal/nn"
+	"fedomd/internal/serve"
+	"fedomd/internal/telemetry"
+)
+
+type runResult struct {
+	Mode     string  `json:"mode"` // "unbatched" | "batched" | "batched+cache"
+	MaxBatch int     `json:"max_batch"`
+	Cores    int     `json:"cores"`
+	Workers  int     `json:"workers"`
+	Requests int     `json:"requests"`
+	QPS      float64 `json:"qps"`
+	P50us    float64 `json:"p50_us"`
+	P99us    float64 `json:"p99_us"`
+	Batches  int64   `json:"batches"`
+	AvgBatch float64 `json:"avg_batch"`
+	HitRatio float64 `json:"hit_ratio,omitempty"`
+}
+
+type soakResult struct {
+	Requests int   `json:"requests"`
+	Swaps    int64 `json:"swaps"`
+	Dropped  int   `json:"dropped"`
+}
+
+type gateResult struct {
+	MinSpeedup float64 `json:"min_speedup"`
+	Speedup    float64 `json:"speedup"`
+	P99Ratio   float64 `json:"p99_ratio"` // batched p99 / unbatched p99
+	Pass       bool    `json:"pass"`
+}
+
+type report struct {
+	Benchmark string      `json:"benchmark"`
+	NumCPU    int         `json:"num_cpu"`
+	Nodes     int         `json:"nodes"`
+	HeadDims  []int       `json:"head_dims"`
+	Runs      []runResult `json:"runs"`
+	Soak      soakResult  `json:"swap_soak"`
+	Gate      *gateResult `json:"gate,omitempty"`
+}
+
+// buildInferencer folds a dense-head MLP over a random node table — per
+// request this is the same matmul chain a propagated GCN head runs, sized so
+// one query carries real arithmetic (≈73k MACs).
+func buildInferencer(dims []int, nodes int, seed int64) *nn.Inferencer {
+	rng := rand.New(rand.NewSource(seed))
+	m, err := nn.NewMLP(rng, dims, 0)
+	if err != nil {
+		panic(err)
+	}
+	x := mat.RandGaussian(rng, nodes, dims[0], 0, 1)
+	inf, err := nn.NewInferencer(m, nn.Input{X: x})
+	if err != nil {
+		panic(err)
+	}
+	return inf
+}
+
+// drive runs a closed loop of workers issuing single-node classifies for d,
+// collecting per-request latencies.
+func drive(svc *serve.Service, nodes, workers int, d time.Duration, zipf bool) (lat []float64, n int) {
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	perWorker := make([][]float64, workers)
+	ctx := context.Background()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			var zf *rand.Zipf
+			if zipf {
+				zf = rand.NewZipf(rng, 1.3, 1, uint64(nodes-1))
+			}
+			buf := make([]float64, 0, 1<<14)
+			ids := make([]int, 1)
+			for !stop.Load() {
+				if zf != nil {
+					ids[0] = int(zf.Uint64())
+				} else {
+					ids[0] = rng.Intn(nodes)
+				}
+				t0 := time.Now()
+				if _, err := svc.Classify(ctx, ids, false); err != nil {
+					continue
+				}
+				buf = append(buf, float64(time.Since(t0).Nanoseconds()))
+			}
+			perWorker[w] = buf
+		}(w)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	for _, b := range perWorker {
+		lat = append(lat, b...)
+		n += len(b)
+	}
+	return lat, n
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+func measure(inf *nn.Inferencer, mode string, maxBatch, cores, workers, nodes int, warm, d time.Duration, cache bool) runResult {
+	agg := telemetry.NewAggregator()
+	cacheSize := 0
+	if cache {
+		cacheSize = nodes / 4
+	}
+	svc := serve.New(serve.Config{
+		MaxBatch:   maxBatch,
+		Linger:     200 * time.Microsecond,
+		CacheSize:  cacheSize,
+		QueueDepth: 4096,
+		Recorder:   agg,
+	})
+	defer svc.Close()
+	svc.Swap(inf, 1)
+	drive(svc, nodes, workers, warm, cache) // warm pools, caches, scheduler
+	t0 := time.Now()
+	lat, n := drive(svc, nodes, workers, d, cache)
+	elapsed := time.Since(t0).Seconds()
+	sort.Float64s(lat)
+	res := runResult{
+		Mode: mode, MaxBatch: maxBatch, Cores: cores, Workers: workers,
+		Requests: n,
+		QPS:      float64(n) / elapsed,
+		P50us:    quantile(lat, 0.50) / 1e3,
+		P99us:    quantile(lat, 0.99) / 1e3,
+		Batches:  agg.Counter(serve.MetricBatches),
+	}
+	if res.Batches > 0 {
+		res.AvgBatch = float64(n) / float64(res.Batches)
+	}
+	hits, misses := agg.Counter(serve.MetricCacheHits), agg.Counter(serve.MetricCacheMisses)
+	if hits+misses > 0 && cache {
+		res.HitRatio = float64(hits) / float64(hits+misses)
+	}
+	return res
+}
+
+// soak hammers the service while the model is swapped every few
+// milliseconds; any classify error under pure swap load is a dropped
+// request.
+func soak(inf, inf2 *nn.Inferencer, nodes, workers int, d time.Duration) soakResult {
+	svc := serve.New(serve.Config{MaxBatch: 64, Linger: 200 * time.Microsecond, QueueDepth: 4096})
+	svc.Swap(inf, 0)
+	var stop atomic.Bool
+	var swaps atomic.Int64
+	var dropped atomic.Int64
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		round := 1
+		for !stop.Load() {
+			time.Sleep(5 * time.Millisecond)
+			which := inf
+			if round%2 == 1 {
+				which = inf2
+			}
+			svc.Swap(which, round)
+			swaps.Add(1)
+			round++
+		}
+	}()
+	ctx := context.Background()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 100))
+			ids := make([]int, 1)
+			for !stop.Load() {
+				ids[0] = rng.Intn(nodes)
+				if _, err := svc.Classify(ctx, ids, false); err != nil {
+					dropped.Add(1)
+				}
+				total.Add(1)
+			}
+		}(w)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	svc.Close()
+	return soakResult{Requests: int(total.Load()), Swaps: swaps.Load(), Dropped: int(dropped.Load())}
+}
+
+func coreSweep(max int) []int {
+	var out []int
+	for c := 1; c < max; c *= 2 {
+		out = append(out, c)
+	}
+	return append(out, max)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_serve.json", "output JSON path (empty = print only)")
+	smoke := flag.Bool("smoke", false, "short pass over every path; no artefact unless -out is set explicitly, no gate")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail unless batched qps beats unbatched by this factor at equal-or-better p99 (max cores)")
+	workers := flag.Int("workers", 64, "closed-loop load workers")
+	nodes := flag.Int("nodes", 4096, "table rows (queryable node IDs)")
+	duration := flag.Duration("duration", 500*time.Millisecond, "measure window per configuration")
+	flag.Parse()
+
+	outSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
+
+	dims := []int{512, 128, 16}
+	warm, d, soakD := 100*time.Millisecond, *duration, 400*time.Millisecond
+	if *smoke {
+		dims = []int{64, 32, 8}
+		*nodes = 256
+		warm, d, soakD = 10*time.Millisecond, 40*time.Millisecond, 60*time.Millisecond
+	}
+	inf := buildInferencer(dims, *nodes, 1)
+	inf2 := buildInferencer(dims, *nodes, 2)
+
+	rep := report{
+		Benchmark: "serve",
+		NumCPU:    runtime.NumCPU(),
+		Nodes:     *nodes,
+		HeadDims:  dims,
+	}
+	batchCeilings := []int{8, 16, 32, 64}
+	if *smoke {
+		batchCeilings = []int{8}
+	}
+	cores := coreSweep(runtime.NumCPU())
+	if *smoke {
+		cores = []int{runtime.NumCPU()}
+	}
+
+	prevProcs := runtime.GOMAXPROCS(0)
+	var unbatchedMax, bestBatched runResult
+	for _, c := range cores {
+		runtime.GOMAXPROCS(c)
+		mat.SetWorkers(c)
+		ub := measure(inf, "unbatched", 1, c, *workers, *nodes, warm, d, false)
+		rep.Runs = append(rep.Runs, ub)
+		fmt.Printf("cores=%d unbatched            %8.0f qps  p50 %7.1fµs  p99 %8.1fµs\n", c, ub.QPS, ub.P50us, ub.P99us)
+		for _, mb := range batchCeilings {
+			r := measure(inf, "batched", mb, c, *workers, *nodes, warm, d, false)
+			rep.Runs = append(rep.Runs, r)
+			fmt.Printf("cores=%d batched max=%-3d     %8.0f qps  p50 %7.1fµs  p99 %8.1fµs  avg batch %5.1f  (%.1fx)\n",
+				c, mb, r.QPS, r.P50us, r.P99us, r.AvgBatch, r.QPS/ub.QPS)
+			if c == runtime.NumCPU() && r.QPS > bestBatched.QPS {
+				bestBatched = r
+			}
+		}
+		cr := measure(inf, "batched+cache", 64, c, *workers, *nodes, warm, d, true)
+		rep.Runs = append(rep.Runs, cr)
+		fmt.Printf("cores=%d batched+cache        %8.0f qps  p50 %7.1fµs  p99 %8.1fµs  hit ratio %.2f\n",
+			c, cr.QPS, cr.P50us, cr.P99us, cr.HitRatio)
+		if c == runtime.NumCPU() {
+			unbatchedMax = ub
+		}
+	}
+	runtime.GOMAXPROCS(prevProcs)
+	mat.SetWorkers(prevProcs)
+
+	rep.Soak = soak(inf, inf2, *nodes, *workers, soakD)
+	fmt.Printf("swap soak: %d requests across %d swaps, %d dropped\n",
+		rep.Soak.Requests, rep.Soak.Swaps, rep.Soak.Dropped)
+	if rep.Soak.Dropped != 0 {
+		fmt.Fprintf(os.Stderr, "benchserve: FAIL: %d requests dropped during hot-swap soak\n", rep.Soak.Dropped)
+		os.Exit(1)
+	}
+
+	if !*smoke && *minSpeedup > 0 {
+		g := &gateResult{
+			MinSpeedup: *minSpeedup,
+			Speedup:    bestBatched.QPS / unbatchedMax.QPS,
+			P99Ratio:   bestBatched.P99us / unbatchedMax.P99us,
+		}
+		g.Pass = g.Speedup >= *minSpeedup && g.P99Ratio <= 1.0
+		rep.Gate = g
+		fmt.Printf("gate: batched %.1fx unbatched qps, p99 ratio %.2f (need >= %.1fx at <= 1.00)\n",
+			g.Speedup, g.P99Ratio, g.MinSpeedup)
+		if !g.Pass {
+			fmt.Fprintln(os.Stderr, "benchserve: FAIL: coalescing gate not met")
+			writeReport(rep, *out, outSet, *smoke)
+			os.Exit(1)
+		}
+	}
+	writeReport(rep, *out, outSet, *smoke)
+}
+
+func writeReport(rep report, out string, outSet, smoke bool) {
+	if out == "" || (smoke && !outSet) {
+		return
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchserve:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", out)
+}

@@ -33,10 +33,24 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"os/signal"
 	"sort"
+	"time"
 
 	"fedomd"
 )
+
+// servers collects every listener the process opens so one place shuts them
+// all down gracefully — at normal exit and on SIGINT.
+var servers []*fedomd.HTTPServer
+
+func shutdownServers() {
+	for _, s := range servers {
+		if err := s.ShutdownTimeout(3 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "fedomd: server shutdown:", err)
+		}
+	}
+}
 
 func main() {
 	ds := flag.String("dataset", "cora", "dataset preset: cora, citeseer, computer, photo, coauthor-cs")
@@ -141,12 +155,12 @@ func main() {
 		mux := http.NewServeMux()
 		mux.Handle("/", dash.Handler())
 		mux.Handle("/metrics", fedomd.MetricsHandler(agg, &build))
-		go func() {
-			if err := http.ListenAndServe(*dashAddr, mux); err != nil {
-				fmt.Fprintln(os.Stderr, "fedomd: dashboard server:", err)
-			}
-		}()
-		fmt.Printf("dashboard on http://%s/ (/metrics for Prometheus)\n", *dashAddr)
+		srv, err := fedomd.StartHTTPServer(*dashAddr, mux)
+		if err != nil {
+			fail(fmt.Errorf("dashboard server: %w", err))
+		}
+		servers = append(servers, srv)
+		fmt.Printf("dashboard on http://%s/ (/metrics for Prometheus)\n", srv.Addr())
 	}
 
 	runID := fedomd.NewRunID()
@@ -169,12 +183,25 @@ func main() {
 		fedomd.PublishTelemetryExpvar(agg)
 		build.PublishExpvar()
 		http.Handle("/metrics", fedomd.MetricsHandler(agg, &build))
+		srv, err := fedomd.StartHTTPServer(*debugAddr, http.DefaultServeMux)
+		if err != nil {
+			fail(fmt.Errorf("debug server: %w", err))
+		}
+		servers = append(servers, srv)
+		fmt.Printf("debug server on %s (/debug/pprof, /debug/vars, /metrics)\n", srv.Addr())
+	}
+
+	if len(servers) > 0 {
+		// Drain both listeners at exit, and on SIGINT before dying, so
+		// in-flight scrapes finish and the ports release immediately.
+		defer shutdownServers()
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt)
 		go func() {
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "fedomd: debug server:", err)
-			}
+			<-sigc
+			shutdownServers()
+			os.Exit(130)
 		}()
-		fmt.Printf("debug server on %s (/debug/pprof, /debug/vars, /metrics)\n", *debugAddr)
 	}
 
 	g, err := fedomd.GenerateDataset(*ds, *divisor, *seed)
@@ -223,6 +250,9 @@ func main() {
 		BufferTimeout:   *bufferTimeout,
 		Tracer:          tracer,
 		RunID:           runID,
+		// Dataset identity rides into the checkpoint header so a serving
+		// process can regenerate the graph the snapshot's node IDs index.
+		Spec: &fedomd.ModelSpec{Dataset: *ds, Divisor: *divisor, DataSeed: *seed},
 	}
 	if len(observers) > 0 {
 		opts.Observer = fedomd.MultiObserver(observers...)

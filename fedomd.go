@@ -60,6 +60,9 @@ type (
 	TelemetryAggregator = telemetry.Aggregator
 	// TraceWriter is the JSONL trace-event Recorder.
 	TraceWriter = telemetry.JSONL
+	// ModelSpec is the versioned model-architecture header stamped onto
+	// checkpoints so they can be rebuilt standalone (see internal/serve).
+	ModelSpec = fed.ModelSpec
 	// FailurePolicy selects how the runtime reacts to a failing party
 	// (FailFast, DropRound, or Quarantine).
 	FailurePolicy = fed.FailurePolicy
@@ -91,6 +94,9 @@ type (
 	Dashboard = obs.Dashboard
 	// BuildInfo captures version/toolchain/run metadata for exposition.
 	BuildInfo = obs.BuildInfo
+	// HTTPServer is a bound HTTP server with graceful Shutdown — the shared
+	// lifecycle for the debug, dashboard, and serving listeners.
+	HTTPServer = obs.HTTPServer
 )
 
 // Failure and quorum policies, re-exported for RunOptions.
@@ -176,6 +182,13 @@ func WriteExposition(w io.Writer, a *TelemetryAggregator, build *BuildInfo) {
 // LintExposition validates Prometheus text-format output (names, duplicate
 // series, histogram bucket invariants), returning one message per problem.
 func LintExposition(r io.Reader) []string { return obs.LintExposition(r) }
+
+// StartHTTPServer binds addr synchronously and serves handler in the
+// background; the returned server's Shutdown drains in-flight requests, so
+// SIGINT handlers and tests don't leak listeners.
+func StartHTTPServer(addr string, handler http.Handler) (*HTTPServer, error) {
+	return obs.StartHTTPServer(addr, handler)
+}
 
 // Model names accepted by TrainBaseline, in the paper's table order.
 const (
@@ -302,6 +315,10 @@ type RunOptions struct {
 	CheckpointPath  string
 	CheckpointEvery int
 	ResumePath      string
+	// Spec seeds the checkpoint model header with dataset identity
+	// (Dataset/Divisor/DataSeed); TrainFedOMD fills the architecture
+	// fields itself. Nil still gets an architecture-only header.
+	Spec *ModelSpec
 
 	// Chaos, when set, wraps every client in a deterministic fault injector
 	// before the run starts (in-process runs only: TrainFedOMD and
@@ -359,6 +376,7 @@ func (o RunOptions) fedConfig() (fed.Config, error) {
 		MaxStrikes:      o.MaxStrikes,
 		CooldownRounds:  o.CooldownRounds,
 		CheckpointEvery: o.CheckpointEvery,
+		Spec:            o.Spec,
 		Tracer:          o.Tracer,
 		Observer:        o.Observer,
 		RunID:           o.RunID,
@@ -406,10 +424,34 @@ func (o RunOptions) wrapChaos(clients []fed.Client) []fed.Client {
 	return chaos.WrapFleet(clients, cc)
 }
 
+// fedOMDSpec stamps the architecture a FedOMD run trains onto the options'
+// checkpoint header, preserving any dataset identity the caller seeded.
+func fedOMDSpec(parties []Party, cfg Config, opts RunOptions) *ModelSpec {
+	spec := &ModelSpec{}
+	if opts.Spec != nil {
+		*spec = *opts.Spec
+	}
+	spec.SpecVersion = fed.SpecVersion
+	spec.Model = "fedomd"
+	for _, p := range parties {
+		if p.Graph.NumNodes() > 0 {
+			spec.Features = p.Graph.NumFeatures()
+			spec.Classes = p.Graph.NumClasses
+			break
+		}
+	}
+	spec.Hidden = cfg.Hidden
+	spec.HiddenLayers = cfg.HiddenLayers
+	spec.Dropout = cfg.Dropout
+	spec.SpectralBound = true
+	return spec
+}
+
 // TrainFedOMD builds one FedOMD client per party and runs federated
 // training under Algorithm 1 (FedAvg + the 2-round moment exchange).
 func TrainFedOMD(parties []Party, cfg Config, opts RunOptions, seed int64) (*Result, error) {
 	opts = opts.withDefaults()
+	opts.Spec = fedOMDSpec(parties, cfg, opts)
 	var clients []fed.Client
 	idx := 0
 	for _, p := range parties {
@@ -442,6 +484,7 @@ type DPConfig = fed.DPConfig
 // unchanged (secure aggregation is orthogonal to this mechanism).
 func TrainFedOMDPrivate(parties []Party, cfg Config, dp DPConfig, opts RunOptions, seed int64) (*Result, error) {
 	opts = opts.withDefaults()
+	opts.Spec = fedOMDSpec(parties, cfg, opts)
 	var clients []fed.Client
 	idx := 0
 	for _, p := range parties {

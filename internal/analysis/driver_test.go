@@ -267,9 +267,10 @@ func TestWholeTreeClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The codec layer must be in the sweep: its encoder is exactly the kind
-	// of pool-handling, telemetry-emitting code the analyzers exist for.
-	for _, want := range []string{"internal/codec", "cmd/benchcomms"} {
+	// The codec and serving layers must be in the sweep: the codec encoder
+	// and the micro-batcher are exactly the kind of pool-handling,
+	// telemetry-emitting code the analyzers exist for.
+	for _, want := range []string{"internal/codec", "cmd/benchcomms", "internal/serve", "cmd/benchserve"} {
 		found := false
 		for _, dir := range dirs {
 			if strings.HasSuffix(filepath.ToSlash(dir), want) {

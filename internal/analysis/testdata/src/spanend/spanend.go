@@ -138,6 +138,38 @@ func goroutineLeaks(tr *obs.Tracer, parent obs.SpanContext, done chan<- error) {
 
 func work() error { return nil }
 
+// batcherLoopSpan is the serving-plane micro-batcher idiom: a long-lived
+// goroutine times each coalesced batch with its own span, Cancelling when the
+// batch collapses to nothing (an empty flush is not a latency sample).
+func batcherLoopSpan(rec telemetry.Recorder, batches <-chan []int) {
+	go func() {
+		for b := range batches {
+			sp := telemetry.StartSpan(rec, "batch_seconds")
+			if len(b) == 0 {
+				sp.Cancel()
+				continue
+			}
+			_ = work()
+			sp.End()
+		}
+	}()
+}
+
+// batcherLoopLeaks shows the same shape failing: skipping an empty batch
+// abandons its span.
+func batcherLoopLeaks(rec telemetry.Recorder, batches <-chan []int) {
+	go func() {
+		for b := range batches {
+			sp := telemetry.StartSpan(rec, "batch_seconds")
+			if len(b) == 0 {
+				continue // want `span sp is not ended on this continue path`
+			}
+			_ = work()
+			sp.End()
+		}
+	}()
+}
+
 func borrowedParentContext(tr *obs.Tracer) {
 	outer := tr.Root("outer")
 	inner := tr.Start(outer.Context(), "inner") // receiver use is a borrow, not an escape

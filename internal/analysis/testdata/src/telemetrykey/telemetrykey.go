@@ -35,6 +35,18 @@ func record(r telemetry.Recorder, dyn string) {
 	r.Count("fed/async_stalls", 1)
 	r.Observe("fed/async_staleness", 2)
 	r.Observe("fed/async_buffer_wait_seconds", 0.01)
+	// The serving-plane counters and histograms (micro-batcher); all legal.
+	r.Count("serve/requests", 1)
+	r.Count("serve/errors", 1)
+	r.Count("serve/overload", 1)
+	r.Count("serve/batches", 1)
+	r.Observe("serve/batch_size", 16)
+	r.Observe("serve/request_seconds", 0.001)
+	r.Count("serve/cache_hits", 3)
+	r.Count("serve/cache_misses", 1)
+	r.Count("serve/swaps", 1)
+	r.Count("serve/swap_errors", 1)
+	telemetry.StartSpan(r, "serve/batch_seconds").End()
 	telemetry.StartSpan(r, "fed/phase/final_eval_seconds").End()
 	r.Count("fixture/sub/"+"leaf_total", 1) // constant folding keeps this checkable
 	r.Count(dyn, 1)                         // want `telemetry key passed to Count must be a compile-time constant`

@@ -18,6 +18,44 @@ import (
 	"fedomd/internal/nn"
 )
 
+// SpecVersion is the current model-config header version written into
+// Checkpoint.Spec. Bump it when ModelSpec changes incompatibly; readers use
+// it to decide how to interpret older headers.
+const SpecVersion = 1
+
+// ModelSpec is the versioned model-config header of a checkpoint: enough
+// identity and hyperparameter information to reconstruct the model the
+// snapshot's parameters belong to without the training process that wrote
+// it — the contract the serving plane (internal/serve, cmd/fedomdserve)
+// loads models through. Pre-header snapshots decode with a nil Spec (gob
+// ignores absent fields), which LoadCheckpointFile-era readers must treat
+// as "architecture unknown, caller supplies it".
+type ModelSpec struct {
+	// SpecVersion is the header format version (SpecVersion at write time).
+	SpecVersion int
+	// Model is the architecture kind: "fedomd" (the paper's OrthoGCN),
+	// "mlp", "gcn", or "sgc".
+	Model string
+	// Features and Classes are the input and output widths.
+	Features, Classes int
+	// Hidden and HiddenLayers shape the OrthoGCN (Model == "fedomd").
+	Hidden, HiddenLayers int
+	// Dims are the full layer dimensions for "mlp"/"gcn" models.
+	Dims []int
+	// Dropout is recorded for exact reconstruction; inference ignores it.
+	Dropout float64
+	// SpectralBound mirrors OrthoGCN's Q̃ = Q/‖Q‖ forward bounding.
+	SpectralBound bool
+	// Hops is SGC's propagation depth.
+	Hops int
+	// Dataset, Divisor and DataSeed name the dataset recipe the model was
+	// trained against, so a server can regenerate the graph the node IDs
+	// index into. Empty/zero when the caller served its own graph.
+	Dataset  string
+	Divisor  int
+	DataSeed int64
+}
+
 // Checkpoint is a gob-serializable snapshot of the coordinator's state,
 // taken after a completed round.
 type Checkpoint struct {
@@ -28,6 +66,9 @@ type Checkpoint struct {
 	SamplerDraws int
 	// Global is the aggregated global model entering Round.
 	Global *wireParams
+	// Spec is the versioned model-config header (nil on snapshots written
+	// before the header existed, or when Config.Spec was not set).
+	Spec *ModelSpec
 	// History and the best-so-far tracking mirror the Result fields.
 	History        []RoundStats
 	BestValAcc     float64
@@ -79,6 +120,7 @@ func (st *runState) snapshot(nextRound, samplerDraws int, global *nn.Params, res
 		Round:          nextRound,
 		SamplerDraws:   samplerDraws,
 		Global:         paramsToWire(global),
+		Spec:           st.spec,
 		History:        append([]RoundStats(nil), res.History...),
 		BestValAcc:     res.BestValAcc,
 		TestAtBestVal:  res.TestAtBestVal,
@@ -267,6 +309,24 @@ func FileCheckpointer(path string) func(*Checkpoint) error {
 		}
 		return os.Rename(tmp, path)
 	}
+}
+
+// GlobalParams reconstructs the checkpointed global model parameters as a
+// fresh (never pooled) parameter set — the serving plane's entry point.
+func (ck *Checkpoint) GlobalParams() (*nn.Params, error) {
+	if ck.Global == nil {
+		return nil, errors.New("fed: checkpoint has no global model")
+	}
+	return paramsFromWire(ck.Global), nil
+}
+
+// NewModelCheckpoint builds a minimal checkpoint carrying just a model and
+// its config header — what a serving test or bench needs to exercise the
+// load/swap path without a training run. The wire form aliases the params'
+// backing arrays (like every snapshot), so encode the checkpoint before
+// mutating them.
+func NewModelCheckpoint(round int, global *nn.Params, spec *ModelSpec) *Checkpoint {
+	return &Checkpoint{Round: round, Global: paramsToWire(global), Spec: spec}
 }
 
 // LoadCheckpointFile reads a checkpoint written by FileCheckpointer.

@@ -1,10 +1,16 @@
 package fed
 
 import (
+	"bytes"
+	"encoding/gob"
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 	"time"
+
+	"fedomd/internal/mat"
+	"fedomd/internal/nn"
 )
 
 // roundTrainer's parameters depend on the round number, so every round
@@ -187,5 +193,125 @@ func TestCheckpointCarriesQuarantineState(t *testing.T) {
 	}
 	if resumed.ClientFailures["a"] != full.ClientFailures["a"] {
 		t.Fatalf("failure tally = %d want %d", resumed.ClientFailures["a"], full.ClientFailures["a"])
+	}
+}
+
+// legacyCheckpoint mirrors the on-disk snapshot format from before the
+// ModelSpec header existed: every Checkpoint field except Spec. Encoding it
+// and decoding into the current struct is exactly what loading an old
+// checkpoint file does.
+type legacyCheckpoint struct {
+	Round          int
+	SamplerDraws   int
+	Global         *wireParams
+	History        []RoundStats
+	BestValAcc     float64
+	TestAtBestVal  float64
+	BestRound      int
+	BadRounds      int
+	TotalBytesUp   int64
+	TotalBytesDown int64
+	Failures       map[string]int
+	Strikes        map[string]int
+	BenchedUntil   map[string]int
+	BenchCount     map[string]int
+	AsyncBuffer    []AsyncBufferedUpdate
+	AsyncDispatch  map[string]int
+	AsyncMeans     []wireDense
+	AsyncCentral   [][]wireDense
+	AsyncAux       *wireParams
+}
+
+func specTestParams() *nn.Params {
+	p := nn.NewParams()
+	p.Add("w", mat.NewFromData(2, 2, []float64{1, 2, 3, 4}))
+	p.Add("b", mat.NewFromData(1, 2, []float64{-0.5, 0.25}))
+	return p
+}
+
+// TestCheckpointPreSpecHeaderCompat pins backward compatibility: snapshots
+// written before the model-config header existed still load, with Spec nil
+// and every other field intact.
+func TestCheckpointPreSpecHeaderCompat(t *testing.T) {
+	legacy := legacyCheckpoint{
+		Round:      5,
+		Global:     paramsToWire(specTestParams()),
+		BestValAcc: 0.75,
+		Failures:   map[string]int{"party-a": 2},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "legacy.ckpt")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatalf("pre-header checkpoint refused: %v", err)
+	}
+	if ck.Spec != nil {
+		t.Fatalf("pre-header checkpoint decoded with non-nil Spec %+v", ck.Spec)
+	}
+	if ck.Round != 5 || ck.BestValAcc != 0.75 || ck.Failures["party-a"] != 2 {
+		t.Fatalf("legacy fields corrupted: %+v", ck)
+	}
+	got, err := ck.GlobalParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Compatible(specTestParams()); err != nil {
+		t.Fatalf("legacy global params unusable: %v", err)
+	}
+	if got.Get("w").At(1, 1) != 4 {
+		t.Fatalf("legacy global params corrupted: %v", got.Get("w").Data())
+	}
+}
+
+// TestCheckpointSpecRoundTrip pins the header through the file writer and
+// loader, including GlobalParams on a header-only model checkpoint.
+func TestCheckpointSpecRoundTrip(t *testing.T) {
+	spec := &ModelSpec{
+		SpecVersion: SpecVersion, Model: "fedomd",
+		Features: 6, Classes: 3, Hidden: 8, HiddenLayers: 2,
+		Dropout: 0.5, SpectralBound: true,
+		Dataset: "cora-like", Divisor: 4, DataSeed: 42,
+	}
+	ck := NewModelCheckpoint(3, specTestParams(), spec)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := FileCheckpointer(path)(ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Spec, spec) {
+		t.Fatalf("spec did not round-trip:\nwrote %+v\nread  %+v", spec, got.Spec)
+	}
+	p, err := got.GlobalParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Get("b").At(0, 1) != 0.25 {
+		t.Fatalf("model params corrupted: %v", p.Get("b").Data())
+	}
+}
+
+// TestRunStampsSpecOntoCheckpoints covers the Config→snapshot plumbing.
+func TestRunStampsSpecOntoCheckpoints(t *testing.T) {
+	var snap *Checkpoint
+	cfg := Config{Rounds: 2, CheckpointEvery: 2,
+		Spec:             &ModelSpec{SpecVersion: SpecVersion, Model: "fedomd", Hidden: 16},
+		CheckpointWriter: func(ck *Checkpoint) error { snap = ck; return nil }}
+	if _, err := Run(cfg, []Client{newFakeClient("a", 1, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Spec == nil {
+		t.Fatal("run with Config.Spec wrote a spec-less checkpoint")
+	}
+	if snap.Spec.Model != "fedomd" || snap.Spec.Hidden != 16 {
+		t.Fatalf("wrong spec on checkpoint: %+v", snap.Spec)
 	}
 }

@@ -103,6 +103,7 @@ type runState struct {
 	clients    []Client
 	weights    []float64
 	rec        telemetry.Recorder
+	spec       *ModelSpec
 	policy     FailurePolicy
 	timeout    time.Duration
 	minClients int
@@ -134,6 +135,7 @@ func newRunState(cfg *Config, clients []Client, weights []float64, rec telemetry
 		clients:      clients,
 		weights:      weights,
 		rec:          rec,
+		spec:         cfg.Spec,
 		policy:       cfg.Policy,
 		timeout:      cfg.ClientTimeout,
 		minClients:   cfg.MinClients,

@@ -149,6 +149,10 @@ type Config struct {
 	// Resume restarts a run from a snapshot taken by an identically
 	// configured run over the same client fleet (see LoadCheckpointFile).
 	Resume *Checkpoint
+	// Spec describes the model architecture being trained so checkpoints
+	// can be reconstructed standalone (see Checkpoint.Spec). Nil writes
+	// header-less snapshots, matching the pre-spec format.
+	Spec *ModelSpec
 
 	// Aggregation selects the round topology. The zero value, AggSync, is
 	// the barriered loop above — bit-identical to the historical behavior.

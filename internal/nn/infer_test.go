@@ -1,0 +1,246 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedomd/internal/ad"
+	"fedomd/internal/mat"
+	"fedomd/internal/sparse"
+)
+
+// ringGraph builds an n-node ring with a few random chords, normalised for
+// GCN propagation, plus Gaussian features.
+func ringGraph(t *testing.T, n, feats int, seed int64) (*sparse.CSR, *mat.Dense) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var coords []sparse.Coord
+	addEdge := func(a, b int) {
+		coords = append(coords,
+			sparse.Coord{Row: a, Col: b, Val: 1},
+			sparse.Coord{Row: b, Col: a, Val: 1})
+	}
+	for i := 0; i < n; i++ {
+		addEdge(i, (i+1)%n)
+	}
+	for k := 0; k < n/2; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			addEdge(a, b)
+		}
+	}
+	adj, err := sparse.NewCSR(n, n, coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sparse.GCNNormalize(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.RandGaussian(rng, n, feats, 0, 1)
+	return s, x
+}
+
+// tapeLogits runs the autodiff forward in eval mode and returns a detached
+// copy of the logits.
+func tapeLogits(t *testing.T, m Model, in Input) *mat.Dense {
+	t.Helper()
+	tp := ad.NewTape()
+	defer tp.Release()
+	f := m.Forward(tp, in, rand.New(rand.NewSource(7)), false)
+	return f.Logits.Value.Clone()
+}
+
+func maxAbsRowDiff(t *testing.T, want *mat.Dense, row []float64, node int) float64 {
+	t.Helper()
+	var worst float64
+	for j, v := range row {
+		if d := math.Abs(v - want.At(node, j)); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestInferencerParity(t *testing.T) {
+	const n, feats, classes = 24, 6, 3
+	s, x := ringGraph(t, n, feats, 11)
+	in := Input{S: s, X: x}
+	rng := rand.New(rand.NewSource(3))
+
+	mlp, err := NewMLP(rng, []int{feats, 10, classes}, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcn2, err := NewGCN(rng, []int{feats, 8, classes}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcn1, err := NewGCN(rng, []int{feats, classes}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcn3, err := NewGCN(rng, []int{feats, 8, 5, classes}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ortho, err := NewOrthoGCN(rng, feats, 8, classes, 3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgc, err := NewSGC(rng, s, x, classes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	models := []struct {
+		name string
+		m    Model
+	}{
+		{"mlp", mlp}, {"gcn2", gcn2}, {"gcn1", gcn1}, {"gcn3", gcn3},
+		{"orthogcn", ortho}, {"sgc", sgc},
+	}
+	batches := [][]int{
+		{0}, {3, 1, 3, n - 1}, allNodes(n),
+	}
+	for _, tc := range models {
+		want := tapeLogits(t, tc.m, in)
+		inf, err := NewInferencer(tc.m, in)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if inf.Nodes() != n || inf.Classes() != classes {
+			t.Fatalf("%s: inferencer %d nodes × %d classes, want %d × %d",
+				tc.name, inf.Nodes(), inf.Classes(), n, classes)
+		}
+		for _, idx := range batches {
+			out := mat.New(len(idx), classes)
+			if err := inf.InferInto(out, idx); err != nil {
+				t.Fatalf("%s: InferInto: %v", tc.name, err)
+			}
+			for i, node := range idx {
+				if d := maxAbsRowDiff(t, want, out.Row(i), node); d > 1e-9 {
+					t.Fatalf("%s: node %d logits diverge from tape forward by %g", tc.name, node, d)
+				}
+			}
+		}
+	}
+}
+
+func allNodes(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// TestInferencerSnapshot pins the RCU property the serving plane relies on:
+// mutating the source model after NewInferencer must not change what the
+// snapshot serves.
+func TestInferencerSnapshot(t *testing.T) {
+	const n, feats, classes = 16, 5, 3
+	s, x := ringGraph(t, n, feats, 5)
+	in := Input{S: s, X: x}
+	rng := rand.New(rand.NewSource(9))
+	m, err := NewOrthoGCN(rng, feats, 6, classes, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, err := NewInferencer(m, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := allNodes(n)
+	before := mat.New(n, classes)
+	if err := inf.InferInto(before, idx); err != nil {
+		t.Fatal(err)
+	}
+	// Scribble over every parameter, as a training step would.
+	for i := 0; i < m.Params().Len(); i++ {
+		m.Params().At(i).Fill(123.25)
+	}
+	after := mat.New(n, classes)
+	if err := inf.InferInto(after, idx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < classes; j++ {
+			if before.At(i, j) != after.At(i, j) {
+				t.Fatalf("inference changed after source-model mutation at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestInferIntoErrors(t *testing.T) {
+	const n, feats, classes = 8, 4, 2
+	s, x := ringGraph(t, n, feats, 2)
+	rng := rand.New(rand.NewSource(1))
+	m, err := NewGCN(rng, []int{feats, 6, classes}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, err := NewInferencer(m, Input{S: s, X: x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inf.InferInto(mat.New(2, classes), []int{0, n}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if err := inf.InferInto(mat.New(2, classes), []int{0, -1}); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	if err := inf.InferInto(mat.New(1, classes), []int{0, 1}); err == nil {
+		t.Fatal("mis-shaped output accepted")
+	}
+	if err := inf.InferInto(mat.New(1, classes+1), []int{0}); err == nil {
+		t.Fatal("wrong logit width accepted")
+	}
+	if err := inf.InferInto(mat.New(0, classes), nil); err != nil {
+		t.Fatalf("empty batch should be a no-op, got %v", err)
+	}
+	if _, err := NewInferencer(m, Input{X: x}); err == nil {
+		t.Fatal("graph model without operator accepted")
+	}
+	if _, err := NewInferencer(m, Input{S: s}); err == nil {
+		t.Fatal("missing features accepted")
+	}
+}
+
+// TestInferIntoAllocs is the zero-alloc gate on the tape-free serving path:
+// once the pool is warm, a steady stream of same-shaped batches must not
+// allocate at all.
+func TestInferIntoAllocs(t *testing.T) {
+	const n, feats, classes, batch = 64, 32, 4, 16
+	s, x := ringGraph(t, n, feats, 4)
+	rng := rand.New(rand.NewSource(6))
+	m, err := NewOrthoGCN(rng, feats, 16, classes, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, err := NewInferencer(m, Input{S: s, X: x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int, batch)
+	for i := range idx {
+		idx[i] = (i * 7) % n
+	}
+	out := mat.New(batch, classes)
+	// Warm the pool buckets the batch shape draws from.
+	for i := 0; i < 3; i++ {
+		if err := inf.InferInto(out, idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := inf.InferInto(out, idx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("InferInto allocates %.1f objects per batch in steady state, want 0", allocs)
+	}
+}

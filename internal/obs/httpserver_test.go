@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHTTPServerBindServeShutdown(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	})
+	s, err := StartHTTPServer("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "ok" {
+		t.Fatalf("got %d %q", resp.StatusCode, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The port is released: a fresh server can bind the exact address.
+	s2, err := StartHTTPServer(s.Addr(), h)
+	if err != nil {
+		t.Fatalf("rebinding released address: %v", err)
+	}
+	if err := s2.ShutdownTimeout(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Shutdown is idempotent.
+	if err := s2.ShutdownTimeout(time.Second); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+func TestHTTPServerDrainsInFlight(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "late")
+	})
+	s, err := StartHTTPServer("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var status int
+	var body string
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get("http://" + s.Addr() + "/")
+		if err != nil {
+			return
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		status, body = resp.StatusCode, string(b)
+	}()
+	<-entered
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	if err := s.ShutdownTimeout(5 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	if status != 200 || body != "late" {
+		t.Fatalf("in-flight request dropped during shutdown: %d %q", status, body)
+	}
+}

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"fedomd/internal/obs"
+)
+
+// ClassifyRequest is the POST /v1/classify body.
+type ClassifyRequest struct {
+	// Nodes are the node IDs to classify, in response order.
+	Nodes []int `json:"nodes"`
+	// Logits asks for the full logit rows alongside the argmax classes.
+	Logits bool `json:"logits,omitempty"`
+}
+
+// ClassifyResponse is the classify reply. The JSON shape is pinned by
+// TestHTTPGolden — changing it is an API break.
+type ClassifyResponse struct {
+	ModelRound int          `json:"model_round"`
+	Results    []NodeResult `json:"results"`
+}
+
+// NodeResult is one node's answer.
+type NodeResult struct {
+	Node   int       `json:"node"`
+	Class  int       `json:"class"`
+	Logits []float64 `json:"logits,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type healthResponse struct {
+	Status     string            `json:"status"`
+	ModelRound *int              `json:"model_round,omitempty"`
+	Events     []obs.HealthEvent `json:"events,omitempty"`
+}
+
+// Handler serves the classify API: POST /v1/classify and GET /healthz.
+// Metrics exposition stays with the caller (obs.MetricsHandler over the
+// same aggregator the service records into).
+func Handler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/classify", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+			return
+		}
+		var req ClassifyRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+			return
+		}
+		if len(req.Nodes) == 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"nodes must be non-empty"})
+			return
+		}
+		res, err := svc.Classify(r.Context(), req.Nodes, req.Logits)
+		if err != nil {
+			writeJSON(w, statusFor(err), errorResponse{err.Error()})
+			return
+		}
+		resp := ClassifyResponse{ModelRound: res.ModelRound, Results: make([]NodeResult, len(req.Nodes))}
+		for i, node := range req.Nodes {
+			nr := NodeResult{Node: node, Class: res.Classes[i]}
+			if req.Logits {
+				nr.Logits = res.Logits[i]
+			}
+			resp.Results[i] = nr
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		events := svc.Health()
+		h := healthResponse{Status: "ok", Events: events}
+		code := http.StatusOK
+		if round, ok := svc.ModelRound(); ok {
+			h.ModelRound = &round
+		}
+		for _, e := range events {
+			if e.Level == obs.LevelCritical {
+				h.Status = obs.LevelCritical
+				code = http.StatusServiceUnavailable
+				break
+			} else if e.Level == obs.LevelWarn {
+				h.Status = obs.LevelWarn
+			}
+		}
+		writeJSON(w, code, h)
+	})
+	return mux
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNoModel):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

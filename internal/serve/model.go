@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"fedomd/internal/fed"
+	"fedomd/internal/graph"
+	"fedomd/internal/nn"
+	"fedomd/internal/sparse"
+)
+
+// ErrNoSpec means the checkpoint predates the model-config header and the
+// caller did not supply an architecture out of band.
+var ErrNoSpec = errors.New("serve: checkpoint has no model spec (pre-header snapshot); supply the architecture explicitly")
+
+// BuildInferencer reconstructs the model a spec describes, loads params into
+// it, and folds it with the graph into a serving snapshot. The rng seeding
+// the constructors is irrelevant — every weight is overwritten by the
+// checkpointed params.
+func BuildInferencer(spec *fed.ModelSpec, params *nn.Params, g *graph.Graph) (*nn.Inferencer, error) {
+	if spec == nil {
+		return nil, ErrNoSpec
+	}
+	if spec.Features > 0 && g.NumFeatures() != spec.Features {
+		return nil, fmt.Errorf("serve: graph has %d features, model wants %d", g.NumFeatures(), spec.Features)
+	}
+	if spec.Classes > 0 && g.NumClasses != spec.Classes {
+		return nil, fmt.Errorf("serve: graph has %d classes, model wants %d", g.NumClasses, spec.Classes)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var (
+		m   nn.Model
+		err error
+	)
+	switch spec.Model {
+	case "fedomd":
+		var om *nn.OrthoGCN
+		om, err = nn.NewOrthoGCN(rng, spec.Features, spec.Hidden, spec.Classes, spec.HiddenLayers, spec.Dropout)
+		if err == nil {
+			om.SetSpectralBound(spec.SpectralBound)
+			m = om
+		}
+	case "mlp":
+		m, err = nn.NewMLP(rng, spec.Dims, spec.Dropout)
+	case "gcn":
+		m, err = nn.NewGCN(rng, spec.Dims, spec.Dropout)
+	case "sgc":
+		s, nerr := sparse.GCNNormalize(g.Adj)
+		if nerr != nil {
+			return nil, fmt.Errorf("serve: normalizing adjacency: %w", nerr)
+		}
+		m, err = nn.NewSGC(rng, s, g.Features, spec.Classes, spec.Hops)
+	default:
+		return nil, fmt.Errorf("serve: unknown model kind %q in spec", spec.Model)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: rebuilding %s model: %w", spec.Model, err)
+	}
+	if err := m.Params().CopyFrom(params); err != nil {
+		return nil, fmt.Errorf("serve: checkpoint params do not fit a %s model built from its own spec: %w", spec.Model, err)
+	}
+	in := nn.Input{X: g.Features}
+	if m.NeedsGraph() {
+		s, err := sparse.GCNNormalize(g.Adj)
+		if err != nil {
+			return nil, fmt.Errorf("serve: normalizing adjacency: %w", err)
+		}
+		in.S = s
+	}
+	return nn.NewInferencer(m, in)
+}
+
+// InferencerFromCheckpoint is the whole load path: params + header out of
+// the checkpoint, model rebuilt, graph folded in.
+func InferencerFromCheckpoint(ck *fed.Checkpoint, g *graph.Graph) (*nn.Inferencer, error) {
+	params, err := ck.GlobalParams()
+	if err != nil {
+		return nil, err
+	}
+	return BuildInferencer(ck.Spec, params, g)
+}

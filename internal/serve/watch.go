@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"fedomd/internal/fed"
+	"fedomd/internal/graph"
+	"fedomd/internal/telemetry"
+)
+
+// Watcher polls a checkpoint file and hot-swaps the service's model whenever
+// the file changes (mtime or size). Load errors leave the current model
+// serving and are counted under serve/swap_errors — a torn or incompatible
+// checkpoint must never take the service down.
+type Watcher struct {
+	svc      *Service
+	path     string
+	interval time.Duration
+	g        *graph.Graph
+	rec      telemetry.Recorder
+	onErr    func(error)
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu       sync.Mutex
+	lastMod  time.Time
+	lastSize int64
+	swaps    int
+}
+
+// WatchCheckpoint starts polling path every interval, swapping svc onto each
+// new checkpoint it finds (including one already present at start). onErr
+// receives load failures and may be nil. The caller must Stop the watcher.
+func WatchCheckpoint(svc *Service, path string, interval time.Duration, g *graph.Graph, onErr func(error)) *Watcher {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	w := &Watcher{
+		svc:      svc,
+		path:     path,
+		interval: interval,
+		g:        g,
+		rec:      svc.rec,
+		onErr:    onErr,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+// Stop halts polling; the last swapped model keeps serving.
+func (w *Watcher) Stop() {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	<-w.done
+}
+
+// Poll checks the file once, swapping if it changed. Exposed so tests and
+// the SIGHUP path can force a reload without waiting out the interval.
+func (w *Watcher) Poll() error {
+	info, err := os.Stat(w.path)
+	if err != nil {
+		return nil // not an error: the first checkpoint may not exist yet
+	}
+	w.mu.Lock()
+	unchanged := info.ModTime().Equal(w.lastMod) && info.Size() == w.lastSize
+	w.mu.Unlock()
+	if unchanged {
+		return nil
+	}
+	ck, err := fed.LoadCheckpointFile(w.path)
+	if err != nil {
+		return fmt.Errorf("serve: loading checkpoint %s: %w", w.path, err)
+	}
+	inf, err := InferencerFromCheckpoint(ck, w.g)
+	if err != nil {
+		return err
+	}
+	w.svc.Swap(inf, ck.Round)
+	w.mu.Lock()
+	w.lastMod, w.lastSize = info.ModTime(), info.Size()
+	w.swaps++
+	w.mu.Unlock()
+	return nil
+}
+
+// Swaps reports how many successful model swaps the watcher has performed.
+func (w *Watcher) Swaps() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.swaps
+}
+
+func (w *Watcher) run() {
+	defer close(w.done)
+	tick := time.NewTicker(w.interval)
+	defer tick.Stop()
+	for {
+		if err := w.Poll(); err != nil {
+			w.rec.Count(MetricSwapErrors, 1)
+			if w.onErr != nil {
+				w.onErr(err)
+			}
+		}
+		select {
+		case <-w.stop:
+			return
+		case <-tick.C:
+		}
+	}
+}
